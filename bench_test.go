@@ -1,0 +1,294 @@
+// Benchmarks regenerating the paper's evaluation (§4): one benchmark per
+// table and figure. Run them all with
+//
+//	go test -bench=. -benchmem
+//
+// Each iteration runs a full scaled-down experiment; custom metrics report
+// the quantities behind the paper's claims (throughput drop, abort counts,
+// downtime, latency increase). EXPERIMENTS.md records paper-vs-measured.
+package remus
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"remus/internal/bench"
+	"remus/internal/simnet"
+)
+
+// tinyA shrinks the hybrid-A consolidation to benchmark scale.
+func tinyA(ap bench.Approach) bench.ConsolidationConfig {
+	cfg := bench.DefaultConsolidationConfig(ap, 'A')
+	cfg.Nodes = 3
+	cfg.ShardsPerNode = 6
+	cfg.Records = 1200
+	cfg.Clients = 9
+	cfg.Batches = 2
+	cfg.RowsPerBatch = 600
+	cfg.BatchChunk = 32
+	cfg.BatchRowDelay = 8 * time.Millisecond
+	cfg.Warmup = 200 * time.Millisecond
+	cfg.BatchLead = 150 * time.Millisecond
+	cfg.Tail = 200 * time.Millisecond
+	return cfg
+}
+
+// BenchmarkFig6HybridA reproduces Figure 6: YCSB throughput during cluster
+// consolidation under hybrid workload A, one sub-benchmark per approach.
+func BenchmarkFig6HybridA(b *testing.B) {
+	for _, ap := range bench.Approaches {
+		b.Run(string(ap), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := bench.RunConsolidation(tinyA(ap))
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportConsolidation(b, r)
+			}
+		})
+	}
+}
+
+// BenchmarkFig7HybridB reproduces Figure 7: YCSB throughput during
+// consolidation under hybrid workload B (analytical query).
+func BenchmarkFig7HybridB(b *testing.B) {
+	for _, ap := range bench.Approaches {
+		b.Run(string(ap), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := tinyA(ap)
+				cfg.Hybrid = 'B'
+				cfg.GroupSize = 4
+				r, err := bench.RunConsolidation(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportConsolidation(b, r)
+			}
+		})
+	}
+}
+
+func reportConsolidation(b *testing.B, r *bench.ConsolidationResult) {
+	b.Helper()
+	if len(r.Errors) != 0 {
+		b.Fatalf("unexpected errors: %v", r.Errors)
+	}
+	if r.DupKeys != 0 {
+		b.Fatalf("%d duplicate keys (consistency violated)", r.DupKeys)
+	}
+	b.ReportMetric(r.YCSBBefore.Throughput, "ycsb-before/s")
+	b.ReportMetric(r.YCSBDuring.Throughput, "ycsb-during/s")
+	b.ReportMetric(float64(r.MigrationAbortTotal), "mig-aborts")
+	b.ReportMetric(float64(r.YCSBDuring.MaxZeroRun.Milliseconds()), "downtime-ms")
+	if r.IngestBefore > 0 {
+		b.ReportMetric(r.IngestBefore, "ingest-before-tup/s")
+		b.ReportMetric(r.IngestDuring, "ingest-during-tup/s")
+		b.ReportMetric(100*r.BatchAbortRatio, "batch-abort-%")
+	}
+}
+
+// BenchmarkTable2BatchInsert reproduces Table 2: the batch-insert abort
+// ratio and ingest throughput during consolidation, per approach.
+func BenchmarkTable2BatchInsert(b *testing.B) {
+	for _, ap := range bench.Approaches {
+		b.Run(string(ap), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := bench.RunConsolidation(tinyA(ap))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*r.BatchAbortRatio, "abort-%")
+				b.ReportMetric(r.IngestDuring, "during-tup/s")
+				b.ReportMetric(r.IngestBefore, "before-tup/s")
+			}
+		})
+	}
+}
+
+// BenchmarkTable1Matrix reproduces Table 1 as measured quantities: downtime,
+// migration aborts, OLTP and batch throughput drops per approach.
+func BenchmarkTable1Matrix(b *testing.B) {
+	for _, ap := range bench.Approaches {
+		b.Run(string(ap), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := bench.RunConsolidation(tinyA(ap))
+				if err != nil {
+					b.Fatal(err)
+				}
+				row := bench.Table1FromConsolidation(r)
+				b.ReportMetric(float64(row.Downtime.Milliseconds()), "downtime-ms")
+				b.ReportMetric(float64(row.MigrationAborts), "mig-aborts")
+				b.ReportMetric(row.OLTPDropPct, "oltp-drop-%")
+				b.ReportMetric(row.BatchDropPct, "batch-drop-%")
+			}
+		})
+	}
+}
+
+// BenchmarkFig8LoadBalance reproduces Figure 8: skewed YCSB throughput while
+// hotspot shards migrate off the hot node.
+func BenchmarkFig8LoadBalance(b *testing.B) {
+	for _, ap := range bench.Approaches {
+		b.Run(string(ap), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := bench.DefaultLoadBalanceConfig(ap)
+				cfg.Nodes = 3
+				cfg.ShardsPerNode = 6
+				cfg.Records = 1200
+				cfg.Clients = 36
+				cfg.Warmup = 200 * time.Millisecond
+				cfg.Tail = 300 * time.Millisecond
+				r, err := bench.RunLoadBalance(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(r.Errors) != 0 {
+					b.Fatalf("unexpected errors: %v", r.Errors)
+				}
+				if r.DupKeys != 0 {
+					b.Fatalf("%d duplicate keys", r.DupKeys)
+				}
+				b.ReportMetric(r.Before.Throughput, "before/s")
+				b.ReportMetric(r.During.Throughput, "during/s")
+				b.ReportMetric(r.After.Throughput, "after/s")
+				b.ReportMetric(float64(r.MigrationAborts), "mig-aborts")
+				b.ReportMetric(float64(r.WWConflicts), "ww-conflicts")
+			}
+		})
+	}
+}
+
+// BenchmarkFig9ScaleOut reproduces Figure 9: TPC-C throughput while the
+// overloaded node sheds warehouses to a newly added node. Squall is excluded
+// as in the paper (§4.6).
+func BenchmarkFig9ScaleOut(b *testing.B) {
+	for _, ap := range []bench.Approach{bench.Remus, bench.LockAbort, bench.Remaster} {
+		b.Run(string(ap), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := bench.DefaultScaleOutConfig(ap)
+				cfg.Nodes = 2
+				cfg.WarehousesPerNode = 4
+				cfg.Warmup = 300 * time.Millisecond
+				cfg.Tail = 300 * time.Millisecond
+				r, err := bench.RunScaleOut(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(r.Errors) != 0 {
+					b.Fatalf("unexpected errors: %v", r.Errors)
+				}
+				if !r.Consistent {
+					b.Fatal("TPC-C invariants violated")
+				}
+				b.ReportMetric(r.Before.Throughput, "before/s")
+				b.ReportMetric(r.During.Throughput, "during/s")
+				b.ReportMetric(r.After.Throughput, "after/s")
+				b.ReportMetric(float64(r.MigrationAborts), "mig-aborts")
+			}
+		})
+	}
+}
+
+// BenchmarkFig10Contention reproduces Figure 10: throughput and CPU-proxy
+// during a Remus migration of a hot shard under high contention.
+func BenchmarkFig10Contention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := bench.DefaultContentionConfig()
+		r, err := bench.RunContention(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Errors) != 0 {
+			b.Fatalf("unexpected errors: %v", r.Errors)
+		}
+		b.ReportMetric(r.Before.Throughput, "before/s")
+		b.ReportMetric(r.DuringCopy.Throughput, "during-copy/s")
+		b.ReportMetric(r.After.Throughput, "after/s")
+		b.ReportMetric(r.SourceCPUPeakPct, "src-cpu-%")
+		b.ReportMetric(r.DestCPUPeakPct, "dst-cpu-%")
+		b.ReportMetric(float64(r.MOCCConflicts), "mocc-ww")
+		b.ReportMetric(float64(r.ClientWWConflicts), "client-ww")
+		b.ReportMetric(float64(r.MaxChainLen), "max-chain")
+	}
+}
+
+// BenchmarkAblationTimestampScheme compares GTS vs DTS (the §4.1 note that
+// DTS outperforms the centralized sequencer, which is why the paper's
+// evaluation runs DTS).
+func BenchmarkAblationTimestampScheme(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := bench.RunSchemeAblation(1200, 9, 400*time.Millisecond,
+			simnet.Config{Latency: 50 * time.Microsecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			b.ReportMetric(r.Throughput, string(r.Scheme)+"-txn/s")
+		}
+	}
+}
+
+// BenchmarkAblationParallelApply compares destination parallel-apply widths
+// (§3.6: replay speed must exceed update speed or catch-up never converges;
+// the paper runs 18 apply threads).
+func BenchmarkAblationParallelApply(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := bench.RunApplyAblation([]int{1, 4, 18}, 8, 250*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			b.ReportMetric(float64(r.CatchupDuration.Microseconds())/1000,
+				"catchup-ms-w"+itoa(r.Workers))
+			b.ReportMetric(float64(r.ModeChangeDuration.Microseconds())/1000,
+				"modechange-ms-w"+itoa(r.Workers))
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkTable3Latency reproduces Table 3: the average latency increase of
+// Remus vs lock-and-abort under the four workloads.
+func BenchmarkTable3Latency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := bench.DefaultTable3Config()
+		cfg.Consolidation = tinyA(bench.Remus)
+		lb := bench.DefaultLoadBalanceConfig(bench.Remus)
+		lb.Nodes = 3
+		lb.ShardsPerNode = 6
+		lb.Records = 1200
+		lb.Clients = 9
+		lb.Warmup = 200 * time.Millisecond
+		lb.Tail = 200 * time.Millisecond
+		cfg.LoadBalance = lb
+		so := bench.DefaultScaleOutConfig(bench.Remus)
+		so.Nodes = 2
+		so.WarehousesPerNode = 2
+		so.Warmup = 250 * time.Millisecond
+		so.Tail = 250 * time.Millisecond
+		cfg.ScaleOut = so
+		rows, err := bench.RunTable3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rows {
+			slug := strings.ToLower(strings.ReplaceAll(row.Workload, " ", "-"))
+			b.ReportMetric(float64(row.RemusIncrease.Microseconds())/1000, slug+"-remus-ms")
+			b.ReportMetric(float64(row.LockAbortIncrease.Microseconds())/1000, slug+"-lockabort-ms")
+		}
+	}
+}

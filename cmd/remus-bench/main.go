@@ -1,0 +1,205 @@
+// Command remus-bench regenerates the paper's evaluation tables and figures
+// (§4) on the in-process cluster. Examples:
+//
+//	remus-bench -exp fig6                 # hybrid A consolidation series, all approaches
+//	remus-bench -exp fig7 -approach remus # hybrid B, one approach
+//	remus-bench -exp table2               # batch ingest abort/throughput table
+//	remus-bench -exp table3               # latency increase table
+//	remus-bench -exp all                  # everything
+//
+// The -scale flag trades runtime for fidelity: "small" (default) finishes in
+// seconds per experiment; "large" uses bigger datasets and longer windows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"remus/internal/bench"
+	"remus/internal/simnet"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig6|fig7|fig8|fig9|fig10|table1|table2|table3|all")
+	approach := flag.String("approach", "", "restrict to one approach: remus|lockabort|remaster|squall")
+	scale := flag.String("scale", "small", "small|large")
+	series := flag.Bool("series", true, "print throughput time series for figure experiments")
+	flag.Parse()
+
+	r := &runner{scale: *scale, series: *series}
+	if *approach != "" {
+		r.only = bench.Approach(*approach)
+	}
+
+	exps := []string{*exp}
+	if *exp == "all" {
+		exps = []string{"fig6", "fig7", "fig8", "fig9", "fig10", "table1", "table2", "table3", "ablation"}
+	}
+	for _, e := range exps {
+		if err := r.run(e); err != nil {
+			fmt.Fprintf(os.Stderr, "remus-bench: %s: %v\n", e, err)
+			os.Exit(1)
+		}
+	}
+}
+
+type runner struct {
+	scale  string
+	series bool
+	only   bench.Approach
+}
+
+func (r *runner) approaches(all []bench.Approach) []bench.Approach {
+	if r.only != "" {
+		return []bench.Approach{r.only}
+	}
+	return all
+}
+
+func (r *runner) scaleConsolidation(cfg bench.ConsolidationConfig) bench.ConsolidationConfig {
+	if r.scale == "large" {
+		cfg.Records *= 8
+		cfg.Clients *= 3
+		cfg.RowsPerBatch *= 4
+		cfg.Batches += 2
+		cfg.Warmup *= 2
+		cfg.Tail *= 2
+	}
+	return cfg
+}
+
+func (r *runner) run(exp string) error {
+	fmt.Printf("\n================ %s ================\n", exp)
+	switch exp {
+	case "fig6", "table1", "table2":
+		var results []*bench.ConsolidationResult
+		var rows []bench.Table1Row
+		for _, ap := range r.approaches(bench.Approaches) {
+			cfg := r.scaleConsolidation(bench.DefaultConsolidationConfig(ap, 'A'))
+			res, err := bench.RunConsolidation(cfg)
+			if err != nil {
+				return err
+			}
+			results = append(results, res)
+			rows = append(rows, bench.Table1FromConsolidation(res))
+			if exp == "fig6" && r.series {
+				fmt.Printf("\n--- %v: YCSB throughput during hybrid-A consolidation ---\n", ap)
+				fmt.Print(res.Metrics.RenderSeries("ycsb", "batch"))
+			}
+			fmt.Printf("%v: migration=%v dups=%d migAborts=%d batchAbortRatio=%.0f%%\n",
+				ap, res.MigrationDuration.Round(time.Millisecond), res.DupKeys,
+				res.MigrationAbortTotal, 100*res.BatchAbortRatio)
+		}
+		if exp == "table2" {
+			fmt.Println("\nTable 2 — batch insert under hybrid workload A:")
+			fmt.Print(bench.FormatTable2(results))
+		}
+		if exp == "table1" {
+			fmt.Println("\nTable 1 (measured) — comparison matrix:")
+			fmt.Print(bench.FormatTable1(rows))
+		}
+
+	case "fig7":
+		for _, ap := range r.approaches(bench.Approaches) {
+			cfg := r.scaleConsolidation(bench.DefaultConsolidationConfig(ap, 'B'))
+			cfg.GroupSize = 4
+			res, err := bench.RunConsolidation(cfg)
+			if err != nil {
+				return err
+			}
+			if r.series {
+				fmt.Printf("\n--- %v: YCSB throughput during hybrid-B consolidation ---\n", ap)
+				fmt.Print(res.Metrics.RenderSeries("ycsb"))
+			}
+			fmt.Printf("%v: migration=%v dups=%d migAborts=%d maxZeroRun=%v\n",
+				ap, res.MigrationDuration.Round(time.Millisecond), res.DupKeys,
+				res.MigrationAbortTotal, res.YCSBDuring.MaxZeroRun)
+		}
+
+	case "fig8":
+		for _, ap := range r.approaches(bench.Approaches) {
+			cfg := bench.DefaultLoadBalanceConfig(ap)
+			res, err := bench.RunLoadBalance(cfg)
+			if err != nil {
+				return err
+			}
+			if r.series {
+				fmt.Printf("\n--- %v: skewed YCSB throughput during load balancing ---\n", ap)
+				fmt.Print(res.Metrics.RenderSeries("ycsb"))
+			}
+			fmt.Printf("%v: before=%.0f/s during=%.0f/s after=%.0f/s migAborts=%d ww=%d\n",
+				ap, res.Before.Throughput, res.During.Throughput, res.After.Throughput,
+				res.MigrationAborts, res.WWConflicts)
+		}
+
+	case "fig9":
+		// Squall is excluded, as in the paper (§4.6: no multi-key range
+		// partitioning support).
+		for _, ap := range r.approaches([]bench.Approach{bench.Remus, bench.LockAbort, bench.Remaster}) {
+			cfg := bench.DefaultScaleOutConfig(ap)
+			res, err := bench.RunScaleOut(cfg)
+			if err != nil {
+				return err
+			}
+			if r.series {
+				fmt.Printf("\n--- %v: TPC-C throughput during scale-out ---\n", ap)
+				fmt.Print(res.Metrics.RenderSeries("neworder", "payment"))
+			}
+			fmt.Printf("%v: before=%.0f/s during=%.0f/s after=%.0f/s migAborts=%d consistent=%v\n",
+				ap, res.Before.Throughput, res.During.Throughput, res.After.Throughput,
+				res.MigrationAborts, res.Consistent)
+		}
+
+	case "fig10":
+		res, err := bench.RunContention(bench.DefaultContentionConfig())
+		if err != nil {
+			return err
+		}
+		if r.series {
+			fmt.Println("\n--- Remus: throughput under high-contention YCSB ---")
+			fmt.Print(res.Metrics.RenderSeries("ycsb"))
+		}
+		fmt.Printf("before=%.0f/s duringCopy=%.0f/s after=%.0f/s\n",
+			res.Before.Throughput, res.DuringCopy.Throughput, res.After.Throughput)
+		fmt.Printf("cpu proxy peak: source=%.1f%% dest=%.1f%%\n",
+			res.SourceCPUPeakPct, res.DestCPUPeakPct)
+		fmt.Printf("ww-conflicts: clients=%d mocc(shadow-vs-dest)=%d maxChain=%d\n",
+			res.ClientWWConflicts, res.MOCCConflicts, res.MaxChainLen)
+
+	case "table3":
+		rows, err := bench.RunTable3(bench.DefaultTable3Config())
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table 3 — average latency increase during migration:")
+		fmt.Print(bench.FormatTable3(rows))
+
+	case "ablation":
+		schemes, err := bench.RunSchemeAblation(2400, 12, 500*time.Millisecond,
+			simnet.Config{Latency: 50 * time.Microsecond})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Timestamp scheme ablation (§2.2/§4.1):")
+		for _, r := range schemes {
+			fmt.Printf("  %-4s %10.0f txn/s  avg %v\n", r.Scheme, r.Throughput, r.AvgLatency.Round(time.Microsecond))
+		}
+		applies, err := bench.RunApplyAblation([]int{1, 4, 18}, 8, 300*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Parallel apply ablation (§3.6):")
+		for _, r := range applies {
+			fmt.Printf("  workers=%-3d catch-up %v  mode-change %v  total %v (%d txns shipped)\n",
+				r.Workers, r.CatchupDuration.Round(time.Microsecond),
+				r.ModeChangeDuration.Round(time.Microsecond),
+				r.TotalDuration.Round(time.Millisecond), r.ShippedTxns)
+		}
+
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

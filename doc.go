@@ -1,0 +1,8 @@
+// Package remus is a from-scratch Go reproduction of "Remus: Efficient Live
+// Migration for Distributed Databases with Snapshot Isolation" (SIGMOD 2022):
+// a shared-nothing distributed database with MVCC and timestamp-ordered
+// snapshot isolation, the Remus live-migration protocol (ordered diversion +
+// MOCC dual execution), three competing migration approaches, the paper's
+// workloads, and a benchmark harness regenerating every evaluation table and
+// figure. See README.md and DESIGN.md.
+package remus

@@ -1,0 +1,49 @@
+// Consolidation: the paper's §4.4 scenario — remove a node from the cluster
+// by live-migrating all of its shards while a hybrid workload (YCSB + batch
+// ingestion) runs. Compares Remus against lock-and-abort, wait-and-remaster
+// and Squall, printing the Table 2 rows and a Figure 6-style series.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"remus/internal/bench"
+)
+
+func main() {
+	series := flag.Bool("series", false, "print per-interval throughput series")
+	flag.Parse()
+
+	var results []*bench.ConsolidationResult
+	for _, approach := range bench.Approaches {
+		cfg := bench.DefaultConsolidationConfig(approach, 'A')
+		fmt.Printf("== consolidation with %s ==\n", approach)
+		res, err := bench.RunConsolidation(cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", approach, err)
+		}
+		results = append(results, res)
+		fmt.Printf("  consolidation took %v; batch ran %v\n",
+			res.MigrationDuration.Round(time.Millisecond),
+			res.BatchTotalDuration.Round(time.Millisecond))
+		fmt.Printf("  YCSB throughput before/during: %.0f / %.0f txn/s (max stall %v)\n",
+			res.YCSBBefore.Throughput, res.YCSBDuring.Throughput, res.YCSBDuring.MaxZeroRun)
+		fmt.Printf("  migration-induced aborts: %d; duplicate keys after: %d\n",
+			res.MigrationAbortTotal, res.DupKeys)
+		if *series {
+			fmt.Print(res.Metrics.RenderSeries("ycsb", "batch"))
+		}
+	}
+	fmt.Println("\nTable 2 — batch insert under hybrid workload A:")
+	fmt.Print(bench.FormatTable2(results))
+
+	fmt.Println("\nTable 1 (measured) — comparison matrix:")
+	rows := make([]bench.Table1Row, 0, len(results))
+	for _, r := range results {
+		rows = append(rows, bench.Table1FromConsolidation(r))
+	}
+	fmt.Print(bench.FormatTable1(rows))
+}

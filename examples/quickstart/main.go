@@ -1,0 +1,141 @@
+// Quickstart: bring up a three-node cluster, create a sharded table, run
+// transactions, and live-migrate a shard with Remus while traffic keeps
+// flowing — zero aborts, zero downtime.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/cluster"
+	"remus/internal/core"
+)
+
+func main() {
+	// 1. A three-node shared-nothing cluster with decentralized timestamps.
+	c := cluster.New(cluster.Config{Nodes: 3, Scheme: cluster.DTS})
+
+	// 2. A user table hash-sharded into 6 shards, placed round-robin.
+	tbl, err := c.CreateTable("accounts", 6, 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Load data through a session (any node can coordinate).
+	s, err := c.Connect(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rows []cluster.KV
+	for i := 0; i < 1000; i++ {
+		rows = append(rows, cluster.KV{
+			Key:   base.EncodeUint64Key(uint64(i)),
+			Value: base.Value(fmt.Sprintf("balance=%d", i*10)),
+		})
+	}
+	tx, _ := s.Begin()
+	if err := tx.BatchInsert(tbl, rows); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("loaded 1000 rows across", len(c.Nodes()), "nodes")
+
+	// 4. Snapshot-isolated transactions: read your own snapshot, conflict
+	// detection on concurrent writes.
+	t1, _ := s.Begin()
+	v, err := t1.Get(tbl, base.EncodeUint64Key(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("key 42 = %q (snapshot %v)\n", v, t1.StartTS())
+	if err := t1.Update(tbl, base.EncodeUint64Key(42), base.Value("balance=9999")); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := t1.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Live migration under load: run traffic while Remus moves a shard
+	// group from node 1 to node 2.
+	stop := make(chan struct{})
+	var commits, aborts atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess, err := c.Connect(base.NodeID(w%3 + 1))
+			if err != nil {
+				log.Fatal(err)
+			}
+			r := uint64(w + 1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r = r*6364136223846793005 + 1
+				key := base.EncodeUint64Key(r % 1000)
+				tx, err := sess.Begin()
+				if err != nil {
+					continue
+				}
+				if _, err := tx.Get(tbl, key); err != nil {
+					tx.Abort()
+					aborts.Add(1)
+					continue
+				}
+				if err := tx.Update(tbl, key, base.Value("updated")); err != nil {
+					tx.Abort()
+					aborts.Add(1)
+					continue
+				}
+				if _, err := tx.Commit(); err != nil {
+					aborts.Add(1)
+					continue
+				}
+				commits.Add(1)
+			}
+		}(w)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	ctrl := core.NewController(c, core.DefaultOptions())
+	group := c.ShardsOn(1)[:2]
+	fmt.Printf("migrating %v from node1 to node2 under load...\n", group)
+	report, err := ctrl.Migrate(group, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	fmt.Printf("migration done in %v:\n", report.TotalDuration.Round(time.Millisecond))
+	fmt.Printf("  snapshot: %d tuples, catch-up shipped %d txns, %d validations, %d WW-conflicts\n",
+		report.Snapshot.Tuples, report.ShippedTxns, report.Validations, report.Conflicts)
+	fmt.Printf("  traffic during the run: %d commits, %d aborts\n", commits.Load(), aborts.Load())
+	for _, id := range group {
+		owner, _ := c.OwnerOf(id)
+		fmt.Printf("  %v now lives on %v\n", id, owner)
+	}
+
+	// 6. Everything still readable, exactly once.
+	check, _ := s.Begin()
+	count := 0
+	if err := check.ScanTable(tbl, func(base.Key, base.Value) bool {
+		count++
+		return true
+	}); err != nil {
+		log.Fatal(err)
+	}
+	check.Abort()
+	fmt.Printf("final scan: %d rows visible (want 1000)\n", count)
+}

@@ -1,0 +1,3 @@
+module remus
+
+go 1.24

@@ -1,0 +1,220 @@
+package base
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestHLCRoundTrip(t *testing.T) {
+	ts := HLC(12345, 77)
+	if got := ts.Physical(); got != 12345 {
+		t.Errorf("Physical() = %d, want 12345", got)
+	}
+	if got := ts.Logical(); got != 77 {
+		t.Errorf("Logical() = %d, want 77", got)
+	}
+}
+
+func TestHLCOrdering(t *testing.T) {
+	// Higher physical time dominates any logical counter.
+	if !(HLC(10, 65535) < HLC(11, 0)) {
+		t.Error("HLC(10,65535) should be < HLC(11,0)")
+	}
+	// Same physical time orders by logical counter.
+	if !(HLC(10, 1) < HLC(10, 2)) {
+		t.Error("HLC(10,1) should be < HLC(10,2)")
+	}
+}
+
+func TestHLCPropertyMonotone(t *testing.T) {
+	f := func(p1, p2 uint32, l1, l2 uint16) bool {
+		a, b := HLC(uint64(p1), l1), HLC(uint64(p2), l2)
+		if p1 < p2 {
+			return a < b
+		}
+		if p1 == p2 && l1 < l2 {
+			return a < b
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTxnIDEncoding(t *testing.T) {
+	id := MakeTxnID(NodeID(5), 987654)
+	if id.Node() != 5 {
+		t.Errorf("Node() = %v, want node5", id.Node())
+	}
+	other := MakeTxnID(NodeID(5), 987655)
+	if id == other {
+		t.Error("distinct sequences must yield distinct TxnIDs")
+	}
+}
+
+func TestTxnIDUniqueAcrossNodes(t *testing.T) {
+	a := MakeTxnID(NodeID(1), 42)
+	b := MakeTxnID(NodeID(2), 42)
+	if a == b {
+		t.Error("same seq on different nodes must differ")
+	}
+}
+
+func TestEncodeUint64KeyOrder(t *testing.T) {
+	f := func(a, b uint64) bool {
+		ka, kb := EncodeUint64Key(a), EncodeUint64Key(b)
+		switch {
+		case a < b:
+			return ka < kb
+		case a > b:
+			return ka > kb
+		default:
+			return ka == kb
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeUint64KeyRoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 255, 1 << 40, ^uint64(0)} {
+		got, err := DecodeUint64Key(EncodeUint64Key(v))
+		if err != nil {
+			t.Fatalf("decode(%d): %v", v, err)
+		}
+		if got != v {
+			t.Errorf("round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestDecodeUint64KeyBadLength(t *testing.T) {
+	if _, err := DecodeUint64Key(Key("short")); err == nil {
+		t.Error("want error for short key")
+	}
+}
+
+func TestCompositeKeyRoundTrip(t *testing.T) {
+	k := NewKeyEncoder().Uint64(3).Int64(-7).String("cust\x00omer").Key()
+	d := NewKeyDecoder(k)
+	u, err := d.Uint64()
+	if err != nil || u != 3 {
+		t.Fatalf("Uint64() = %d, %v", u, err)
+	}
+	i, err := d.Int64()
+	if err != nil || i != -7 {
+		t.Fatalf("Int64() = %d, %v", i, err)
+	}
+	s, err := d.String()
+	if err != nil || s != "cust\x00omer" {
+		t.Fatalf("String() = %q, %v", s, err)
+	}
+	if !d.Done() {
+		t.Error("decoder should be exhausted")
+	}
+}
+
+func TestCompositeKeyOrderInt64(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka := NewKeyEncoder().Int64(a).Key()
+		kb := NewKeyEncoder().Int64(b).Key()
+		switch {
+		case a < b:
+			return ka < kb
+		case a > b:
+			return ka > kb
+		default:
+			return ka == kb
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompositeKeyOrderStrings(t *testing.T) {
+	// ("a","b") must sort before ("ab","") despite "ab" sharing the prefix.
+	k1 := NewKeyEncoder().String("a").String("b").Key()
+	k2 := NewKeyEncoder().String("ab").String("").Key()
+	if !(k1 < k2) {
+		t.Errorf("composite (a,b) should sort before (ab,); got %q >= %q", k1, k2)
+	}
+}
+
+func TestStringKeyRoundTripProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		k := NewKeyEncoder().String(a).String(b).Key()
+		d := NewKeyDecoder(k)
+		ga, err1 := d.String()
+		gb, err2 := d.String()
+		return err1 == nil && err2 == nil && ga == a && gb == b && d.Done()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	d := NewKeyDecoder(Key("\x00"))
+	if _, err := d.String(); err == nil {
+		t.Error("truncated escape should fail")
+	}
+	d = NewKeyDecoder(Key("abc"))
+	if _, err := d.String(); err == nil {
+		t.Error("unterminated string should fail")
+	}
+	d = NewKeyDecoder(Key("ab\x00\x55cd\x00\x01"))
+	if _, err := d.String(); err == nil {
+		t.Error("bad escape byte should fail")
+	}
+	d = NewKeyDecoder(Key("abc"))
+	if _, err := d.Uint64(); err == nil {
+		t.Error("short uint64 should fail")
+	}
+}
+
+func TestMigrationAbortIsAborted(t *testing.T) {
+	if !errors.Is(ErrMigrationAbort, ErrAborted) {
+		t.Error("ErrMigrationAbort must satisfy errors.Is(_, ErrAborted)")
+	}
+}
+
+func TestValueClone(t *testing.T) {
+	v := Value("hello")
+	c := v.Clone()
+	c[0] = 'H'
+	if v[0] != 'h' {
+		t.Error("Clone must not alias the original")
+	}
+	if Value(nil).Clone() != nil {
+		t.Error("Clone of nil should be nil")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{NodeID(3).String(), "node3"},
+		{ShardID(9).String(), "shard9"},
+		{XID(4).String(), "xid4"},
+		{TableID(2).String(), "table2"},
+		{StatusPrepared.String(), "prepared"},
+		{StatusCommitted.String(), "committed"},
+		{StatusAborted.String(), "aborted"},
+		{StatusInProgress.String(), "in-progress"},
+		{TsMax.String(), "ts(max)"},
+		{Timestamp(7).String(), "ts(7)"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+	if TxnStatus(99).String() == "" {
+		t.Error("unknown status should still stringify")
+	}
+}

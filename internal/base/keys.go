@@ -1,0 +1,126 @@
+package base
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Order-preserving key encoding. Composite keys (TPC-C primary keys such as
+// (w_id, d_id, o_id)) are encoded component by component so that the byte
+// order of the encoded Key equals the lexicographic order of the components.
+//
+// Encoding:
+//   - uint64/int64 components: 8 big-endian bytes (int64 is biased by 1<<63
+//     so negative values sort before positive ones);
+//   - string components: the raw bytes followed by a 0x00 0x01 terminator,
+//     with 0x00 bytes escaped as 0x00 0xFF.
+//
+// The terminator makes ("a","b") sort before ("ab","") correctly.
+
+// KeyEncoder incrementally builds an order-preserving composite key.
+type KeyEncoder struct {
+	buf []byte
+}
+
+// NewKeyEncoder returns an encoder with a small preallocated buffer.
+func NewKeyEncoder() *KeyEncoder { return &KeyEncoder{buf: make([]byte, 0, 32)} }
+
+// Uint64 appends an unsigned component.
+func (e *KeyEncoder) Uint64(v uint64) *KeyEncoder {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+	return e
+}
+
+// Int64 appends a signed component, biased so negatives sort first.
+func (e *KeyEncoder) Int64(v int64) *KeyEncoder {
+	return e.Uint64(uint64(v) + 1<<63)
+}
+
+// String appends a string component with escaped terminator.
+func (e *KeyEncoder) String(s string) *KeyEncoder {
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0x00 {
+			e.buf = append(e.buf, 0x00, 0xFF)
+		} else {
+			e.buf = append(e.buf, s[i])
+		}
+	}
+	e.buf = append(e.buf, 0x00, 0x01)
+	return e
+}
+
+// Key returns the encoded key.
+func (e *KeyEncoder) Key() Key { return Key(e.buf) }
+
+// EncodeUint64Key is a shorthand for the common single-component case (YCSB).
+func EncodeUint64Key(v uint64) Key {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return Key(b[:])
+}
+
+// DecodeUint64Key reverses EncodeUint64Key.
+func DecodeUint64Key(k Key) (uint64, error) {
+	if len(k) != 8 {
+		return 0, fmt.Errorf("decode uint64 key: want 8 bytes, got %d", len(k))
+	}
+	return binary.BigEndian.Uint64([]byte(k)), nil
+}
+
+// KeyDecoder walks the components of an encoded composite key.
+type KeyDecoder struct {
+	rest []byte
+}
+
+// NewKeyDecoder returns a decoder over k.
+func NewKeyDecoder(k Key) *KeyDecoder { return &KeyDecoder{rest: []byte(k)} }
+
+// Uint64 consumes an unsigned component.
+func (d *KeyDecoder) Uint64() (uint64, error) {
+	if len(d.rest) < 8 {
+		return 0, fmt.Errorf("decode key: short uint64 component (%d bytes left)", len(d.rest))
+	}
+	v := binary.BigEndian.Uint64(d.rest[:8])
+	d.rest = d.rest[8:]
+	return v, nil
+}
+
+// Int64 consumes a signed component.
+func (d *KeyDecoder) Int64() (int64, error) {
+	u, err := d.Uint64()
+	if err != nil {
+		return 0, err
+	}
+	return int64(u - 1<<63), nil
+}
+
+// String consumes a string component.
+func (d *KeyDecoder) String() (string, error) {
+	var sb strings.Builder
+	for i := 0; i < len(d.rest); i++ {
+		if d.rest[i] != 0x00 {
+			sb.WriteByte(d.rest[i])
+			continue
+		}
+		if i+1 >= len(d.rest) {
+			return "", fmt.Errorf("decode key: truncated string escape")
+		}
+		switch d.rest[i+1] {
+		case 0x01: // terminator
+			d.rest = d.rest[i+2:]
+			return sb.String(), nil
+		case 0xFF: // escaped NUL
+			sb.WriteByte(0x00)
+			i++
+		default:
+			return "", fmt.Errorf("decode key: bad escape byte %#x", d.rest[i+1])
+		}
+	}
+	return "", fmt.Errorf("decode key: unterminated string component")
+}
+
+// Done reports whether all components were consumed.
+func (d *KeyDecoder) Done() bool { return len(d.rest) == 0 }

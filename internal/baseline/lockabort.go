@@ -1,0 +1,128 @@
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/cluster"
+	"remus/internal/node"
+	"remus/internal/txn"
+)
+
+// LockAndAbort is the lock-and-abort push migration (§2.3.3, Citus [16] and
+// LibrA [8] style). During the ownership transfer phase it locks the
+// migrating shards against writes, terminates transactions already holding
+// conflicting locks, replays the final updates, moves the shard map with
+// 2PC, and aborts the writers that blocked on the shard lock meanwhile.
+type LockAndAbort struct {
+	c    *cluster.Cluster
+	opts Options
+}
+
+// NewLockAndAbort returns the baseline controller.
+func NewLockAndAbort(c *cluster.Cluster, opts Options) *LockAndAbort {
+	opts.fill()
+	return &LockAndAbort{c: c, opts: opts}
+}
+
+// Migrate moves the shard group to dstID.
+func (la *LockAndAbort) Migrate(shards []base.ShardID, dstID base.NodeID) (*Report, error) {
+	start := time.Now()
+	report := &Report{}
+	defer func() { report.TotalDuration = time.Since(start) }()
+
+	st, err := startPush(la.c, shards, dstID, la.opts, report)
+	if err != nil {
+		return report, err
+	}
+
+	// -------------------- ownership transfer --------------------
+	transferStart := time.Now()
+	transferDone := make(chan struct{})
+	// Shard write lock: new writers of migrating shards block until the
+	// transfer completes, then abort ("when the transfer completes, the
+	// blocked transactions are aborted").
+	hook := func(t *txn.Txn, shardID base.ShardID, _ base.Key, write bool) error {
+		if !write || !st.set[shardID] {
+			return nil
+		}
+		select {
+		case <-transferDone:
+		case <-time.After(la.opts.PhaseTimeout):
+		}
+		return fmt.Errorf("write to locked %v during ownership transfer: %w", shardID, base.ErrMigrationAbort)
+	}
+	handle := st.src.AddHook(hook)
+
+	// Terminate transactions already holding row locks on the migrating
+	// shards in a conflict mode.
+	var killed []*txn.Txn
+	for _, t := range st.src.Manager().ActiveTxns() {
+		for _, id := range shards {
+			if t.WroteShard(id) {
+				_ = t.AbortWith(fmt.Errorf("%v holds locks on migrating %v: %w", t.XID, id, base.ErrMigrationAbort))
+				killed = append(killed, t)
+				break
+			}
+		}
+	}
+	report.AbortedTxns = len(killed)
+	if err := waitTxns(killed, la.opts.PhaseTimeout); err != nil {
+		st.src.RemoveHook(handle)
+		close(transferDone)
+		st.stop()
+		return report, fmt.Errorf("lock-and-abort: killing writers: %w", err)
+	}
+
+	// Replay the remaining final updates, then move ownership.
+	if err := st.finalSync(); err != nil {
+		st.src.RemoveHook(handle)
+		close(transferDone)
+		st.stop()
+		return report, fmt.Errorf("lock-and-abort: final sync: %w", err)
+	}
+	for _, id := range shards {
+		st.dst.SetPhase(id, node.PhaseDestActive)
+	}
+	// Route refresh: mark cache-read-through while the map moves, clear it
+	// after so sessions re-read placements (the production systems update
+	// every coordinator's shard map as part of the transfer).
+	for _, n := range la.c.Nodes() {
+		n.ReadThrough().Mark(shards...)
+	}
+	defer func() {
+		for _, n := range la.c.Nodes() {
+			n.ReadThrough().Clear(shards...)
+		}
+	}()
+	if _, err := la.c.MoveShardMap(st.src, shards, dstID); err != nil {
+		st.src.RemoveHook(handle)
+		close(transferDone)
+		st.stop()
+		return report, fmt.Errorf("lock-and-abort: map update: %w", err)
+	}
+	st.finish(report)
+	close(transferDone) // blocked writers now abort
+	st.src.RemoveHook(handle)
+	report.TransferDuration = time.Since(transferStart)
+	return report, nil
+}
+
+// waitTxns blocks until the transactions finish.
+func waitTxns(txns []*txn.Txn, timeout time.Duration) error {
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		tm := time.NewTimer(timeout)
+		defer tm.Stop()
+		deadline = tm.C
+	}
+	for _, t := range txns {
+		select {
+		case <-t.Done():
+		case <-deadline:
+			return fmt.Errorf("waiting for %v: %w", t.XID, base.ErrTimeout)
+		}
+	}
+	return nil
+}

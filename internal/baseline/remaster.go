@@ -1,0 +1,106 @@
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/cluster"
+	"remus/internal/node"
+	"remus/internal/txn"
+)
+
+// WaitAndRemaster is the wait-and-remaster push migration (§2.3.3, DynaMast
+// [1] style). During the ownership transfer phase it suspends routing of
+// newly arrived transactions to the migrating shards and waits for ALL
+// ongoing transactions on the source to complete — the transaction write set
+// is unknown before execution (§4.2), so every on-the-fly transaction must
+// drain, which is what makes long-lived transactions induce downtime
+// (Figures 6-7). No transaction is ever aborted.
+type WaitAndRemaster struct {
+	c    *cluster.Cluster
+	opts Options
+}
+
+// NewWaitAndRemaster returns the baseline controller.
+func NewWaitAndRemaster(c *cluster.Cluster, opts Options) *WaitAndRemaster {
+	opts.fill()
+	return &WaitAndRemaster{c: c, opts: opts}
+}
+
+// Migrate moves the shard group to dstID.
+func (wr *WaitAndRemaster) Migrate(shards []base.ShardID, dstID base.NodeID) (*Report, error) {
+	start := time.Now()
+	report := &Report{}
+	defer func() { report.TotalDuration = time.Since(start) }()
+
+	st, err := startPush(wr.c, shards, dstID, wr.opts, report)
+	if err != nil {
+		return report, err
+	}
+
+	// -------------------- ownership transfer --------------------
+	transferStart := time.Now()
+	transferDone := make(chan struct{})
+
+	// Capture the on-the-fly transactions BEFORE suspending routing, so
+	// they can keep executing statements (the hook lets them through) while
+	// we wait them out.
+	ongoing := st.src.Manager().ActiveTxns()
+	allow := make(map[base.XID]bool, len(ongoing))
+	for _, t := range ongoing {
+		allow[t.XID] = true
+	}
+	// Suspend routing: newly arrived statements on the migrating shards
+	// block until the ownership is transferred, then re-route (blocked
+	// transactions resume on the destination — no abort).
+	hook := func(t *txn.Txn, shardID base.ShardID, _ base.Key, _ bool) error {
+		if !st.set[shardID] || allow[t.XID] {
+			return nil
+		}
+		select {
+		case <-transferDone:
+		case <-time.After(wr.opts.PhaseTimeout):
+		}
+		return fmt.Errorf("routing of %v suspended for remastering: %w", shardID, base.ErrShardMoved)
+	}
+	handle := st.src.AddHook(hook)
+
+	// The wait: every ongoing transaction must run to completion.
+	if err := waitTxns(ongoing, wr.opts.PhaseTimeout); err != nil {
+		st.src.RemoveHook(handle)
+		close(transferDone)
+		st.stop()
+		return report, fmt.Errorf("wait-and-remaster: drain: %w", err)
+	}
+	// Final updates, then remaster.
+	if err := st.finalSync(); err != nil {
+		st.src.RemoveHook(handle)
+		close(transferDone)
+		st.stop()
+		return report, fmt.Errorf("wait-and-remaster: final sync: %w", err)
+	}
+	for _, id := range shards {
+		st.dst.SetPhase(id, node.PhaseDestActive)
+	}
+	// Route refresh during the remastering (see lock-and-abort).
+	for _, n := range wr.c.Nodes() {
+		n.ReadThrough().Mark(shards...)
+	}
+	defer func() {
+		for _, n := range wr.c.Nodes() {
+			n.ReadThrough().Clear(shards...)
+		}
+	}()
+	if _, err := wr.c.MoveShardMap(st.src, shards, dstID); err != nil {
+		st.src.RemoveHook(handle)
+		close(transferDone)
+		st.stop()
+		return report, fmt.Errorf("wait-and-remaster: remaster: %w", err)
+	}
+	st.finish(report)
+	close(transferDone) // blocked statements re-route to the destination
+	st.src.RemoveHook(handle)
+	report.TransferDuration = time.Since(transferStart)
+	return report, nil
+}

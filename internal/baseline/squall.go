@@ -1,0 +1,339 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/cluster"
+	"remus/internal/node"
+	"remus/internal/txn"
+)
+
+// SquallOptions tunes the pull migration.
+type SquallOptions struct {
+	// ChunkBytes approximates the paper's 8 MB pull chunk (scaled down by
+	// benchmarks to keep pull latency proportional).
+	ChunkBytes int
+	// BackgroundWorkers pull chunks asynchronously (§4.2: "Squall starts
+	// multiple asynchronous workers").
+	BackgroundWorkers int
+	// Timeout bounds the whole migration.
+	Timeout time.Duration
+}
+
+// DefaultSquallOptions mirrors the paper's configuration at laptop scale.
+func DefaultSquallOptions() SquallOptions {
+	return SquallOptions{ChunkBytes: 64 << 10, BackgroundWorkers: 3, Timeout: 120 * time.Second}
+}
+
+// Squall is the pull-migration baseline (§2.3.2): ownership moves to the
+// destination immediately; missing data chunks are pulled on demand by the
+// transactions that touch them and asynchronously in the background. Each
+// pull locks the shard on both endpoints for the duration of the transfer
+// (the I/O time is charged through simnet), blocking concurrent access —
+// the cause of Squall's throughput collapse in Figures 6-8. Transactions
+// that touch an already-migrated chunk on the source abort and retry on the
+// destination.
+type Squall struct {
+	c    *cluster.Cluster
+	cc   *ShardLockCC
+	opts SquallOptions
+
+	aborted atomic.Uint64
+}
+
+// NewSquall returns the controller. cc must be the installed shard-lock
+// layer the workload runs under.
+func NewSquall(c *cluster.Cluster, cc *ShardLockCC, opts SquallOptions) *Squall {
+	if opts.ChunkBytes == 0 {
+		opts.ChunkBytes = DefaultSquallOptions().ChunkBytes
+	}
+	if opts.BackgroundWorkers == 0 {
+		opts.BackgroundWorkers = DefaultSquallOptions().BackgroundWorkers
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = DefaultSquallOptions().Timeout
+	}
+	return &Squall{c: c, cc: cc, opts: opts}
+}
+
+// chunk is one contiguous key range of a migrating shard.
+type chunk struct {
+	lo, hi base.Key // [lo, hi); hi=="" means to the end
+	bytes  int
+
+	// mu serializes pulls of this chunk; done is read lock-free by the
+	// access hooks (a hook holds its transaction's shard lock, so taking
+	// the chunk mutex there would deadlock against an in-flight pull that
+	// holds the mutex and waits for that same shard lock).
+	mu   sync.Mutex
+	done atomic.Bool
+}
+
+// shardPull tracks the migration-status table of one shard (§2.3.2: "a
+// migration-status tracking table is created on both the source and
+// destination to track each chunk's on-the-fly location").
+type shardPull struct {
+	id     base.ShardID
+	chunks []*chunk // ordered by lo
+}
+
+// chunkOf locates the chunk owning a key.
+func (sp *shardPull) chunkOf(key base.Key) *chunk {
+	i := sort.Search(len(sp.chunks), func(i int) bool { return sp.chunks[i].lo > key })
+	if i == 0 {
+		return sp.chunks[0] // keys below the first boundary belong to it
+	}
+	return sp.chunks[i-1]
+}
+
+func (sp *shardPull) allDone() bool {
+	for _, c := range sp.chunks {
+		if !c.done.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// Migrate moves the shard group to dstID with pull migration.
+func (sq *Squall) Migrate(shards []base.ShardID, dstID base.NodeID) (*Report, error) {
+	start := time.Now()
+	report := &Report{Shards: shards, Dest: dstID}
+	defer func() { report.TotalDuration = time.Since(start) }()
+
+	dst := sq.c.Node(dstID)
+	if dst == nil {
+		return report, fmt.Errorf("squall: unknown destination %v", dstID)
+	}
+	var srcID base.NodeID = base.NoNode
+	for _, id := range shards {
+		owner, err := sq.c.OwnerOf(id)
+		if err != nil {
+			return report, err
+		}
+		if srcID == base.NoNode {
+			srcID = owner
+		} else if owner != srcID {
+			return report, fmt.Errorf("squall: group spans %v and %v", srcID, owner)
+		}
+	}
+	src := sq.c.Node(srcID)
+	if src == nil || srcID == dstID {
+		return report, fmt.Errorf("squall: bad endpoints %v -> %v", srcID, dstID)
+	}
+	report.Source = srcID
+
+	// Build the chunk tables by splitting each shard's current key space
+	// into ~ChunkBytes ranges.
+	pulls := make(map[base.ShardID]*shardPull, len(shards))
+	for _, id := range shards {
+		sp, err := sq.buildChunks(src, id)
+		if err != nil {
+			return report, err
+		}
+		pulls[id] = sp
+		table, _ := src.TableOf(id)
+		dst.AddShard(id, table, node.PhaseDestActive) // serving immediately
+	}
+
+	// Hooks: reactive pulls on the destination; aborts on the source.
+	abortedBefore := sq.aborted.Load()
+	dstHook := dst.AddHook(func(t *txn.Txn, shardID base.ShardID, key base.Key, _ bool) error {
+		sp, ok := pulls[shardID]
+		if !ok {
+			return nil
+		}
+		if key == "" { // whole-shard scan: everything must be local
+			for _, c := range sp.chunks {
+				if err := sq.pull(src, dst, sp.id, c, true); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return sq.pull(src, dst, shardID, sp.chunkOf(key), true)
+	})
+	srcHook := src.AddHook(func(t *txn.Txn, shardID base.ShardID, key base.Key, _ bool) error {
+		sp, ok := pulls[shardID]
+		if !ok {
+			return nil
+		}
+		migrated := false
+		if key == "" {
+			migrated = !noneDone(sp)
+		} else {
+			migrated = sp.chunkOf(key).done.Load()
+		}
+		if migrated {
+			sq.aborted.Add(1)
+			return fmt.Errorf("%v accessed a migrated chunk on the source: %w", shardID, base.ErrMigrationAbort)
+		}
+		return nil
+	})
+	defer func() {
+		src.RemoveHook(srcHook)
+		dst.RemoveHook(dstHook)
+	}()
+
+	// Ownership transfer up front: new transactions route to the
+	// destination immediately. Read-through marks make sessions re-read the
+	// placement (H-store reconfiguration updates every site's plan).
+	for _, n := range sq.c.Nodes() {
+		n.ReadThrough().Mark(shards...)
+	}
+	_, err := sq.c.MoveShardMap(src, shards, dstID)
+	for _, n := range sq.c.Nodes() {
+		n.ReadThrough().Clear(shards...)
+	}
+	if err != nil {
+		return report, fmt.Errorf("squall: map update: %w", err)
+	}
+
+	// Background pulls.
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(shards)*sq.opts.BackgroundWorkers)
+	for _, id := range shards {
+		sp := pulls[id]
+		work := make(chan *chunk, len(sp.chunks))
+		for _, c := range sp.chunks {
+			work <- c
+		}
+		close(work)
+		for w := 0; w < sq.opts.BackgroundWorkers; w++ {
+			wg.Add(1)
+			go func(id base.ShardID) {
+				defer wg.Done()
+				for c := range work {
+					if err := sq.pull(src, dst, id, c, false); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(id)
+		}
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return report, fmt.Errorf("squall: background pull: %w", err)
+	default:
+	}
+	for _, sp := range pulls {
+		if !sp.allDone() {
+			return report, fmt.Errorf("squall: shard %v has unpulled chunks", sp.id)
+		}
+	}
+
+	// Retire the source copy.
+	for _, id := range shards {
+		src.DropShard(id)
+		dst.SetPhase(id, node.PhaseOwned)
+	}
+	report.AbortedTxns = int(sq.aborted.Load() - abortedBefore)
+	return report, nil
+}
+
+func noneDone(sp *shardPull) bool {
+	for _, c := range sp.chunks {
+		if c.done.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// AbortedTotal reports migration-induced aborts across all migrations.
+func (sq *Squall) AbortedTotal() uint64 { return sq.aborted.Load() }
+
+// buildChunks scans the shard's key space and splits it into ~ChunkBytes
+// contiguous ranges.
+func (sq *Squall) buildChunks(src *node.Node, id base.ShardID) (*shardPull, error) {
+	store, ok := src.Store(id)
+	if !ok {
+		return nil, fmt.Errorf("squall: shard %v not on source", id)
+	}
+	sp := &shardPull{id: id}
+	cur := &chunk{lo: ""}
+	err := store.SnapshotScan(base.TsMax, func(k base.Key, v base.Value) bool {
+		if cur.bytes >= sq.opts.ChunkBytes {
+			cur.hi = k
+			sp.chunks = append(sp.chunks, cur)
+			cur = &chunk{lo: k}
+		}
+		cur.bytes += len(k) + len(v)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	cur.hi = ""
+	sp.chunks = append(sp.chunks, cur)
+	return sp, nil
+}
+
+// pull transfers one chunk. Reactive pulls (triggered by a destination
+// transaction that already holds the destination shard lock) lock only the
+// source side; background pulls lock both endpoints. The transfer time is
+// charged on the interconnect, which is what blocks contending transactions
+// for "tens of milliseconds" per chunk (§4.4.1).
+func (sq *Squall) pull(src, dst *node.Node, shardID base.ShardID, c *chunk, reactive bool) error {
+	// Lock order everywhere: destination shard lock, then the chunk, then
+	// the source shard lock. A reactive pull's triggering transaction
+	// already holds the destination shard lock (the CC hook runs first), so
+	// only background pulls acquire it here.
+	if !reactive {
+		if c.done.Load() {
+			return nil
+		}
+		release, err := sq.cc.lockShard(dst.ID(), shardID)
+		if err != nil {
+			return err
+		}
+		defer release()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done.Load() {
+		return nil
+	}
+	releaseSrc, err := sq.cc.lockShard(src.ID(), shardID)
+	if err != nil {
+		return err
+	}
+	defer releaseSrc()
+
+	srcStore, ok := src.Store(shardID)
+	if !ok {
+		return fmt.Errorf("squall: source shard %v vanished mid-pull", shardID)
+	}
+	dstStore, ok := dst.Store(shardID)
+	if !ok {
+		return fmt.Errorf("squall: destination shard %v missing", shardID)
+	}
+	bytes := 0
+	type kv struct {
+		k base.Key
+		v base.Value
+	}
+	var batch []kv
+	err = srcStore.ScanRange(c.lo, c.hi, base.TsMax, base.InvalidXID, func(k base.Key, v base.Value) bool {
+		batch = append(batch, kv{k, v.Clone()})
+		bytes += len(k) + len(v) + 16
+		return true
+	})
+	if err != nil {
+		return fmt.Errorf("squall: chunk scan: %w", err)
+	}
+	src.Net().Send(bytes + 64) // the pull I/O: latency + bandwidth
+	for _, e := range batch {
+		dstStore.InstallBootstrap(e.k, e.v)
+	}
+	dst.Counters.ReplayOps.Add(uint64(len(batch)))
+	c.done.Store(true)
+	return nil
+}

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/cluster"
+	"remus/internal/core"
+	"remus/internal/simnet"
+	"remus/internal/workload"
+)
+
+// SchemeAblationResult compares the GTS and DTS timestamp schemes (§2.2:
+// "As DTS shows much better performance than GTS, all the experiments are
+// conducted ... with DTS").
+type SchemeAblationResult struct {
+	Scheme     cluster.TimestampScheme
+	Throughput float64
+	AvgLatency time.Duration
+}
+
+// RunSchemeAblation measures YCSB throughput under each timestamp scheme on
+// an otherwise identical cluster. The GTS round trip to the control plane is
+// charged on the interconnect, which is exactly the centralized bottleneck
+// the paper avoids by running DTS.
+func RunSchemeAblation(records, clients int, dur time.Duration, net simnet.Config) ([]SchemeAblationResult, error) {
+	var out []SchemeAblationResult
+	for _, scheme := range []cluster.TimestampScheme{cluster.DTS, cluster.GTS} {
+		env := NewEnv(Remus, EnvConfig{Nodes: 3, Net: net, Scheme: scheme})
+		y, err := workload.LoadYCSB(env.C, "accounts", 12, nil,
+			workload.YCSBConfig{Records: records, ValueSize: 64}, base.NoNode)
+		if err != nil {
+			return nil, err
+		}
+		metrics := NewMetrics(20 * time.Millisecond)
+		stop := workload.NewStopper()
+		wg, err := y.RunClients(env.C, clients, stop, metrics)
+		if err != nil {
+			return nil, err
+		}
+		time.Sleep(dur)
+		stop.Stop()
+		wg.Wait()
+		w := metrics.WindowStats("ycsb", dur/4, dur)
+		out = append(out, SchemeAblationResult{Scheme: scheme, Throughput: w.Throughput, AvgLatency: w.AvgLatency})
+		env.Close()
+	}
+	return out, nil
+}
+
+// ApplyAblationResult compares parallel-apply widths (§3.6: if the replay
+// speed cannot exceed the update speed, the destination never catches up and
+// the mode change stalls; the paper runs 18 apply threads).
+type ApplyAblationResult struct {
+	Workers            int
+	CatchupDuration    time.Duration
+	ModeChangeDuration time.Duration
+	TotalDuration      time.Duration
+	ShippedTxns        uint64
+}
+
+// RunApplyAblation migrates a write-hot shard with different parallel-apply
+// widths and reports how long catch-up and mode change take.
+func RunApplyAblation(workersList []int, writers int, dur time.Duration) ([]ApplyAblationResult, error) {
+	var out []ApplyAblationResult
+	for _, workers := range workersList {
+		env := NewEnv(Remus, EnvConfig{Nodes: 2, Workers: workers})
+		c := env.C
+		y, err := workload.LoadYCSB(c, "accounts", 4, nil,
+			workload.YCSBConfig{Records: 800, ValueSize: 64, ReadRatio: 0.05}, base.NoNode)
+		if err != nil {
+			return nil, err
+		}
+		metrics := NewMetrics(20 * time.Millisecond)
+		stop := workload.NewStopper()
+		wg, err := y.RunClients(c, writers, stop, metrics)
+		if err != nil {
+			return nil, err
+		}
+		time.Sleep(dur)
+
+		opts := core.DefaultOptions()
+		opts.Workers = workers
+		ctrl := core.NewController(c, opts)
+		shards := c.ShardsOn(1)
+		rep, err := ctrl.Migrate(shards[:1], 2)
+		stop.Stop()
+		wg.Wait()
+		env.Close()
+		if err != nil {
+			return nil, fmt.Errorf("apply ablation workers=%d: %w", workers, err)
+		}
+		out = append(out, ApplyAblationResult{
+			Workers:            workers,
+			CatchupDuration:    rep.CatchupDuration,
+			ModeChangeDuration: rep.ModeChangeDuration,
+			TotalDuration:      rep.TotalDuration,
+			ShippedTxns:        rep.ShippedTxns,
+		})
+	}
+	return out, nil
+}

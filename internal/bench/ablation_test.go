@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"remus/internal/cluster"
+	"remus/internal/simnet"
+)
+
+func TestSchemeAblation(t *testing.T) {
+	// With a real round-trip cost to the control plane, DTS must beat GTS.
+	results, err := RunSchemeAblation(600, 6, 300*time.Millisecond,
+		simnet.Config{Latency: 50 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %v", results)
+	}
+	var dts, gts SchemeAblationResult
+	for _, r := range results {
+		switch r.Scheme {
+		case cluster.DTS:
+			dts = r
+		case cluster.GTS:
+			gts = r
+		}
+	}
+	if dts.Throughput == 0 || gts.Throughput == 0 {
+		t.Fatalf("zero throughput: dts=%v gts=%v", dts, gts)
+	}
+	if dts.Throughput <= gts.Throughput {
+		t.Errorf("DTS (%.0f/s) should outperform GTS (%.0f/s) under network costs",
+			dts.Throughput, gts.Throughput)
+	}
+}
+
+func TestApplyAblation(t *testing.T) {
+	results, err := RunApplyAblation([]int{1, 8}, 8, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %v", results)
+	}
+	for _, r := range results {
+		if r.TotalDuration == 0 {
+			t.Errorf("workers=%d: empty report", r.Workers)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/baseline"
+	"remus/internal/cluster"
+	"remus/internal/core"
+	"remus/internal/mvcc"
+	"remus/internal/simnet"
+)
+
+// Approach selects the migration technique under test (§4.2).
+type Approach string
+
+const (
+	// Remus is the paper's contribution.
+	Remus Approach = "remus"
+	// LockAbort is the lock-and-abort push baseline.
+	LockAbort Approach = "lockabort"
+	// Remaster is the wait-and-remaster push baseline.
+	Remaster Approach = "remaster"
+	// SquallA is the Squall pull baseline (runs under shard-lock CC).
+	SquallA Approach = "squall"
+)
+
+// Approaches lists every technique for comparison sweeps.
+var Approaches = []Approach{Remus, LockAbort, Remaster, SquallA}
+
+// EnvConfig shapes the cluster under test.
+type EnvConfig struct {
+	Nodes    int
+	Net      simnet.Config
+	Scheme   cluster.TimestampScheme
+	LockWait time.Duration // mvcc lock/prepare-wait timeout
+	// Workers is the parallel-apply width for push approaches.
+	Workers int
+	// NodeOpsLimit caps each node's foreground statement rate (0 =
+	// unlimited), modelling CPU saturation: load balancing and scale-out
+	// only pay off when the hot node is capacity-bound.
+	NodeOpsLimit int
+}
+
+// Env couples a cluster with one migration approach.
+type Env struct {
+	Approach Approach
+	C        *cluster.Cluster
+	CC       *baseline.ShardLockCC // non-nil under Squall
+	nodeOps  int
+
+	remus    *core.Controller
+	lock     *baseline.LockAndAbort
+	remaster *baseline.WaitAndRemaster
+	squall   *baseline.Squall
+}
+
+// NewEnv builds the cluster and wires the approach's controller. Under
+// Squall the H-store shard-lock concurrency control is installed cluster
+// wide for the whole run (§4.2).
+func NewEnv(approach Approach, cfg EnvConfig) *Env {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 8
+	}
+	store := mvcc.DefaultConfig()
+	if cfg.LockWait > 0 {
+		store.LockTimeout = cfg.LockWait
+		store.PrepareWaitTimeout = cfg.LockWait
+	}
+	c := cluster.New(cluster.Config{Nodes: cfg.Nodes, Net: cfg.Net, Scheme: cfg.Scheme, Store: store})
+	e := &Env{Approach: approach, C: c, nodeOps: cfg.NodeOpsLimit}
+	e.ApplyNodeLimits()
+	opts := core.DefaultOptions()
+	opts.Workers = cfg.Workers
+	bopts := baseline.DefaultOptions()
+	bopts.Workers = cfg.Workers
+	switch approach {
+	case Remus:
+		e.remus = core.NewController(c, opts)
+	case LockAbort:
+		e.lock = baseline.NewLockAndAbort(c, bopts)
+	case Remaster:
+		e.remaster = baseline.NewWaitAndRemaster(c, bopts)
+	case SquallA:
+		e.CC = baseline.NewShardLockCC(30 * time.Second)
+		e.CC.Install(c)
+		e.squall = baseline.NewSquall(c, e.CC, baseline.DefaultSquallOptions())
+	default:
+		panic(fmt.Sprintf("bench: unknown approach %q", approach))
+	}
+	return e
+}
+
+// InstallCC (re-)installs the Squall shard-lock hooks; call after AddNode so
+// new nodes are covered too.
+func (e *Env) InstallCC() {
+	if e.CC != nil {
+		e.CC.Install(e.C)
+	}
+	e.ApplyNodeLimits()
+}
+
+// ApplyNodeLimits (re-)applies the per-node ops limit to every node (new
+// nodes from scale-out included).
+func (e *Env) ApplyNodeLimits() {
+	if e.nodeOps <= 0 {
+		return
+	}
+	for _, n := range e.C.Nodes() {
+		n.SetOpsLimit(e.nodeOps)
+	}
+}
+
+// Migrate moves a shard group with the configured approach.
+func (e *Env) Migrate(shards []base.ShardID, dst base.NodeID) error {
+	switch e.Approach {
+	case Remus:
+		_, err := e.remus.Migrate(shards, dst)
+		return err
+	case LockAbort:
+		_, err := e.lock.Migrate(shards, dst)
+		return err
+	case Remaster:
+		_, err := e.remaster.Migrate(shards, dst)
+		return err
+	case SquallA:
+		_, err := e.squall.Migrate(shards, dst)
+		return err
+	}
+	return fmt.Errorf("bench: unknown approach %q", e.Approach)
+}
+
+// RemusController exposes the Remus controller (Fig 10 needs migration
+// reports with conflict counts).
+func (e *Env) RemusController() *core.Controller { return e.remus }
+
+// Close tears approach-global state down.
+func (e *Env) Close() {
+	if e.CC != nil {
+		e.CC.Uninstall(e.C)
+	}
+}

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/mvcc"
+	"remus/internal/node"
+)
+
+func TestCPUSamplerTracksWorkDeltas(t *testing.T) {
+	env := NewEnv(Remus, EnvConfig{Nodes: 2})
+	defer env.Close()
+	n1 := env.C.Nodes()[0]
+	n1.AddShard(100, 1, node.PhaseOwned)
+
+	s := StartCPUSampler(env.C, 10*time.Millisecond)
+	tx := n1.Manager().Begin(0, 0)
+	for i := 0; i < 50; i++ {
+		if err := n1.Write(tx, 100, mvcc.WriteInsert, base.Key(string(rune('a'+i%26))+string(rune('0'+i/26))), base.Value("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	n1.Counters.ReplayOps.Add(200) // simulate replay work
+	time.Sleep(30 * time.Millisecond)
+	s.Stop()
+
+	samples := s.Samples(n1.ID())
+	if len(samples) == 0 {
+		t.Fatal("no samples collected")
+	}
+	var fg, replay uint64
+	for _, smp := range samples {
+		fg += smp.Foreground
+		replay += smp.Replay
+	}
+	if fg < 50 {
+		t.Errorf("foreground deltas = %d, want >= 50", fg)
+	}
+	if replay != 200 {
+		t.Errorf("replay deltas = %d, want 200", replay)
+	}
+	if s.PeakMigrationSharePct(n1.ID()) <= 0 {
+		t.Error("no migration share observed despite replay work")
+	}
+	// A node that did nothing has zero share.
+	if p := s.PeakMigrationSharePct(env.C.Nodes()[1].ID()); p != 0 {
+		t.Errorf("idle node share = %v", p)
+	}
+}
+
+func TestCPUSampleShareMath(t *testing.T) {
+	s := CPUSample{Foreground: 300, Replay: 100}
+	if got := s.MigrationSharePct(); got != 25 {
+		t.Errorf("share = %v, want 25", got)
+	}
+	if (CPUSample{}).MigrationSharePct() != 0 {
+		t.Error("empty sample share should be 0")
+	}
+}
+
+func TestTableFormatters(t *testing.T) {
+	rows := []Table1Row{{
+		Approach: Remus, Downtime: 0, MigrationAborts: 0, OLTPDropPct: 1.5, BatchDropPct: 0,
+	}, {
+		Approach: Remaster, Downtime: 250 * time.Millisecond, MigrationAborts: 0, OLTPDropPct: 90, BatchDropPct: 25,
+	}}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "remus") || !strings.Contains(out, "250ms") {
+		t.Errorf("table1 render:\n%s", out)
+	}
+	t3 := FormatTable3([]Table3Row{{
+		Workload: "Hybrid A", RemusIncrease: 5 * time.Microsecond,
+		LockAbortIncrease: 33 * time.Microsecond, BaseLatency: time.Millisecond,
+	}})
+	if !strings.Contains(t3, "Hybrid A") {
+		t.Errorf("table3 render:\n%s", t3)
+	}
+	t2 := FormatTable2([]*ConsolidationResult{{Approach: SquallA, BatchAbortRatio: 0.13, IngestDuring: 67000, IngestBefore: 80000}})
+	if !strings.Contains(t2, "squall") || !strings.Contains(t2, "13%") {
+		t.Errorf("table2 render:\n%s", t2)
+	}
+}
+
+func TestTable1Derivation(t *testing.T) {
+	r := &ConsolidationResult{
+		Approach:            LockAbort,
+		MigrationAbortTotal: 7,
+		YCSBBefore:          Window{Throughput: 100},
+		YCSBDuring:          Window{Throughput: 60, MaxZeroRun: 80 * time.Millisecond},
+		IngestBefore:        50,
+		IngestDuring:        10,
+	}
+	row := Table1FromConsolidation(r)
+	if row.MigrationAborts != 7 || row.Downtime != 80*time.Millisecond {
+		t.Errorf("row = %+v", row)
+	}
+	if row.OLTPDropPct != 40 {
+		t.Errorf("oltp drop = %v, want 40", row.OLTPDropPct)
+	}
+	if row.BatchDropPct != 80 {
+		t.Errorf("batch drop = %v, want 80", row.BatchDropPct)
+	}
+}
+
+func TestEnvUnknownApproachPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown approach should panic")
+		}
+	}()
+	NewEnv(Approach("bogus"), EnvConfig{Nodes: 1})
+}
+
+func TestEnvMigrateDispatch(t *testing.T) {
+	for _, ap := range Approaches {
+		env := NewEnv(ap, EnvConfig{Nodes: 2})
+		if _, err := env.C.CreateTable("t"+string(ap), 2, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+		shards := env.C.ShardsOn(1)
+		if err := env.Migrate(shards[:1], 2); err != nil {
+			t.Fatalf("%v: %v", ap, err)
+		}
+		if owner, _ := env.C.OwnerOf(shards[0]); owner != 2 {
+			t.Fatalf("%v: owner = %v", ap, owner)
+		}
+		env.Close()
+	}
+}
+
+func TestNodeOpsLimitThrottles(t *testing.T) {
+	env := NewEnv(Remus, EnvConfig{Nodes: 1, NodeOpsLimit: 2000})
+	defer env.Close()
+	n := env.C.Nodes()[0]
+	n.AddShard(200, 1, node.PhaseOwned)
+	tx := n.Manager().Begin(0, 0)
+	start := time.Now()
+	const ops = 600
+	for i := 0; i < ops; i++ {
+		if _, err := n.Get(tx, 200, "missing"); err == nil {
+			t.Fatal("expected not-found")
+		}
+	}
+	tx.Abort()
+	elapsed := time.Since(start)
+	// 600 ops at 2000 ops/s should take >= ~250ms (allowing for burst
+	// tolerance).
+	if elapsed < 200*time.Millisecond {
+		t.Errorf("600 throttled ops took %v, want >= 200ms", elapsed)
+	}
+}

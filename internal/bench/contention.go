@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/cluster"
+	"remus/internal/core"
+	"remus/internal/simnet"
+	"remus/internal/workload"
+)
+
+// ContentionConfig scales the §4.8 experiment: a high-contention YCSB
+// workload hammers a small number of tuples in one hot shard while Remus
+// migrates that shard. The paper's run: 200 clients over 100 tuples for five
+// minutes, producing ~1M WW-conflicts between clients but only 8 between
+// shadow and destination transactions.
+type ContentionConfig struct {
+	Nodes     int
+	Shards    int
+	HotTuples int // paper: 100
+	Clients   int // paper: 200
+	ValueSize int
+
+	Warmup       time.Duration
+	Run          time.Duration // workload time after migration completes
+	Interval     time.Duration
+	VacuumPeriod time.Duration
+	Net          simnet.Config
+}
+
+// DefaultContentionConfig returns a laptop-scale configuration.
+func DefaultContentionConfig() ContentionConfig {
+	return ContentionConfig{
+		Nodes: 2, Shards: 4, HotTuples: 50, Clients: 16, ValueSize: 64,
+		Warmup: 400 * time.Millisecond, Run: 400 * time.Millisecond,
+		Interval: 50 * time.Millisecond, VacuumPeriod: 20 * time.Millisecond,
+	}
+}
+
+// ContentionResult carries the Fig 10 data: the throughput series, the
+// CPU-proxy samples on both endpoints and the conflict counts.
+type ContentionResult struct {
+	Metrics *Metrics
+
+	Before, DuringCopy, After Window
+
+	// SourceCPUPeakPct / DestCPUPeakPct are the peak migration work shares
+	// (CPU proxy) on the two endpoints.
+	SourceCPUPeakPct float64
+	DestCPUPeakPct   float64
+
+	// ClientWWConflicts are conflicts between workload transactions; MOCC
+	// WWConflicts are the shadow-vs-destination conflicts of dual execution
+	// (the paper measured 8).
+	ClientWWConflicts int
+	MOCCConflicts     uint64
+
+	// MaxChainLen is the longest version chain observed on the hot tuples
+	// during the run (the §4.8 dip comes from chain growth while the
+	// migration snapshot blocks reclamation).
+	MaxChainLen int
+
+	Report core.Report
+	Errors []error
+}
+
+// RunContention executes the §4.8 experiment with Remus.
+func RunContention(cfg ContentionConfig) (*ContentionResult, error) {
+	env := NewEnv(Remus, EnvConfig{Nodes: cfg.Nodes, Net: cfg.Net})
+	defer env.Close()
+	c := env.C
+
+	// Load only the hot tuples: keys are filtered so that every tuple lands
+	// in one shard (the hot shard).
+	y, err := workload.LoadYCSB(c, "accounts", cfg.Shards, nil,
+		workload.YCSBConfig{Records: cfg.HotTuples * cfg.Shards, ValueSize: cfg.ValueSize}, base.NoNode)
+	if err != nil {
+		return nil, err
+	}
+	// Hot shard: the one with the most keys on node 1.
+	hotShard, hotIdx := base.NoShard, -1
+	best := -1
+	for i := 0; i < cfg.Shards; i++ {
+		id := y.Table.FirstShard + base.ShardID(i)
+		owner, err := c.OwnerOf(id)
+		if err != nil {
+			return nil, err
+		}
+		if owner != c.Nodes()[0].ID() {
+			continue
+		}
+		if n := len(y.KeysInShard(i)); n > best {
+			best, hotShard, hotIdx = n, id, i
+		}
+	}
+	if hotShard == base.NoShard || best == 0 {
+		return nil, fmt.Errorf("contention: no populated shard on node 1")
+	}
+	hotKeys := y.KeysInShard(hotIdx)
+	if len(hotKeys) > cfg.HotTuples {
+		hotKeys = hotKeys[:cfg.HotTuples]
+	}
+
+	metrics := NewMetrics(cfg.Interval)
+	stop := workload.NewStopper()
+	sampler := StartCPUSampler(c, cfg.Interval)
+	defer sampler.Stop()
+
+	// Contention clients: read + update a random hot tuple, retrying is up
+	// to the client loop (each attempt recorded).
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		s, err := c.Connect(c.Nodes()[i%cfg.Nodes].ID())
+		if err != nil {
+			stop.Stop()
+			return nil, err
+		}
+		wg.Add(1)
+		go func(s *cluster.Session, seed uint64) {
+			defer wg.Done()
+			r := seed
+			for !stop.Stopped() {
+				r = r*6364136223846793005 + 1442695040888963407
+				key := base.EncodeUint64Key(hotKeys[r%uint64(len(hotKeys))])
+				start := time.Now()
+				tx, err := s.Begin()
+				if err != nil {
+					metrics.Record("ycsb", time.Since(start), err, 0)
+					continue
+				}
+				if _, err := tx.Get(y.Table, key); err != nil {
+					tx.Abort()
+					metrics.Record("ycsb", time.Since(start), err, 0)
+					continue
+				}
+				if err := tx.Update(y.Table, key, base.Value("hot-update")); err != nil {
+					tx.Abort()
+					metrics.Record("ycsb", time.Since(start), err, 0)
+					continue
+				}
+				_, err = tx.Commit()
+				metrics.Record("ycsb", time.Since(start), err, 1)
+			}
+		}(s, uint64(i)+3)
+	}
+	defer func() {
+		stop.Stop()
+		wg.Wait()
+	}()
+
+	// Vacuum loop: reclamation runs continuously but pauses while the
+	// migration snapshot is being copied (the §4.8 mechanism: the snapshot
+	// prevents stale versions from being reclaimed, chains grow, access
+	// slows down).
+	var migration *core.Migration
+	var migMu sync.Mutex
+	maxChain := 0
+	vacDone := make(chan struct{})
+	go func() {
+		defer close(vacDone)
+		tick := time.NewTicker(cfg.VacuumPeriod)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop.C():
+				return
+			case <-tick.C:
+			}
+			migMu.Lock()
+			m := migration
+			migMu.Unlock()
+			copying := m != nil && (m.Phase() == core.PhaseSnapshot)
+			for _, n := range c.Nodes() {
+				if store, ok := n.Store(hotShard); ok {
+					if l := store.ChainLength(base.EncodeUint64Key(hotKeys[0])); l > maxChain {
+						maxChain = l
+					}
+				}
+			}
+			if !copying {
+				c.Vacuum(10 * time.Millisecond)
+			}
+		}
+	}()
+
+	time.Sleep(cfg.Warmup)
+	metrics.MarkNow("migration-start")
+	migStart := time.Since(metrics.Start())
+	m, err := env.RemusController().Plan([]base.ShardID{hotShard}, c.Nodes()[1].ID())
+	if err != nil {
+		return nil, err
+	}
+	migMu.Lock()
+	migration = m
+	migMu.Unlock()
+	report, err := m.Run()
+	if err != nil {
+		return nil, fmt.Errorf("contention migration: %w", err)
+	}
+	metrics.MarkNow("migration-end")
+	migEnd := time.Since(metrics.Start())
+
+	time.Sleep(cfg.Run)
+	stop.Stop()
+	wg.Wait()
+	<-vacDone
+	sampler.Stop()
+
+	res := &ContentionResult{Metrics: metrics, Report: *report}
+	res.Before = metrics.WindowStats("ycsb", migStart/2, migStart)
+	res.DuringCopy = metrics.WindowStats("ycsb", migStart, migStart+report.SnapshotDuration+report.CatchupDuration)
+	res.After = metrics.WindowStats("ycsb", migEnd, migEnd+cfg.Run-cfg.Interval)
+	res.SourceCPUPeakPct = sampler.PeakMigrationSharePct(c.Nodes()[0].ID())
+	res.DestCPUPeakPct = sampler.PeakMigrationSharePct(c.Nodes()[1].ID())
+	full := metrics.WindowStats("ycsb", 0, time.Since(metrics.Start()))
+	res.ClientWWConflicts = full.WWConflicts
+	res.MOCCConflicts = report.Conflicts
+	res.MaxChainLen = maxChain
+	res.Errors = metrics.Errors()
+	return res, nil
+}

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/simnet"
+	"remus/internal/workload"
+)
+
+// LoadBalanceConfig scales the §4.5 experiment: a skewed YCSB workload puts
+// hotspot shards on one node; load balancing migrates most of them to the
+// other nodes evenly.
+type LoadBalanceConfig struct {
+	Approach Approach
+	// NodeOpsLimit models per-node CPU capacity (statements/s).
+	NodeOpsLimit int
+
+	Nodes         int // paper: 6
+	ShardsPerNode int // paper: 60 (50 of them hot)
+	Records       int
+	ValueSize     int
+	Clients       int
+	GroupSize     int     // paper: 4 shards per step
+	MoveFraction  float64 // paper migrates 40 of 50 hot shards (0.8)
+	ZipfTheta     float64
+
+	Warmup   time.Duration
+	Tail     time.Duration
+	Interval time.Duration
+	Net      simnet.Config
+}
+
+// DefaultLoadBalanceConfig returns a laptop-scale configuration.
+func DefaultLoadBalanceConfig(approach Approach) LoadBalanceConfig {
+	return LoadBalanceConfig{
+		Approach: approach,
+		Nodes:    4, ShardsPerNode: 8, Records: 2400, ValueSize: 64, Clients: 48,
+		GroupSize: 4, MoveFraction: 0.8, ZipfTheta: 0.99,
+		NodeOpsLimit: 8000,
+		Warmup:       300 * time.Millisecond, Tail: 400 * time.Millisecond,
+		Interval: 50 * time.Millisecond,
+		Net:      simnet.Config{Latency: 20 * time.Microsecond, BandwidthMBps: 25},
+	}
+}
+
+// LoadBalanceResult carries the Fig 8 series and abort classification.
+type LoadBalanceResult struct {
+	Approach Approach
+	Metrics  *Metrics
+
+	Before, During, After Window
+	MigrationAborts       int
+	WWConflicts           int
+	DupKeys               int
+	Errors                []error
+}
+
+// RunLoadBalance executes one load-balancing experiment.
+func RunLoadBalance(cfg LoadBalanceConfig) (*LoadBalanceResult, error) {
+	env := NewEnv(cfg.Approach, EnvConfig{Nodes: cfg.Nodes, Net: cfg.Net, NodeOpsLimit: cfg.NodeOpsLimit})
+	defer env.Close()
+	c := env.C
+
+	hot := c.Nodes()[0].ID()
+	totalShards := cfg.Nodes * cfg.ShardsPerNode
+	y, err := workload.LoadYCSB(c, "accounts", totalShards, nil, workload.YCSBConfig{
+		Records: cfg.Records, ValueSize: cfg.ValueSize,
+		SkewShards: cfg.ShardsPerNode, ZipfTheta: cfg.ZipfTheta,
+	}, hot)
+	if err != nil {
+		return nil, err
+	}
+
+	metrics := NewMetrics(cfg.Interval)
+	stop := workload.NewStopper()
+	wg, err := y.RunClients(c, cfg.Clients, stop, metrics)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		stop.Stop()
+		wg.Wait()
+	}()
+	time.Sleep(cfg.Warmup)
+
+	// Migrate MoveFraction of the hot node's shards to the others evenly.
+	shards := c.ShardsOn(hot)
+	moveCount := int(float64(len(shards)) * cfg.MoveFraction)
+	others := make([]base.NodeID, 0, cfg.Nodes-1)
+	for _, n := range c.Nodes() {
+		if n.ID() != hot {
+			others = append(others, n.ID())
+		}
+	}
+	// Stripe the hottest shards across destinations: shards are listed in
+	// Zipf-rank order, so consecutive groups would otherwise dump the whole
+	// hot mass on one node ("to the other five nodes evenly", §4.5).
+	striped := make([]base.ShardID, 0, moveCount)
+	for off := 0; off < len(others); off++ {
+		for i := off; i < moveCount; i += len(others) {
+			striped = append(striped, shards[i])
+		}
+	}
+	copy(shards[:moveCount], striped)
+	metrics.MarkNow("migration-start")
+	migStart := time.Since(metrics.Start())
+	for i, g := 0, 0; i < moveCount; i, g = i+cfg.GroupSize, g+1 {
+		end := i + cfg.GroupSize
+		if end > moveCount {
+			end = moveCount
+		}
+		if err := env.Migrate(shards[i:end], others[g%len(others)]); err != nil {
+			return nil, fmt.Errorf("load balance step %d (%v): %w", g, cfg.Approach, err)
+		}
+	}
+	metrics.MarkNow("migration-end")
+	migEnd := time.Since(metrics.Start())
+
+	time.Sleep(cfg.Tail)
+	stop.Stop()
+	wg.Wait()
+
+	res := &LoadBalanceResult{Approach: cfg.Approach, Metrics: metrics}
+	res.Before = metrics.WindowStats("ycsb", migStart/2, migStart)
+	res.During = metrics.WindowStats("ycsb", migStart, migEnd)
+	res.After = metrics.WindowStats("ycsb", migEnd, migEnd+cfg.Tail-cfg.Interval)
+	res.MigrationAborts = res.During.MigrationAborts
+	res.WWConflicts = res.During.WWConflicts
+	dups, _, err := workload.DupCheck(c, y, others[0], nil)
+	if err != nil {
+		return nil, fmt.Errorf("final dup check: %w", err)
+	}
+	res.DupKeys = dups
+	res.Errors = metrics.Errors()
+	return res, nil
+}

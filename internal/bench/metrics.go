@@ -1,0 +1,250 @@
+// Package bench is the evaluation harness: it reproduces every table and
+// figure of the paper's §4 over the in-process cluster — throughput time
+// series around migrations (Figures 6-10), the batch-ingest abort/throughput
+// table (Table 2), the latency-increase table (Table 3) and a measured
+// version of the qualitative comparison matrix (Table 1).
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"remus/internal/base"
+)
+
+// Cell aggregates one time bucket of one transaction class.
+type Cell struct {
+	Commits         int
+	Aborts          int
+	MigrationAborts int
+	WWConflicts     int
+	Tuples          int
+	LatencySum      time.Duration
+}
+
+// Mark annotates a moment on the experiment timeline (migration start/end,
+// batch window), mirroring the vertical lines in the paper's figures.
+type Mark struct {
+	At    time.Duration
+	Label string
+}
+
+// Metrics is a workload.Sink building per-interval series.
+type Metrics struct {
+	start    time.Time
+	interval time.Duration
+
+	mu     sync.Mutex
+	series map[string][]Cell
+	marks  []Mark
+	errs   []error
+}
+
+// NewMetrics starts a collector with the given bucket width.
+func NewMetrics(interval time.Duration) *Metrics {
+	return &Metrics{start: time.Now(), interval: interval, series: make(map[string][]Cell)}
+}
+
+// Start returns the collection epoch.
+func (m *Metrics) Start() time.Time { return m.start }
+
+// Interval returns the bucket width.
+func (m *Metrics) Interval() time.Duration { return m.interval }
+
+// Record implements workload.Sink.
+func (m *Metrics) Record(op string, latency time.Duration, err error, tuples int) {
+	idx := int(time.Since(m.start) / m.interval)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cells := m.series[op]
+	for len(cells) <= idx {
+		cells = append(cells, Cell{})
+	}
+	c := &cells[idx]
+	if err == nil {
+		c.Commits++
+		c.Tuples += tuples
+		c.LatencySum += latency
+	} else {
+		c.Aborts++
+		switch {
+		case errors.Is(err, base.ErrMigrationAbort):
+			c.MigrationAborts++
+		case errors.Is(err, base.ErrWWConflict):
+			c.WWConflicts++
+		case errors.Is(err, base.ErrAborted) || errors.Is(err, base.ErrShardMoved):
+			// client-retryable; not an anomaly
+		default:
+			if len(m.errs) < 8 {
+				m.errs = append(m.errs, err)
+			}
+		}
+	}
+	m.series[op] = cells
+}
+
+// MarkNow drops a timeline annotation.
+func (m *Metrics) MarkNow(label string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.marks = append(m.marks, Mark{At: time.Since(m.start), Label: label})
+}
+
+// Marks returns the annotations in order.
+func (m *Metrics) Marks() []Mark {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := append([]Mark(nil), m.marks...)
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Errors returns unexpected (non-retryable) errors seen.
+func (m *Metrics) Errors() []error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]error(nil), m.errs...)
+}
+
+// Series returns a copy of one class's buckets.
+func (m *Metrics) Series(op string) []Cell {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Cell(nil), m.series[op]...)
+}
+
+// Ops lists the classes observed.
+func (m *Metrics) Ops() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.series))
+	for op := range m.series {
+		out = append(out, op)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Throughput converts a class's buckets to transactions per second.
+func (m *Metrics) Throughput(op string) []float64 {
+	cells := m.Series(op)
+	out := make([]float64, len(cells))
+	perSec := float64(time.Second) / float64(m.interval)
+	for i, c := range cells {
+		out[i] = float64(c.Commits) * perSec
+	}
+	return out
+}
+
+// Window aggregates one class between two offsets on the timeline.
+type Window struct {
+	Commits         int
+	Aborts          int
+	MigrationAborts int
+	WWConflicts     int
+	Tuples          int
+	AvgLatency      time.Duration
+	Throughput      float64 // commits per second
+	TupleRate       float64 // tuples per second
+	// ZeroIntervals counts buckets with zero commits (downtime indicator);
+	// MaxZeroRun is the longest consecutive zero-commit stretch.
+	ZeroIntervals int
+	MaxZeroRun    time.Duration
+}
+
+// WindowStats aggregates op over [from, to) offsets from the start. The
+// window is rounded out to bucket boundaries and always spans at least one
+// bucket, so very short migration windows still yield meaningful rates.
+func (m *Metrics) WindowStats(op string, from, to time.Duration) Window {
+	cells := m.Series(op)
+	lo := int(from / m.interval)
+	hi := int((to + m.interval - 1) / m.interval)
+	if hi <= lo {
+		hi = lo + 1
+	}
+	if hi > len(cells) {
+		hi = len(cells)
+	}
+	var w Window
+	zeroRun := 0
+	for i := lo; i < hi; i++ {
+		c := cells[i]
+		w.Commits += c.Commits
+		w.Aborts += c.Aborts
+		w.MigrationAborts += c.MigrationAborts
+		w.WWConflicts += c.WWConflicts
+		w.Tuples += c.Tuples
+		w.AvgLatency += c.LatencySum
+		if c.Commits == 0 {
+			w.ZeroIntervals++
+			zeroRun++
+			if d := time.Duration(zeroRun) * m.interval; d > w.MaxZeroRun {
+				w.MaxZeroRun = d
+			}
+		} else {
+			zeroRun = 0
+		}
+	}
+	if w.Commits > 0 {
+		w.AvgLatency /= time.Duration(w.Commits)
+	} else {
+		w.AvgLatency = 0
+	}
+	if secs := (time.Duration(hi-lo) * m.interval).Seconds(); secs > 0 {
+		w.Throughput = float64(w.Commits) / secs
+		w.TupleRate = float64(w.Tuples) / secs
+	}
+	return w
+}
+
+// MarkOffset finds the first mark with the given label.
+func (m *Metrics) MarkOffset(label string) (time.Duration, bool) {
+	for _, mk := range m.Marks() {
+		if mk.Label == label {
+			return mk.At, true
+		}
+	}
+	return 0, false
+}
+
+// RenderSeries prints per-interval throughput rows for the given classes,
+// annotated with marks — the textual equivalent of the paper's figures.
+func (m *Metrics) RenderSeries(ops ...string) string {
+	var sb strings.Builder
+	marks := m.Marks()
+	n := 0
+	for _, op := range ops {
+		if l := len(m.Series(op)); l > n {
+			n = l
+		}
+	}
+	fmt.Fprintf(&sb, "%8s", "t(ms)")
+	for _, op := range ops {
+		fmt.Fprintf(&sb, " %12s", op+"/s")
+	}
+	sb.WriteString("  events\n")
+	perSec := float64(time.Second) / float64(m.interval)
+	for i := 0; i < n; i++ {
+		at := time.Duration(i) * m.interval
+		fmt.Fprintf(&sb, "%8d", at.Milliseconds())
+		for _, op := range ops {
+			cells := m.Series(op)
+			v := 0.0
+			if i < len(cells) {
+				v = float64(cells[i].Commits) * perSec
+			}
+			fmt.Fprintf(&sb, " %12.0f", v)
+		}
+		for _, mk := range marks {
+			if mk.At >= at && mk.At < at+m.interval {
+				fmt.Fprintf(&sb, "  <-- %s", mk.Label)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

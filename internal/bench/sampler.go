@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"sync"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/cluster"
+)
+
+// CPUSample is one interval's work-unit deltas on one node — the CPU-usage
+// proxy of the Fig 10 reproduction (DESIGN.md §1): where migration work
+// lands (source: snapshot scan + propagation; destination: replay) relative
+// to foreground transaction work.
+type CPUSample struct {
+	At          time.Duration
+	Foreground  uint64
+	Replay      uint64
+	Propagation uint64
+	Snapshot    uint64
+}
+
+// MigrationSharePct is the fraction of the node's work units spent on
+// migration duties in this interval, in percent.
+func (s CPUSample) MigrationSharePct() float64 {
+	mig := float64(s.Replay + s.Propagation + s.Snapshot)
+	total := mig + float64(s.Foreground)
+	if total == 0 {
+		return 0
+	}
+	return 100 * mig / total
+}
+
+// CPUSampler periodically snapshots every node's work-unit counters.
+type CPUSampler struct {
+	c        *cluster.Cluster
+	interval time.Duration
+	start    time.Time
+
+	mu      sync.Mutex
+	samples map[base.NodeID][]CPUSample
+	prev    map[base.NodeID]CPUSample
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartCPUSampler begins sampling.
+func StartCPUSampler(c *cluster.Cluster, interval time.Duration) *CPUSampler {
+	s := &CPUSampler{
+		c: c, interval: interval, start: time.Now(),
+		samples: make(map[base.NodeID][]CPUSample),
+		prev:    make(map[base.NodeID]CPUSample),
+		stop:    make(chan struct{}), done: make(chan struct{}),
+	}
+	go s.loop()
+	return s
+}
+
+func (s *CPUSampler) loop() {
+	defer close(s.done)
+	tick := time.NewTicker(s.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			s.sample()
+			return
+		case <-tick.C:
+			s.sample()
+		}
+	}
+}
+
+func (s *CPUSampler) sample() {
+	at := time.Since(s.start)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, n := range s.c.Nodes() {
+		cur := CPUSample{
+			At:          at,
+			Foreground:  n.Counters.ForegroundOps.Load(),
+			Replay:      n.Counters.ReplayOps.Load(),
+			Propagation: n.Counters.PropagationOps.Load(),
+			Snapshot:    n.Counters.SnapshotOps.Load(),
+		}
+		prev := s.prev[n.ID()]
+		s.prev[n.ID()] = cur
+		delta := CPUSample{
+			At:          at,
+			Foreground:  cur.Foreground - prev.Foreground,
+			Replay:      cur.Replay - prev.Replay,
+			Propagation: cur.Propagation - prev.Propagation,
+			Snapshot:    cur.Snapshot - prev.Snapshot,
+		}
+		s.samples[n.ID()] = append(s.samples[n.ID()], delta)
+	}
+}
+
+// Stop halts sampling (taking one final sample) and waits for the loop.
+func (s *CPUSampler) Stop() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	<-s.done
+}
+
+// Samples returns one node's interval deltas.
+func (s *CPUSampler) Samples(id base.NodeID) []CPUSample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]CPUSample(nil), s.samples[id]...)
+}
+
+// PeakMigrationSharePct returns the highest migration work share observed on
+// a node.
+func (s *CPUSampler) PeakMigrationSharePct(id base.NodeID) float64 {
+	peak := 0.0
+	for _, smp := range s.Samples(id) {
+		if p := smp.MigrationSharePct(); p > peak {
+			peak = p
+		}
+	}
+	return peak
+}

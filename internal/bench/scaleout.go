@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/simnet"
+	"remus/internal/workload"
+)
+
+// ScaleOutConfig scales the §4.6 experiment: a TPC-C cluster with one
+// overloaded node (twice the warehouses of the others) adds a fresh node and
+// sheds half the overloaded node's warehouses onto it, migrating the eight
+// collocated shards of several warehouses per step.
+type ScaleOutConfig struct {
+	Approach Approach
+	// NodeOpsLimit models per-node CPU capacity (statements/s).
+	NodeOpsLimit int
+
+	Nodes int // initial nodes (paper: 5)
+	// WarehousesPerNode for the regular nodes; the overloaded node gets
+	// twice as many (paper: 80 vs 160).
+	WarehousesPerNode int
+	TPCC              workload.TPCCConfig // Warehouses derived if zero
+	// WarehousesPerStep migrated together (paper: 3 → 24 shards).
+	WarehousesPerStep int
+
+	Warmup   time.Duration
+	Tail     time.Duration
+	Interval time.Duration
+	Net      simnet.Config
+}
+
+// DefaultScaleOutConfig returns a laptop-scale configuration.
+func DefaultScaleOutConfig(approach Approach) ScaleOutConfig {
+	return ScaleOutConfig{
+		Approach: approach,
+		Nodes:    3, WarehousesPerNode: 4, WarehousesPerStep: 2,
+		NodeOpsLimit: 12000,
+		Warmup:       400 * time.Millisecond, Tail: 500 * time.Millisecond,
+		Interval: 50 * time.Millisecond,
+		Net:      simnet.Config{Latency: 20 * time.Microsecond, BandwidthMBps: 25},
+	}
+}
+
+// ScaleOutResult carries the Fig 9 series.
+type ScaleOutResult struct {
+	Approach Approach
+	Metrics  *Metrics
+
+	Before, During, After Window
+	MigrationAborts       int
+	Consistent            bool
+	Errors                []error
+}
+
+// tpccOps are the committed classes aggregated as "TPC-C throughput".
+var tpccOps = []string{"neworder", "payment", "orderstatus", "delivery", "stocklevel"}
+
+func tpccWindow(m *Metrics, from, to time.Duration) Window {
+	var w Window
+	for _, op := range tpccOps {
+		x := m.WindowStats(op, from, to)
+		w.Commits += x.Commits
+		w.Aborts += x.Aborts
+		w.MigrationAborts += x.MigrationAborts
+		w.WWConflicts += x.WWConflicts
+		w.Throughput += x.Throughput
+	}
+	return w
+}
+
+// RunScaleOut executes one scale-out experiment.
+func RunScaleOut(cfg ScaleOutConfig) (*ScaleOutResult, error) {
+	env := NewEnv(cfg.Approach, EnvConfig{Nodes: cfg.Nodes, Net: cfg.Net, NodeOpsLimit: cfg.NodeOpsLimit})
+	defer env.Close()
+	c := env.C
+
+	// Warehouse placement: node 1 is overloaded with 2x warehouses. We
+	// allocate shard indexes round-robin over "slots" where node 1 has two
+	// slots.
+	warehouses := cfg.WarehousesPerNode * (cfg.Nodes + 1) // +1: node1 doubled
+	tcfg := cfg.TPCC
+	if tcfg.Warehouses == 0 {
+		tcfg = workload.DefaultTPCCConfig(warehouses)
+		tcfg.CustomersPerDistrict = 10
+		tcfg.Items = 40
+		tcfg.Districts = 4
+		tcfg.InitOrdersPerDistrict = 4
+	}
+	slots := make([]base.NodeID, 0, cfg.Nodes+1)
+	slots = append(slots, c.Nodes()[0].ID(), c.Nodes()[0].ID())
+	for _, n := range c.Nodes()[1:] {
+		slots = append(slots, n.ID())
+	}
+	placement := func(i int) base.NodeID { return slots[i%len(slots)] }
+	tp, err := workload.LoadTPCC(c, tcfg, placement)
+	if err != nil {
+		return nil, err
+	}
+
+	metrics := NewMetrics(cfg.Interval)
+	stop := workload.NewStopper()
+	wg, err := tp.RunTPCCClients(stop, metrics)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		stop.Stop()
+		wg.Wait()
+	}()
+	time.Sleep(cfg.Warmup)
+
+	// Scale out: add a node, move half of the overloaded node's warehouse
+	// groups to it.
+	overloaded := c.Nodes()[0].ID()
+	newNode := c.AddNode()
+	env.InstallCC()
+	metrics.MarkNow("scale-out-start")
+	migStart := time.Since(metrics.Start())
+
+	// Warehouse shard indexes currently on the overloaded node.
+	var indexes []int
+	seen := map[int]bool{}
+	for w := 0; w < tcfg.Warehouses; w++ {
+		idx := tp.WarehouseShardIndex(w)
+		if seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		owner, err := c.OwnerOf(tp.Warehouse.FirstShard + base.ShardID(idx))
+		if err != nil {
+			return nil, err
+		}
+		if owner == overloaded {
+			indexes = append(indexes, idx)
+		}
+	}
+	move := indexes[:len(indexes)/2]
+	for i := 0; i < len(move); i += cfg.WarehousesPerStep {
+		end := i + cfg.WarehousesPerStep
+		if end > len(move) {
+			end = len(move)
+		}
+		// The step's shard group: all 8 tables of each warehouse index
+		// (collocated migration, §3.8).
+		var group []base.ShardID
+		for _, idx := range move[i:end] {
+			group = append(group, tp.ShardGroup(idx)...)
+		}
+		if err := env.Migrate(group, newNode.ID()); err != nil {
+			return nil, fmt.Errorf("scale-out step %d (%v): %w", i, cfg.Approach, err)
+		}
+	}
+	metrics.MarkNow("scale-out-end")
+	migEnd := time.Since(metrics.Start())
+
+	time.Sleep(cfg.Tail)
+	stop.Stop()
+	wg.Wait()
+
+	res := &ScaleOutResult{Approach: cfg.Approach, Metrics: metrics}
+	res.Before = tpccWindow(metrics, migStart/2, migStart)
+	res.During = tpccWindow(metrics, migStart, migEnd)
+	res.After = tpccWindow(metrics, migEnd, migEnd+cfg.Tail-cfg.Interval)
+	res.MigrationAborts = res.During.MigrationAborts
+	if err := tp.ConsistencyCheck(newNode.ID()); err != nil {
+		return nil, fmt.Errorf("post-scale-out consistency: %w", err)
+	}
+	res.Consistent = true
+	res.Errors = metrics.Errors()
+	return res, nil
+}

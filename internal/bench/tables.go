@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table1Row is one measured row of the Table 1 comparison matrix: instead of
+// the paper's qualitative Yes/No entries we report the measured quantities
+// that back them.
+type Table1Row struct {
+	Approach        Approach
+	Downtime        time.Duration // longest zero-throughput stretch during migration
+	MigrationAborts int
+	OLTPDropPct     float64 // 1 - during/before YCSB throughput
+	BatchDropPct    float64 // 1 - during/before ingest rate
+}
+
+// Table1FromConsolidation derives a row from a hybrid-A consolidation run.
+func Table1FromConsolidation(r *ConsolidationResult) Table1Row {
+	row := Table1Row{
+		Approach:        r.Approach,
+		Downtime:        r.YCSBDuring.MaxZeroRun,
+		MigrationAborts: r.MigrationAbortTotal,
+	}
+	if r.YCSBBefore.Throughput > 0 {
+		row.OLTPDropPct = 100 * (1 - r.YCSBDuring.Throughput/r.YCSBBefore.Throughput)
+	}
+	if r.IngestBefore > 0 {
+		row.BatchDropPct = 100 * (1 - r.IngestDuring/r.IngestBefore)
+	}
+	return row
+}
+
+// FormatTable1 renders the measured matrix.
+func FormatTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %12s %10s %12s %12s\n",
+		"Approach", "Downtime", "MigAborts", "OLTP drop", "Batch drop")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %12s %10d %11.0f%% %11.0f%%\n",
+			r.Approach, r.Downtime.Round(time.Millisecond), r.MigrationAborts,
+			r.OLTPDropPct, r.BatchDropPct)
+	}
+	return sb.String()
+}
+
+// Table3Row is one row of Table 3: the average latency increase during
+// migration for Remus vs lock-and-abort, plus the base transaction latency.
+type Table3Row struct {
+	Workload          string
+	RemusIncrease     time.Duration
+	LockAbortIncrease time.Duration
+	BaseLatency       time.Duration
+}
+
+// latencyIncrease clamps (during - before) at zero.
+func latencyIncrease(before, during Window) time.Duration {
+	if during.AvgLatency <= before.AvgLatency {
+		return 0
+	}
+	return during.AvgLatency - before.AvgLatency
+}
+
+// Table3Config scales the latency sweep.
+type Table3Config struct {
+	Consolidation ConsolidationConfig // hybrid A shape (Hybrid overridden)
+	LoadBalance   LoadBalanceConfig
+	ScaleOut      ScaleOutConfig
+}
+
+// DefaultTable3Config uses the default experiment shapes.
+func DefaultTable3Config() Table3Config {
+	return Table3Config{
+		Consolidation: DefaultConsolidationConfig(Remus, 'A'),
+		LoadBalance:   DefaultLoadBalanceConfig(Remus),
+		ScaleOut:      DefaultScaleOutConfig(Remus),
+	}
+}
+
+// RunTable3 measures the latency increase of Remus and lock-and-abort under
+// the paper's four workloads.
+func RunTable3(cfg Table3Config) ([]Table3Row, error) {
+	rows := make([]Table3Row, 0, 4)
+
+	runCons := func(hybrid byte, name string) error {
+		row := Table3Row{Workload: name}
+		for _, ap := range []Approach{Remus, LockAbort} {
+			c := cfg.Consolidation
+			c.Approach = ap
+			c.Hybrid = hybrid
+			r, err := RunConsolidation(c)
+			if err != nil {
+				return fmt.Errorf("%s/%v: %w", name, ap, err)
+			}
+			inc := latencyIncrease(r.YCSBBefore, r.YCSBDuring)
+			if ap == Remus {
+				row.RemusIncrease = inc
+				row.BaseLatency = r.YCSBBefore.AvgLatency
+			} else {
+				row.LockAbortIncrease = inc
+			}
+		}
+		rows = append(rows, row)
+		return nil
+	}
+	if err := runCons('A', "Hybrid A"); err != nil {
+		return nil, err
+	}
+	if err := runCons('B', "Hybrid B"); err != nil {
+		return nil, err
+	}
+
+	row := Table3Row{Workload: "Load balancing"}
+	for _, ap := range []Approach{Remus, LockAbort} {
+		c := cfg.LoadBalance
+		c.Approach = ap
+		r, err := RunLoadBalance(c)
+		if err != nil {
+			return nil, fmt.Errorf("loadbalance/%v: %w", ap, err)
+		}
+		inc := latencyIncrease(r.Before, r.During)
+		if ap == Remus {
+			row.RemusIncrease = inc
+			row.BaseLatency = r.Before.AvgLatency
+		} else {
+			row.LockAbortIncrease = inc
+		}
+	}
+	rows = append(rows, row)
+
+	row = Table3Row{Workload: "Scale-out"}
+	for _, ap := range []Approach{Remus, LockAbort} {
+		c := cfg.ScaleOut
+		c.Approach = ap
+		r, err := RunScaleOut(c)
+		if err != nil {
+			return nil, fmt.Errorf("scaleout/%v: %w", ap, err)
+		}
+		// TPC-C latency: aggregate over the write transaction classes.
+		before := aggregateLatency(r.Metrics, cfg.ScaleOut.Warmup, mustMark(r.Metrics, "scale-out-start"))
+		during := aggregateLatency(r.Metrics, mustMark(r.Metrics, "scale-out-start"), mustMark(r.Metrics, "scale-out-end"))
+		inc := time.Duration(0)
+		if during > before {
+			inc = during - before
+		}
+		if ap == Remus {
+			row.RemusIncrease = inc
+			row.BaseLatency = before
+		} else {
+			row.LockAbortIncrease = inc
+		}
+	}
+	rows = append(rows, row)
+	return rows, nil
+}
+
+func mustMark(m *Metrics, label string) time.Duration {
+	if at, ok := m.MarkOffset(label); ok {
+		return at
+	}
+	return 0
+}
+
+// aggregateLatency averages commit latency of the TPC-C write classes.
+func aggregateLatency(m *Metrics, from, to time.Duration) time.Duration {
+	var sum time.Duration
+	commits := 0
+	for _, op := range []string{"neworder", "payment", "delivery"} {
+		w := m.WindowStats(op, from, to)
+		sum += w.AvgLatency * time.Duration(w.Commits)
+		commits += w.Commits
+	}
+	if commits == 0 {
+		return 0
+	}
+	return sum / time.Duration(commits)
+}
+
+// FormatTable3 renders the latency table.
+func FormatTable3(rows []Table3Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %14s %18s %14s\n", "Workload", "Remus(+lat)", "LockAbort(+lat)", "Txn latency")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-16s %14s %18s %14s\n", r.Workload,
+			r.RemusIncrease.Round(10*time.Microsecond),
+			r.LockAbortIncrease.Round(10*time.Microsecond),
+			r.BaseLatency.Round(10*time.Microsecond))
+	}
+	return sb.String()
+}

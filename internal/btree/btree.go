@@ -1,0 +1,299 @@
+// Package btree implements an in-memory B-tree keyed by base.Key, used as
+// the ordered primary index of every shard. Shards serialize access through
+// their own locks, so the tree itself is not safe for concurrent mutation;
+// concurrent readers are safe as long as no writer is active.
+package btree
+
+import (
+	"sort"
+
+	"remus/internal/base"
+)
+
+// degree is the minimum number of children per internal node; each node
+// holds between degree-1 and 2*degree-1 items (except the root).
+const degree = 16
+
+const maxItems = 2*degree - 1
+
+type item struct {
+	key   base.Key
+	value any
+}
+
+type node struct {
+	items    []item
+	children []*node // empty for leaves
+}
+
+func (n *node) leaf() bool { return len(n.children) == 0 }
+
+// find returns the index of the first item with key >= k and whether the key
+// at that index equals k.
+func (n *node) find(k base.Key) (int, bool) {
+	i := sort.Search(len(n.items), func(i int) bool { return n.items[i].key >= k })
+	return i, i < len(n.items) && n.items[i].key == k
+}
+
+// Tree is a B-tree map from base.Key to an arbitrary value.
+type Tree struct {
+	root *node
+	size int
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{}}
+}
+
+// Len reports the number of keys in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// Get returns the value stored under k, or (nil, false).
+func (t *Tree) Get(k base.Key) (any, bool) {
+	n := t.root
+	for {
+		i, ok := n.find(k)
+		if ok {
+			return n.items[i].value, true
+		}
+		if n.leaf() {
+			return nil, false
+		}
+		n = n.children[i]
+	}
+}
+
+// Set stores value under k, replacing and returning any previous value.
+func (t *Tree) Set(k base.Key, value any) (prev any, replaced bool) {
+	if len(t.root.items) == maxItems {
+		old := t.root
+		t.root = &node{children: []*node{old}}
+		t.root.splitChild(0)
+	}
+	prev, replaced = t.root.set(k, value)
+	if !replaced {
+		t.size++
+	}
+	return prev, replaced
+}
+
+// splitChild splits the full child at index i, hoisting its median item.
+func (n *node) splitChild(i int) {
+	child := n.children[i]
+	mid := child.items[degree-1]
+	right := &node{
+		items: append([]item(nil), child.items[degree:]...),
+	}
+	if !child.leaf() {
+		right.children = append([]*node(nil), child.children[degree:]...)
+		child.children = child.children[:degree]
+	}
+	child.items = child.items[:degree-1]
+
+	n.items = append(n.items, item{})
+	copy(n.items[i+1:], n.items[i:])
+	n.items[i] = mid
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+func (n *node) set(k base.Key, value any) (any, bool) {
+	i, ok := n.find(k)
+	if ok {
+		prev := n.items[i].value
+		n.items[i].value = value
+		return prev, true
+	}
+	if n.leaf() {
+		n.items = append(n.items, item{})
+		copy(n.items[i+1:], n.items[i:])
+		n.items[i] = item{key: k, value: value}
+		return nil, false
+	}
+	if len(n.children[i].items) == maxItems {
+		n.splitChild(i)
+		if k > n.items[i].key {
+			i++
+		} else if k == n.items[i].key {
+			prev := n.items[i].value
+			n.items[i].value = value
+			return prev, true
+		}
+	}
+	return n.children[i].set(k, value)
+}
+
+// Delete removes k, returning its value and whether it was present.
+func (t *Tree) Delete(k base.Key) (any, bool) {
+	v, ok := t.root.remove(k)
+	if len(t.root.items) == 0 && !t.root.leaf() {
+		t.root = t.root.children[0]
+	}
+	if ok {
+		t.size--
+	}
+	return v, ok
+}
+
+func (n *node) remove(k base.Key) (any, bool) {
+	i, found := n.find(k)
+	if n.leaf() {
+		if !found {
+			return nil, false
+		}
+		v := n.items[i].value
+		n.items = append(n.items[:i], n.items[i+1:]...)
+		return v, true
+	}
+	if found {
+		// Replace with predecessor from the left subtree, then delete it
+		// there. Refill the child first so the recursive delete cannot
+		// underflow the root of that subtree.
+		if len(n.children[i].items) >= degree {
+			pred := n.children[i].max()
+			v := n.items[i].value
+			n.items[i] = pred
+			n.children[i].remove(pred.key)
+			return v, true
+		}
+		if len(n.children[i+1].items) >= degree {
+			succ := n.children[i+1].min()
+			v := n.items[i].value
+			n.items[i] = succ
+			n.children[i+1].remove(succ.key)
+			return v, true
+		}
+		n.mergeChildren(i)
+		return n.children[i].remove(k)
+	}
+	// Key lives in subtree i; ensure that child has >= degree items before
+	// descending.
+	if len(n.children[i].items) < degree {
+		i = n.refill(i)
+	}
+	return n.children[i].remove(k)
+}
+
+// refill guarantees children[i] has at least degree items by borrowing from a
+// sibling or merging; it returns the (possibly shifted) child index.
+func (n *node) refill(i int) int {
+	if i > 0 && len(n.children[i-1].items) >= degree {
+		// Rotate right: move separator down, left sibling's max up.
+		child, left := n.children[i], n.children[i-1]
+		child.items = append(child.items, item{})
+		copy(child.items[1:], child.items)
+		child.items[0] = n.items[i-1]
+		n.items[i-1] = left.items[len(left.items)-1]
+		left.items = left.items[:len(left.items)-1]
+		if !left.leaf() {
+			child.children = append(child.children, nil)
+			copy(child.children[1:], child.children)
+			child.children[0] = left.children[len(left.children)-1]
+			left.children = left.children[:len(left.children)-1]
+		}
+		return i
+	}
+	if i < len(n.children)-1 && len(n.children[i+1].items) >= degree {
+		// Rotate left: move separator down, right sibling's min up.
+		child, right := n.children[i], n.children[i+1]
+		child.items = append(child.items, n.items[i])
+		n.items[i] = right.items[0]
+		right.items = append(right.items[:0], right.items[1:]...)
+		if !right.leaf() {
+			child.children = append(child.children, right.children[0])
+			right.children = append(right.children[:0], right.children[1:]...)
+		}
+		return i
+	}
+	if i > 0 {
+		n.mergeChildren(i - 1)
+		return i - 1
+	}
+	n.mergeChildren(i)
+	return i
+}
+
+// mergeChildren merges children[i], items[i] and children[i+1].
+func (n *node) mergeChildren(i int) {
+	left, right := n.children[i], n.children[i+1]
+	left.items = append(left.items, n.items[i])
+	left.items = append(left.items, right.items...)
+	left.children = append(left.children, right.children...)
+	n.items = append(n.items[:i], n.items[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+func (n *node) min() item {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.items[0]
+}
+
+func (n *node) max() item {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.items[len(n.items)-1]
+}
+
+// Ascend visits every (key, value) in key order until fn returns false.
+func (t *Tree) Ascend(fn func(k base.Key, v any) bool) {
+	t.root.ascend(base.Key(""), false, fn)
+}
+
+// AscendRange visits keys in [lo, hi) in order until fn returns false.
+func (t *Tree) AscendRange(lo, hi base.Key, fn func(k base.Key, v any) bool) {
+	t.root.ascend(lo, true, func(k base.Key, v any) bool {
+		if k >= hi {
+			return false
+		}
+		return fn(k, v)
+	})
+}
+
+// AscendFrom visits keys >= lo in order until fn returns false.
+func (t *Tree) AscendFrom(lo base.Key, fn func(k base.Key, v any) bool) {
+	t.root.ascend(lo, true, fn)
+}
+
+func (n *node) ascend(lo base.Key, bounded bool, fn func(k base.Key, v any) bool) bool {
+	start := 0
+	if bounded {
+		start, _ = n.find(lo)
+	}
+	for i := start; i < len(n.items); i++ {
+		if !n.leaf() {
+			if !n.children[i].ascend(lo, bounded && i == start, fn) {
+				return false
+			}
+		}
+		if !fn(n.items[i].key, n.items[i].value) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return n.children[len(n.children)-1].ascend(lo, bounded && start == len(n.items), fn)
+	}
+	return true
+}
+
+// Min returns the smallest key, or ("", false) when empty.
+func (t *Tree) Min() (base.Key, any, bool) {
+	if t.size == 0 {
+		return "", nil, false
+	}
+	it := t.root.min()
+	return it.key, it.value, true
+}
+
+// Max returns the largest key, or ("", false) when empty.
+func (t *Tree) Max() (base.Key, any, bool) {
+	if t.size == 0 {
+		return "", nil, false
+	}
+	it := t.root.max()
+	return it.key, it.value, true
+}

@@ -1,0 +1,279 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"remus/internal/base"
+)
+
+func key(i int) base.Key { return base.Key(fmt.Sprintf("%08d", i)) }
+
+func TestSetGet(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		if _, replaced := tr.Set(key(i), i); replaced {
+			t.Fatalf("unexpected replace on first insert of %d", i)
+		}
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", tr.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := tr.Get(key(i))
+		if !ok || v.(int) != i {
+			t.Fatalf("Get(%d) = %v, %v", i, v, ok)
+		}
+	}
+	if _, ok := tr.Get(key(5000)); ok {
+		t.Error("Get of absent key succeeded")
+	}
+}
+
+func TestSetReplace(t *testing.T) {
+	tr := New()
+	tr.Set(key(1), "a")
+	prev, replaced := tr.Set(key(1), "b")
+	if !replaced || prev.(string) != "a" {
+		t.Fatalf("replace returned (%v, %v)", prev, replaced)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after replace, want 1", tr.Len())
+	}
+	v, _ := tr.Get(key(1))
+	if v.(string) != "b" {
+		t.Fatalf("value = %v after replace", v)
+	}
+}
+
+func TestReplaceOnSeparatorKey(t *testing.T) {
+	// Force splits so some keys become separators in internal nodes, then
+	// replace them.
+	tr := New()
+	for i := 0; i < 500; i++ {
+		tr.Set(key(i), i)
+	}
+	for i := 0; i < 500; i++ {
+		if _, replaced := tr.Set(key(i), i*10); !replaced {
+			t.Fatalf("Set(%d) did not report replace", i)
+		}
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d, want 500", tr.Len())
+	}
+	for i := 0; i < 500; i++ {
+		v, _ := tr.Get(key(i))
+		if v.(int) != i*10 {
+			t.Fatalf("Get(%d) = %v, want %d", i, v, i*10)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		tr.Set(key(i), i)
+	}
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for idx, i := range perm {
+		v, ok := tr.Delete(key(i))
+		if !ok || v.(int) != i {
+			t.Fatalf("Delete(%d) = %v, %v", i, v, ok)
+		}
+		if tr.Len() != n-idx-1 {
+			t.Fatalf("Len = %d after %d deletes", tr.Len(), idx+1)
+		}
+	}
+	if _, ok := tr.Delete(key(0)); ok {
+		t.Error("delete of absent key succeeded")
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	tr := New()
+	r := rand.New(rand.NewSource(7))
+	for _, i := range r.Perm(3000) {
+		tr.Set(key(i), i)
+	}
+	var got []base.Key
+	tr.Ascend(func(k base.Key, v any) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 3000 {
+		t.Fatalf("visited %d keys", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Error("Ascend order is not sorted")
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Set(key(i), i)
+	}
+	count := 0
+	tr.Ascend(func(k base.Key, v any) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("visited %d, want 10", count)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Set(key(i), i)
+	}
+	var got []int
+	tr.AscendRange(key(20), key(30), func(k base.Key, v any) bool {
+		got = append(got, v.(int))
+		return true
+	})
+	if len(got) != 10 || got[0] != 20 || got[9] != 29 {
+		t.Fatalf("range [20,30) = %v", got)
+	}
+	// Empty range.
+	n := 0
+	tr.AscendRange(key(50), key(50), func(base.Key, any) bool { n++; return true })
+	if n != 0 {
+		t.Errorf("empty range visited %d", n)
+	}
+}
+
+func TestAscendFrom(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i += 2 { // even keys only
+		tr.Set(key(i), i)
+	}
+	var got []int
+	tr.AscendFrom(key(51), func(k base.Key, v any) bool {
+		got = append(got, v.(int))
+		return true
+	})
+	if len(got) == 0 || got[0] != 52 {
+		t.Fatalf("AscendFrom(51) = %v, want to start at 52", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New()
+	if _, _, ok := tr.Min(); ok {
+		t.Error("Min on empty tree")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Error("Max on empty tree")
+	}
+	for _, i := range rand.New(rand.NewSource(3)).Perm(500) {
+		tr.Set(key(i), i)
+	}
+	if k, v, ok := tr.Min(); !ok || k != key(0) || v.(int) != 0 {
+		t.Errorf("Min = %v,%v,%v", k, v, ok)
+	}
+	if k, v, ok := tr.Max(); !ok || k != key(499) || v.(int) != 499 {
+		t.Errorf("Max = %v,%v,%v", k, v, ok)
+	}
+}
+
+// TestAgainstMapProperty drives random operations against a reference map.
+func TestAgainstMapProperty(t *testing.T) {
+	f := func(seed int64, ops []uint16) bool {
+		tr := New()
+		ref := map[base.Key]int{}
+		r := rand.New(rand.NewSource(seed))
+		for i, op := range ops {
+			k := key(int(op) % 512)
+			switch r.Intn(3) {
+			case 0:
+				tr.Set(k, i)
+				ref[k] = i
+			case 1:
+				_, got := tr.Delete(k)
+				_, want := ref[k]
+				if got != want {
+					return false
+				}
+				delete(ref, k)
+			case 2:
+				v, got := tr.Get(k)
+				want, ok := ref[k]
+				if got != ok {
+					return false
+				}
+				if ok && v.(int) != want {
+					return false
+				}
+			}
+			if tr.Len() != len(ref) {
+				return false
+			}
+		}
+		// Full scan must equal the sorted reference map.
+		keys := make([]base.Key, 0, len(ref))
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		i := 0
+		okScan := true
+		tr.Ascend(func(k base.Key, v any) bool {
+			if i >= len(keys) || keys[i] != k || ref[k] != v.(int) {
+				okScan = false
+				return false
+			}
+			i++
+			return true
+		})
+		return okScan && i == len(keys)
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeSequentialAndReverse(t *testing.T) {
+	tr := New()
+	const n = 20000
+	for i := 0; i < n; i++ {
+		tr.Set(key(i), i)
+	}
+	for i := n - 1; i >= 0; i-- {
+		if _, ok := tr.Delete(key(i)); !ok {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after draining", tr.Len())
+	}
+	// Tree must still be usable after collapsing to an empty root.
+	tr.Set(key(1), 1)
+	if v, ok := tr.Get(key(1)); !ok || v.(int) != 1 {
+		t.Fatal("tree unusable after drain")
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	tr := New()
+	for i := 0; b.Loop(); i++ {
+		tr.Set(key(i), i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	for i := 0; i < 100000; i++ {
+		tr.Set(key(i), i)
+	}
+	b.ResetTimer()
+	for i := 0; b.Loop(); i++ {
+		tr.Get(key(i % 100000))
+	}
+}

@@ -1,0 +1,234 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"remus/internal/base"
+)
+
+func TestGTSMonotonic(t *testing.T) {
+	g := NewGTS()
+	prev := g.Next()
+	for i := 0; i < 1000; i++ {
+		ts := g.Next()
+		if ts <= prev {
+			t.Fatalf("GTS went backwards: %v after %v", ts, prev)
+		}
+		prev = ts
+	}
+}
+
+func TestGTSConcurrentUnique(t *testing.T) {
+	g := NewGTS()
+	const goroutines, per = 8, 2000
+	var mu sync.Mutex
+	seen := make(map[base.Timestamp]bool, goroutines*per)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]base.Timestamp, 0, per)
+			for j := 0; j < per; j++ {
+				local = append(local, g.Next())
+			}
+			mu.Lock()
+			for _, ts := range local {
+				if seen[ts] {
+					t.Errorf("duplicate timestamp %v", ts)
+				}
+				seen[ts] = true
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+}
+
+func TestGTSClientDelayHook(t *testing.T) {
+	g := NewGTS()
+	calls := 0
+	c := NewGTSClient(g, func() { calls++ })
+	c.StartTS()
+	c.PrepareTS()
+	c.CommitTS(0)
+	if calls != 3 {
+		t.Errorf("delay hook called %d times, want 3", calls)
+	}
+	if c.Name() != "gts" {
+		t.Errorf("Name() = %q", c.Name())
+	}
+}
+
+func TestGTSCommitAbovePrepare(t *testing.T) {
+	g := NewGTS()
+	c := NewGTSClient(g, nil)
+	p := c.PrepareTS()
+	if ct := c.CommitTS(p); ct <= p {
+		t.Errorf("CommitTS %v not above prepare %v", ct, p)
+	}
+	// Defensive path: a prepare timestamp from "the future".
+	if ct := c.CommitTS(base.Timestamp(1 << 40)); ct <= base.Timestamp(1<<40) {
+		t.Errorf("CommitTS %v not above inflated prepare", ct)
+	}
+}
+
+func manualSource(v *uint64) TimeSource { return func() uint64 { return *v } }
+
+func TestHLCMonotonicWithFrozenClock(t *testing.T) {
+	now := uint64(100)
+	h := NewHLC(manualSource(&now), 0)
+	prev := h.StartTS()
+	for i := 0; i < 100; i++ {
+		ts := h.StartTS()
+		if ts <= prev {
+			t.Fatalf("HLC not monotonic under frozen physical clock: %v after %v", ts, prev)
+		}
+		prev = ts
+	}
+	if prev.Physical() != 100 {
+		t.Errorf("physical advanced to %d under frozen clock", prev.Physical())
+	}
+}
+
+func TestHLCTracksPhysical(t *testing.T) {
+	now := uint64(100)
+	h := NewHLC(manualSource(&now), 0)
+	h.StartTS()
+	now = 500
+	ts := h.StartTS()
+	if ts.Physical() != 500 || ts.Logical() != 0 {
+		t.Errorf("got phys=%d log=%d, want 500/0", ts.Physical(), ts.Logical())
+	}
+}
+
+func TestHLCObserveCausality(t *testing.T) {
+	// A message from a node whose clock is far ahead must push ours past it.
+	now := uint64(100)
+	h := NewHLC(manualSource(&now), 0)
+	remote := base.HLC(900, 7)
+	h.Observe(remote)
+	ts := h.StartTS()
+	if ts <= remote {
+		t.Errorf("local timestamp %v not past observed remote %v", ts, remote)
+	}
+}
+
+func TestHLCObserveEqualPhysical(t *testing.T) {
+	now := uint64(100)
+	h := NewHLC(manualSource(&now), 0)
+	h.StartTS() // physical=100, logical=0
+	h.Observe(base.HLC(100, 9))
+	ts := h.StartTS()
+	if ts <= base.HLC(100, 9) {
+		t.Errorf("timestamp %v not past observed equal-physical remote", ts)
+	}
+}
+
+func TestHLCObserveStaleRemote(t *testing.T) {
+	now := uint64(100)
+	h := NewHLC(manualSource(&now), 0)
+	first := h.StartTS()
+	h.Observe(base.HLC(5, 5)) // stale remote must not move us backwards
+	ts := h.StartTS()
+	if ts <= first {
+		t.Errorf("clock moved backwards after stale observe: %v then %v", first, ts)
+	}
+}
+
+func TestHLCCommitAboveAllPrepares(t *testing.T) {
+	now := uint64(100)
+	a := NewHLC(manualSource(&now), 0)
+	b := NewHLC(manualSource(&now), 2*time.Millisecond) // skewed ahead
+	pa, pb := a.PrepareTS(), b.PrepareTS()
+	maxP := pa
+	if pb > maxP {
+		maxP = pb
+	}
+	ct := a.CommitTS(maxP)
+	if ct <= pa || ct <= pb {
+		t.Errorf("commit %v not above prepares %v/%v", ct, pa, pb)
+	}
+}
+
+func TestHLCSkewVisible(t *testing.T) {
+	now := uint64(1000)
+	ahead := NewHLC(manualSource(&now), 500*time.Microsecond)
+	behind := NewHLC(manualSource(&now), -500*time.Microsecond)
+	ta, tb := ahead.StartTS(), behind.StartTS()
+	if ta.Physical() != 1500 || tb.Physical() != 500 {
+		t.Errorf("skew not applied: %d / %d", ta.Physical(), tb.Physical())
+	}
+}
+
+func TestHLCNegativeSkewClamped(t *testing.T) {
+	now := uint64(10)
+	h := NewHLC(manualSource(&now), -time.Second)
+	if ts := h.StartTS(); ts == 0 {
+		t.Error("clamped clock must still produce nonzero timestamps")
+	}
+}
+
+func TestHLCLogicalOverflow(t *testing.T) {
+	now := uint64(50)
+	h := NewHLC(manualSource(&now), 0)
+	h.StartTS()
+	h.mu.Lock()
+	h.logical = 1<<16 - 1
+	h.mu.Unlock()
+	ts := h.StartTS()
+	if ts.Physical() != 51 || ts.Logical() != 0 {
+		t.Errorf("overflow: got phys=%d log=%d, want 51/0", ts.Physical(), ts.Logical())
+	}
+}
+
+func TestHLCNowDoesNotAdvance(t *testing.T) {
+	now := uint64(100)
+	h := NewHLC(manualSource(&now), 0)
+	a := h.Now()
+	b := h.Now()
+	if b < a {
+		t.Errorf("Now went backwards: %v then %v", a, b)
+	}
+	if h.Name() != "dts" {
+		t.Errorf("Name() = %q", h.Name())
+	}
+}
+
+func TestHLCConcurrentMonotonicPerNode(t *testing.T) {
+	h := NewHLC(WallClock(), 0)
+	const goroutines, per = 8, 2000
+	var mu sync.Mutex
+	seen := make(map[base.Timestamp]bool, goroutines*per)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]base.Timestamp, per)
+			for j := range local {
+				local[j] = h.StartTS()
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, ts := range local {
+				if seen[ts] {
+					t.Errorf("duplicate HLC timestamp %v", ts)
+				}
+				seen[ts] = true
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestWallClockAdvances(t *testing.T) {
+	src := WallClock()
+	a := src()
+	time.Sleep(2 * time.Millisecond)
+	if b := src(); b <= a {
+		t.Errorf("wall clock did not advance: %d then %d", a, b)
+	}
+}

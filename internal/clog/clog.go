@@ -1,0 +1,186 @@
+// Package clog implements the commit log of a node: the per-transaction
+// status table that MVCC visibility checks consult (§2.2 of the Remus paper).
+//
+// PostgreSQL's CLOG records committed/aborted per xid; PolarDB-PG extends it
+// to also record the commit timestamp, and introduces a "prepared" state (a
+// reserved special timestamp) used by the 2PC prepare-wait mechanism: a
+// reader that finds a version whose creator is prepared must wait for that
+// transaction to finish before deciding visibility.
+package clog
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"remus/internal/base"
+)
+
+// Entry is a snapshot of one transaction's CLOG state.
+type Entry struct {
+	Status   base.TxnStatus
+	CommitTS base.Timestamp
+}
+
+type record struct {
+	status   base.TxnStatus
+	commitTS base.Timestamp
+	done     chan struct{} // closed when the txn reaches committed/aborted
+}
+
+// CLOG is one node's commit log. The zero value is not usable; use New.
+type CLOG struct {
+	mu      sync.RWMutex
+	records map[base.XID]*record
+}
+
+// New returns an empty commit log.
+func New() *CLOG {
+	return &CLOG{records: make(map[base.XID]*record)}
+}
+
+// Begin registers a transaction as in-progress. It must be called before the
+// transaction creates any tuple version carrying its xid.
+func (c *CLOG) Begin(xid base.XID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.records[xid]; ok {
+		panic(fmt.Sprintf("clog: duplicate Begin for %v", xid))
+	}
+	c.records[xid] = &record{status: base.StatusInProgress, done: make(chan struct{})}
+}
+
+// SetPrepared marks the transaction prepared (§2.2: status tagged as
+// prepared in the CLOG during the 2PC prepare phase; also done for
+// single-node transactions before assigning their commit timestamp).
+func (c *CLOG) SetPrepared(xid base.XID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.records[xid]
+	if !ok {
+		return fmt.Errorf("clog: prepare of unknown %v", xid)
+	}
+	if r.status != base.StatusInProgress {
+		return fmt.Errorf("clog: prepare of %v in state %v", xid, r.status)
+	}
+	r.status = base.StatusPrepared
+	return nil
+}
+
+// SetCommitted replaces the transaction's status with its commit timestamp
+// and wakes all prepare-waiters.
+func (c *CLOG) SetCommitted(xid base.XID, ts base.Timestamp) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.records[xid]
+	if !ok {
+		return fmt.Errorf("clog: commit of unknown %v", xid)
+	}
+	switch r.status {
+	case base.StatusCommitted:
+		if r.commitTS != ts {
+			return fmt.Errorf("clog: %v re-committed with %v (was %v)", xid, ts, r.commitTS)
+		}
+		return nil
+	case base.StatusAborted:
+		return fmt.Errorf("clog: commit of aborted %v", xid)
+	}
+	r.status = base.StatusCommitted
+	r.commitTS = ts
+	close(r.done)
+	return nil
+}
+
+// SetAborted marks the transaction aborted and wakes all prepare-waiters.
+func (c *CLOG) SetAborted(xid base.XID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.records[xid]
+	if !ok {
+		return fmt.Errorf("clog: abort of unknown %v", xid)
+	}
+	switch r.status {
+	case base.StatusAborted:
+		return nil
+	case base.StatusCommitted:
+		return fmt.Errorf("clog: abort of committed %v", xid)
+	}
+	r.status = base.StatusAborted
+	close(r.done)
+	return nil
+}
+
+// Lookup returns the transaction's current status and commit timestamp.
+// Unknown xids report as aborted: after crash recovery, in-flight
+// transactions that never reached the log are treated as rolled back, which
+// matches PostgreSQL's treatment of missing CLOG hint state.
+func (c *CLOG) Lookup(xid base.XID) Entry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.records[xid]
+	if !ok {
+		return Entry{Status: base.StatusAborted}
+	}
+	return Entry{Status: r.status, CommitTS: r.commitTS}
+}
+
+// WaitDone blocks until the transaction reaches a terminal state (committed
+// or aborted), implementing the prepare-wait of §2.2, and returns the final
+// entry. A zero timeout waits forever.
+func (c *CLOG) WaitDone(xid base.XID, timeout time.Duration) (Entry, error) {
+	c.mu.RLock()
+	r, ok := c.records[xid]
+	c.mu.RUnlock()
+	if !ok {
+		return Entry{Status: base.StatusAborted}, nil
+	}
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case <-r.done:
+		return c.Lookup(xid), nil
+	case <-timer:
+		return c.Lookup(xid), fmt.Errorf("clog: wait for %v: %w", xid, base.ErrTimeout)
+	}
+}
+
+// InProgress returns the xids currently in the in-progress or prepared state.
+// Crash recovery uses it to enumerate residual transactions.
+func (c *CLOG) InProgress() []base.XID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []base.XID
+	for xid, r := range c.records {
+		if r.status == base.StatusInProgress || r.status == base.StatusPrepared {
+			out = append(out, xid)
+		}
+	}
+	return out
+}
+
+// Forget drops a terminal transaction's record (CLOG truncation). Forgetting
+// a live transaction is a programming error.
+func (c *CLOG) Forget(xid base.XID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.records[xid]
+	if !ok {
+		return nil
+	}
+	if r.status == base.StatusInProgress || r.status == base.StatusPrepared {
+		return fmt.Errorf("clog: forget of live %v (%v)", xid, r.status)
+	}
+	delete(c.records, xid)
+	return nil
+}
+
+// Len reports the number of tracked transactions (for tests and monitoring).
+func (c *CLOG) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.records)
+}

@@ -1,0 +1,249 @@
+package clog
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"remus/internal/base"
+)
+
+func TestLifecycle(t *testing.T) {
+	c := New()
+	c.Begin(1)
+	if e := c.Lookup(1); e.Status != base.StatusInProgress {
+		t.Fatalf("status = %v, want in-progress", e.Status)
+	}
+	if err := c.SetPrepared(1); err != nil {
+		t.Fatal(err)
+	}
+	if e := c.Lookup(1); e.Status != base.StatusPrepared {
+		t.Fatalf("status = %v, want prepared", e.Status)
+	}
+	if err := c.SetCommitted(1, 42); err != nil {
+		t.Fatal(err)
+	}
+	e := c.Lookup(1)
+	if e.Status != base.StatusCommitted || e.CommitTS != 42 {
+		t.Fatalf("entry = %+v, want committed@42", e)
+	}
+}
+
+func TestAbortWithoutPrepare(t *testing.T) {
+	c := New()
+	c.Begin(2)
+	if err := c.SetAborted(2); err != nil {
+		t.Fatal(err)
+	}
+	if e := c.Lookup(2); e.Status != base.StatusAborted {
+		t.Fatalf("status = %v, want aborted", e.Status)
+	}
+}
+
+func TestCommitWithoutPrepareAllowed(t *testing.T) {
+	// The CLOG itself does not force the prepare step; the txn manager does.
+	c := New()
+	c.Begin(3)
+	if err := c.SetCommitted(3, 9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownXIDReportsAborted(t *testing.T) {
+	c := New()
+	if e := c.Lookup(999); e.Status != base.StatusAborted {
+		t.Fatalf("unknown xid status = %v, want aborted", e.Status)
+	}
+}
+
+func TestIllegalTransitions(t *testing.T) {
+	c := New()
+	c.Begin(1)
+	if err := c.SetCommitted(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetAborted(1); err == nil {
+		t.Error("abort after commit must fail")
+	}
+	if err := c.SetPrepared(1); err == nil {
+		t.Error("prepare after commit must fail")
+	}
+	if err := c.SetCommitted(1, 6); err == nil {
+		t.Error("re-commit with different ts must fail")
+	}
+	if err := c.SetCommitted(1, 5); err != nil {
+		t.Errorf("idempotent re-commit with same ts should succeed: %v", err)
+	}
+
+	c.Begin(2)
+	if err := c.SetAborted(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetAborted(2); err != nil {
+		t.Errorf("idempotent re-abort should succeed: %v", err)
+	}
+	if err := c.SetCommitted(2, 7); err == nil {
+		t.Error("commit after abort must fail")
+	}
+
+	if err := c.SetPrepared(99); err == nil {
+		t.Error("prepare of unknown xid must fail")
+	}
+	if err := c.SetCommitted(99, 1); err == nil {
+		t.Error("commit of unknown xid must fail")
+	}
+	if err := c.SetAborted(99); err == nil {
+		t.Error("abort of unknown xid must fail")
+	}
+}
+
+func TestDuplicateBeginPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Begin should panic")
+		}
+	}()
+	c := New()
+	c.Begin(1)
+	c.Begin(1)
+}
+
+func TestWaitDoneBlocksUntilCommit(t *testing.T) {
+	c := New()
+	c.Begin(1)
+	if err := c.SetPrepared(1); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan Entry, 1)
+	go func() {
+		e, _ := c.WaitDone(1, 0)
+		done <- e
+	}()
+	select {
+	case <-done:
+		t.Fatal("WaitDone returned before the txn finished")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := c.SetCommitted(1, 77); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-done:
+		if e.Status != base.StatusCommitted || e.CommitTS != 77 {
+			t.Fatalf("waiter saw %+v, want committed@77", e)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("WaitDone did not wake after commit")
+	}
+}
+
+func TestWaitDoneUnknownReturnsImmediately(t *testing.T) {
+	c := New()
+	e, err := c.WaitDone(1234, time.Second)
+	if err != nil || e.Status != base.StatusAborted {
+		t.Fatalf("got %+v, %v; want aborted, nil", e, err)
+	}
+}
+
+func TestWaitDoneTimeout(t *testing.T) {
+	c := New()
+	c.Begin(1)
+	_, err := c.WaitDone(1, 10*time.Millisecond)
+	if !errors.Is(err, base.ErrTimeout) {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+}
+
+func TestWaitDoneManyWaiters(t *testing.T) {
+	c := New()
+	c.Begin(5)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e, err := c.WaitDone(5, time.Second)
+			if err != nil || e.Status != base.StatusAborted {
+				t.Errorf("waiter got %+v, %v", e, err)
+			}
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	if err := c.SetAborted(5); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+func TestInProgressEnumeration(t *testing.T) {
+	c := New()
+	c.Begin(1)
+	c.Begin(2)
+	c.Begin(3)
+	if err := c.SetPrepared(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetCommitted(3, 10); err != nil {
+		t.Fatal(err)
+	}
+	live := c.InProgress()
+	if len(live) != 2 {
+		t.Fatalf("InProgress = %v, want 2 entries", live)
+	}
+	seen := map[base.XID]bool{}
+	for _, x := range live {
+		seen[x] = true
+	}
+	if !seen[1] || !seen[2] {
+		t.Errorf("InProgress = %v, want {1,2}", live)
+	}
+}
+
+func TestForget(t *testing.T) {
+	c := New()
+	c.Begin(1)
+	if err := c.Forget(1); err == nil {
+		t.Error("forget of live txn must fail")
+	}
+	if err := c.SetCommitted(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Forget(1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d after forget", c.Len())
+	}
+	if err := c.Forget(1); err != nil {
+		t.Errorf("forget of unknown xid should be a no-op: %v", err)
+	}
+}
+
+func TestConcurrentLookupsDuringCommits(t *testing.T) {
+	c := New()
+	const n = 200
+	for i := 1; i <= n; i++ {
+		c.Begin(base.XID(i))
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= n; i++ {
+			if err := c.SetCommitted(base.XID(i), base.Timestamp(i)); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= n; i++ {
+			e := c.Lookup(base.XID(i))
+			if e.Status == base.StatusCommitted && e.CommitTS == 0 {
+				t.Errorf("committed entry with zero ts for xid%d", i)
+			}
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,299 @@
+// Package cluster wires elastic nodes into a shared-nothing distributed
+// database (§2.1): a control plane (GTS sequencer), a catalog of sharded
+// tables, client sessions with private shard map caches, and distributed
+// transactions committed with 2PC under snapshot isolation.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/clock"
+	"remus/internal/mvcc"
+	"remus/internal/node"
+	"remus/internal/shard"
+	"remus/internal/simnet"
+)
+
+// TimestampScheme selects the timestamp-ordering protocol (§2.2).
+type TimestampScheme string
+
+const (
+	// GTS uses the centralized sequencer on the control plane.
+	GTS TimestampScheme = "gts"
+	// DTS uses per-node hybrid logical clocks.
+	DTS TimestampScheme = "dts"
+)
+
+// Config describes a cluster.
+type Config struct {
+	// Nodes is the number of elastic nodes created up front.
+	Nodes int
+	// Scheme selects GTS or DTS (default DTS, as in the paper's evaluation).
+	Scheme TimestampScheme
+	// Net configures the interconnect (zero = free network for tests).
+	Net simnet.Config
+	// Skew returns the physical clock skew of node i under DTS (may be nil).
+	Skew func(i int) time.Duration
+	// Store tunes MVCC stores; zero value uses mvcc.DefaultConfig.
+	Store mvcc.Config
+}
+
+// Cluster is the whole database.
+type Cluster struct {
+	cfg Config
+	net *simnet.Network
+	gts *clock.GTS
+	src clock.TimeSource
+
+	mu      sync.RWMutex
+	nodes   map[base.NodeID]*node.Node
+	nodeIDs []base.NodeID
+
+	catMu     sync.RWMutex
+	tables    map[base.TableID]*shard.Table
+	byName    map[string]*shard.Table
+	nextTable base.TableID
+	nextShard base.ShardID
+}
+
+// New builds a cluster with cfg.Nodes nodes.
+func New(cfg Config) *Cluster {
+	if cfg.Scheme == "" {
+		cfg.Scheme = DTS
+	}
+	if cfg.Store == (mvcc.Config{}) {
+		cfg.Store = mvcc.DefaultConfig()
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		net:       simnet.New(cfg.Net),
+		gts:       clock.NewGTS(),
+		src:       clock.WallClock(),
+		nodes:     make(map[base.NodeID]*node.Node),
+		tables:    make(map[base.TableID]*shard.Table),
+		byName:    make(map[string]*shard.Table),
+		nextTable: 1,
+		nextShard: 1,
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		c.AddNode()
+	}
+	return c
+}
+
+// Net returns the interconnect (byte/message accounting).
+func (c *Cluster) Net() *simnet.Network { return c.net }
+
+// Scheme reports the timestamp scheme in force.
+func (c *Cluster) Scheme() TimestampScheme { return c.cfg.Scheme }
+
+// AddNode creates a new elastic node (scale-out) and returns it. The new
+// node receives a copy of the current shard map.
+func (c *Cluster) AddNode() *node.Node {
+	c.mu.Lock()
+	id := base.NodeID(len(c.nodeIDs) + 1)
+	var oracle clock.Oracle
+	if c.cfg.Scheme == GTS {
+		oracle = clock.NewGTSClient(c.gts, func() { c.net.RoundTrip(16) })
+	} else {
+		var skew time.Duration
+		if c.cfg.Skew != nil {
+			skew = c.cfg.Skew(int(id) - 1)
+		}
+		oracle = clock.NewHLC(c.src, skew)
+	}
+	n := node.New(id, c.net, oracle, c.cfg.Store)
+	c.nodes[id] = n
+	c.nodeIDs = append(c.nodeIDs, id)
+	var donor *node.Node
+	for _, other := range c.nodeIDs[:len(c.nodeIDs)-1] {
+		donor = c.nodes[other]
+		break
+	}
+	c.mu.Unlock()
+
+	// Seed the new node's shard map from an existing node's current view.
+	if donor != nil {
+		c.catMu.RLock()
+		tables := make([]*shard.Table, 0, len(c.tables))
+		for _, t := range c.tables {
+			tables = append(tables, t)
+		}
+		c.catMu.RUnlock()
+		snap := donor.Oracle().StartTS()
+		for _, t := range tables {
+			for i := 0; i < t.NumShards; i++ {
+				id := t.FirstShard + base.ShardID(i)
+				if d, _, err := donor.ReadMapRow(snap, id); err == nil {
+					n.InitMapRow(d)
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Node returns a node by id.
+func (c *Cluster) Node(id base.NodeID) *node.Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nodes[id]
+}
+
+// Nodes returns all nodes ordered by id.
+func (c *Cluster) Nodes() []*node.Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*node.Node, 0, len(c.nodeIDs))
+	ids := append([]base.NodeID(nil), c.nodeIDs...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		out = append(out, c.nodes[id])
+	}
+	return out
+}
+
+// Tables lists the catalog.
+func (c *Cluster) Tables() []*shard.Table {
+	c.catMu.RLock()
+	defer c.catMu.RUnlock()
+	out := make([]*shard.Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Table finds a table by name.
+func (c *Cluster) Table(name string) (*shard.Table, bool) {
+	c.catMu.RLock()
+	defer c.catMu.RUnlock()
+	t, ok := c.byName[name]
+	return t, ok
+}
+
+// TableByID finds a table by id.
+func (c *Cluster) TableByID(id base.TableID) (*shard.Table, bool) {
+	c.catMu.RLock()
+	defer c.catMu.RUnlock()
+	t, ok := c.tables[id]
+	return t, ok
+}
+
+// CreateTable registers a sharded table, places its shards with the
+// placement function (shard index -> node id; nil round-robins) and installs
+// the initial shard map rows on every node.
+func (c *Cluster) CreateTable(name string, numShards, prefixLen int, placement func(i int) base.NodeID) (*shard.Table, error) {
+	if numShards <= 0 {
+		return nil, fmt.Errorf("cluster: table %q: shards must be positive", name)
+	}
+	c.catMu.Lock()
+	if _, dup := c.byName[name]; dup {
+		c.catMu.Unlock()
+		return nil, fmt.Errorf("cluster: table %q already exists", name)
+	}
+	t := &shard.Table{
+		ID:         c.nextTable,
+		Name:       name,
+		NumShards:  numShards,
+		PrefixLen:  prefixLen,
+		FirstShard: c.nextShard,
+	}
+	c.nextTable++
+	c.nextShard += base.ShardID(numShards)
+	c.tables[t.ID] = t
+	c.byName[name] = t
+	c.catMu.Unlock()
+
+	nodes := c.Nodes()
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes")
+	}
+	for i := 0; i < numShards; i++ {
+		var owner base.NodeID
+		if placement != nil {
+			owner = placement(i)
+		} else {
+			owner = nodes[i%len(nodes)].ID()
+		}
+		if c.Node(owner) == nil {
+			return nil, fmt.Errorf("cluster: placement of shard %d on unknown %v", i, owner)
+		}
+		id := t.FirstShard + base.ShardID(i)
+		c.Node(owner).AddShard(id, t.ID, node.PhaseOwned)
+		d := shard.Desc{ID: id, Table: t.ID, Range: t.Range(i), Node: owner}
+		for _, n := range nodes {
+			n.InitMapRow(d)
+		}
+	}
+	return t, nil
+}
+
+// OldestActiveTS returns the oldest transaction snapshot in use anywhere in
+// the cluster — the global vacuum horizon (PostgreSQL's global xmin).
+func (c *Cluster) OldestActiveTS() base.Timestamp {
+	oldest := base.TsMax
+	for _, n := range c.Nodes() {
+		if ts := n.Manager().OldestActiveStartTS(); ts < oldest {
+			oldest = ts
+		}
+	}
+	return oldest
+}
+
+// Vacuum prunes version chains on every node using the cluster-wide horizon,
+// backed off by a safety slack that covers transactions between snapshot
+// acquisition and participant registration. Returns reclaimed version count.
+func (c *Cluster) Vacuum(slack time.Duration) int {
+	horizon := c.OldestActiveTS()
+	if horizon == base.TsMax {
+		now := c.Nodes()[0].Oracle().Now()
+		horizon = now
+	}
+	if slack > 0 && c.cfg.Scheme != GTS {
+		us := uint64(slack.Microseconds())
+		if horizon.Physical() > us {
+			horizon = base.HLC(horizon.Physical()-us, 0)
+		}
+	}
+	total := 0
+	for _, n := range c.Nodes() {
+		for _, id := range n.Shards() {
+			if store, ok := n.Store(id); ok {
+				total += store.Vacuum(horizon)
+			}
+		}
+	}
+	return total
+}
+
+// OwnerOf reads the current owner of a shard from a node's map (latest
+// committed placement; monitoring/migration use).
+func (c *Cluster) OwnerOf(id base.ShardID) (base.NodeID, error) {
+	n := c.Nodes()[0]
+	d, _, err := n.ReadMapRow(base.TsMax, id)
+	if err != nil {
+		return base.NoNode, err
+	}
+	return d.Node, nil
+}
+
+// ShardsOn lists the shard ids whose current placement is the given node.
+func (c *Cluster) ShardsOn(nodeID base.NodeID) []base.ShardID {
+	var out []base.ShardID
+	for _, t := range c.Tables() {
+		for i := 0; i < t.NumShards; i++ {
+			id := t.FirstShard + base.ShardID(i)
+			if owner, err := c.OwnerOf(id); err == nil && owner == nodeID {
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

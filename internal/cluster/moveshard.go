@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"fmt"
+
+	"remus/internal/base"
+	"remus/internal/node"
+	"remus/internal/shard"
+	"remus/internal/txn"
+)
+
+// MoveShardMap transactionally updates the placement row of every shard in
+// the group to newOwner on every node, committing with 2PC. It returns the
+// commit timestamp — the routing barrier: transactions with snapshots at or
+// above it are routed to newOwner. Remus drives its T_m itself (it needs
+// failpoints, §3.7); the push baselines and administrative tools use this
+// helper.
+func (c *Cluster) MoveShardMap(coord *node.Node, shards []base.ShardID, newOwner base.NodeID) (base.Timestamp, error) {
+	nodes := c.Nodes()
+	gid := coord.Manager().NewGlobalID()
+	startTS := coord.Oracle().StartTS()
+	parts := make([]*txn.Txn, 0, len(nodes))
+	abortAll := func() {
+		for _, p := range parts {
+			_ = p.Abort()
+		}
+	}
+	for _, n := range nodes {
+		p := n.Manager().Begin(gid, startTS)
+		parts = append(parts, p)
+		for _, id := range shards {
+			d, err := c.descOf(id)
+			if err != nil {
+				abortAll()
+				return 0, err
+			}
+			d.Node = newOwner
+			if err := n.WriteMapRow(p, d); err != nil {
+				abortAll()
+				return 0, fmt.Errorf("cluster: map update on %v: %w", n.ID(), err)
+			}
+		}
+	}
+	var maxPrep base.Timestamp
+	for _, p := range parts {
+		ts, err := p.Prepare()
+		if err != nil {
+			abortAll()
+			return 0, fmt.Errorf("cluster: map 2PC prepare: %w", err)
+		}
+		if ts > maxPrep {
+			maxPrep = ts
+		}
+	}
+	cts := coord.Oracle().CommitTS(maxPrep)
+	for _, p := range parts {
+		if err := p.CommitAt(cts); err != nil {
+			return 0, fmt.Errorf("cluster: map 2PC commit: %w", err)
+		}
+	}
+	return cts, nil
+}
+
+// descOf rebuilds a shard's catalog descriptor (table and hash range).
+func (c *Cluster) descOf(id base.ShardID) (shard.Desc, error) {
+	for _, t := range c.Tables() {
+		if id >= t.FirstShard && id < t.FirstShard+base.ShardID(t.NumShards) {
+			idx := int(id - t.FirstShard)
+			return shard.Desc{ID: id, Table: t.ID, Range: t.Range(idx)}, nil
+		}
+	}
+	return shard.Desc{}, fmt.Errorf("cluster: shard %v not in catalog", id)
+}

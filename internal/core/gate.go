@@ -1,0 +1,124 @@
+// Package core implements Remus itself: the four-phase live migration of
+// §3 — snapshot copying, asynchronous update propagation, propagation mode
+// changing (sync barrier, TS_unsync/LSN_unsync), and dual execution via
+// ordered diversion (T_m over the shard map) with the MOCC concurrency
+// control protocol — plus collocated migration (§3.8) and crash recovery
+// (§3.7).
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/txn"
+)
+
+// moccGate is the commit gate installed on the source node when the sync
+// barrier is set (§3.4). A transaction that wrote any migrating shard
+// becomes a synchronized source transaction: its 2PC prepare record doubles
+// as the MOCC validation record, and its commit blocks until the destination
+// replays its changes and prepares the shadow transaction (§3.5.2). A
+// WW-conflict on the destination aborts the source transaction.
+type moccGate struct {
+	shards  map[base.ShardID]bool
+	timeout time.Duration
+
+	mu      sync.Mutex
+	waiting map[base.XID]chan error
+	early   map[base.XID]error // results delivered before the waiter arrived
+
+	validations uint64
+}
+
+var _ txn.CommitGate = (*moccGate)(nil)
+
+func newMOCCGate(shards []base.ShardID, timeout time.Duration) *moccGate {
+	g := &moccGate{
+		shards:  make(map[base.ShardID]bool, len(shards)),
+		timeout: timeout,
+		waiting: make(map[base.XID]chan error),
+		early:   make(map[base.XID]error),
+	}
+	for _, s := range shards {
+		g.shards[s] = true
+	}
+	return g
+}
+
+// NeedsValidation implements txn.CommitGate.
+func (g *moccGate) NeedsValidation(t *txn.Txn) bool {
+	for _, s := range t.TouchedShards() {
+		if g.shards[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// WaitValidation implements txn.CommitGate: park until the destination's
+// verdict arrives through the sink.
+func (g *moccGate) WaitValidation(t *txn.Txn) error {
+	g.mu.Lock()
+	g.validations++
+	if err, ok := g.early[t.XID]; ok {
+		delete(g.early, t.XID)
+		g.mu.Unlock()
+		return err
+	}
+	ch := make(chan error, 1)
+	g.waiting[t.XID] = ch
+	g.mu.Unlock()
+
+	var timer <-chan time.Time
+	if g.timeout > 0 {
+		tm := time.NewTimer(g.timeout)
+		defer tm.Stop()
+		timer = tm.C
+	}
+	select {
+	case err := <-ch:
+		return err
+	case <-timer:
+		g.mu.Lock()
+		delete(g.waiting, t.XID)
+		g.mu.Unlock()
+		return fmt.Errorf("validation of %v: %w", t.XID, base.ErrTimeout)
+	}
+}
+
+// sink receives validation outcomes from the destination replayer.
+func (g *moccGate) sink(xid base.XID, err error) {
+	g.mu.Lock()
+	ch, ok := g.waiting[xid]
+	if ok {
+		delete(g.waiting, xid)
+	} else {
+		g.early[xid] = err
+	}
+	g.mu.Unlock()
+	if ok {
+		ch <- err
+	}
+}
+
+// abortWaiters fails every parked validation (destination crash, §3.7: "any
+// source transaction waiting for its validation stage result would be
+// terminated first in the case of a crash occurred on the destination").
+func (g *moccGate) abortWaiters(cause error) {
+	g.mu.Lock()
+	waiting := g.waiting
+	g.waiting = make(map[base.XID]chan error)
+	g.mu.Unlock()
+	for _, ch := range waiting {
+		ch <- cause
+	}
+}
+
+// Validations reports how many transactions entered the validation stage.
+func (g *moccGate) Validations() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.validations
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/cluster"
+)
+
+// TestBankTransferInvariantDuringMigration is the strongest end-to-end SI
+// check: money moves between accounts on different shards/nodes while every
+// shard of the bank migrates; snapshot reads of the total balance must see
+// the invariant at every instant, and no transfer may be lost or duplicated.
+func TestBankTransferInvariantDuringMigration(t *testing.T) {
+	const (
+		accounts = 200
+		initial  = int64(1000)
+		workers  = 6
+	)
+	c := cluster.New(cluster.Config{Nodes: 3})
+	tbl, err := c.CreateTable("bank", 6, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := func(v int64) base.Value {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		return b[:]
+	}
+	dec := func(v base.Value) int64 { return int64(binary.LittleEndian.Uint64(v)) }
+
+	s, _ := c.Connect(1)
+	load, _ := s.Begin()
+	for i := 0; i < accounts; i++ {
+		if err := load.Insert(tbl, base.EncodeUint64Key(uint64(i)), enc(initial)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := load.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(accounts) * initial
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var transfers, conflicts atomic.Uint64
+	var fatalErr atomic.Value
+
+	// Transfer workers: move a random amount between two random accounts.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess, err := c.Connect(base.NodeID(w%3 + 1))
+			if err != nil {
+				fatalErr.Store(fmt.Sprintf("connect: %v", err))
+				return
+			}
+			r := uint64(w*2654435761 + 17)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r = r*6364136223846793005 + 1
+				from := r % accounts
+				to := (r >> 16) % accounts
+				if from == to {
+					continue
+				}
+				amount := int64(r%97) + 1
+				tx, err := sess.Begin()
+				if err != nil {
+					continue
+				}
+				fv, err := tx.Get(tbl, base.EncodeUint64Key(from))
+				if err == nil {
+					var tv base.Value
+					tv, err = tx.Get(tbl, base.EncodeUint64Key(to))
+					if err == nil {
+						if err = tx.Update(tbl, base.EncodeUint64Key(from), enc(dec(fv)-amount)); err == nil {
+							err = tx.Update(tbl, base.EncodeUint64Key(to), enc(dec(tv)+amount))
+						}
+					}
+				}
+				if err != nil {
+					tx.Abort()
+					if errors.Is(err, base.ErrWWConflict) || errors.Is(err, base.ErrAborted) {
+						conflicts.Add(1)
+						continue
+					}
+					fatalErr.Store(fmt.Sprintf("transfer statement: %v", err))
+					return
+				}
+				if _, err := tx.Commit(); err != nil {
+					if errors.Is(err, base.ErrWWConflict) || errors.Is(err, base.ErrAborted) {
+						conflicts.Add(1)
+						continue
+					}
+					fatalErr.Store(fmt.Sprintf("transfer commit: %v", err))
+					return
+				}
+				transfers.Add(1)
+			}
+		}(w)
+	}
+
+	// Auditor: scans the whole table under one snapshot; the sum must equal
+	// the invariant at EVERY snapshot (SI forbids torn transfers).
+	var audits atomic.Uint64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sess, err := c.Connect(2)
+		if err != nil {
+			fatalErr.Store(fmt.Sprintf("auditor connect: %v", err))
+			return
+		}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tx, err := sess.Begin()
+			if err != nil {
+				continue
+			}
+			sum := int64(0)
+			rows := 0
+			err = tx.ScanTable(tbl, func(k base.Key, v base.Value) bool {
+				sum += dec(v)
+				rows++
+				return true
+			})
+			tx.Abort()
+			if err != nil {
+				if errors.Is(err, base.ErrWWConflict) || errors.Is(err, base.ErrAborted) {
+					continue
+				}
+				fatalErr.Store(fmt.Sprintf("audit scan: %v", err))
+				return
+			}
+			if rows != accounts || sum != want {
+				fatalErr.Store(fmt.Sprintf("audit: rows=%d sum=%d, want %d/%d (SI violated mid-migration)",
+					rows, sum, accounts, want))
+				return
+			}
+			audits.Add(1)
+		}
+	}()
+
+	// Migrations: shuffle every shard around the cluster, twice.
+	ctrl := NewController(c, DefaultOptions())
+	time.Sleep(20 * time.Millisecond)
+	for round := 0; round < 2; round++ {
+		for _, n := range c.Nodes() {
+			shards := c.ShardsOn(n.ID())
+			if len(shards) == 0 {
+				continue
+			}
+			dst := base.NodeID(int32(n.ID())%3 + 1)
+			if _, err := ctrl.Migrate(shards[:1], dst); err != nil {
+				t.Fatalf("round %d migrate from %v: %v", round, n.ID(), err)
+			}
+			if v := fatalErr.Load(); v != nil {
+				t.Fatal(v)
+			}
+		}
+	}
+	time.Sleep(30 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if v := fatalErr.Load(); v != nil {
+		t.Fatal(v)
+	}
+	if transfers.Load() == 0 {
+		t.Fatal("no transfers committed")
+	}
+	if audits.Load() == 0 {
+		t.Fatal("no audits completed")
+	}
+
+	// Final ground truth.
+	check, _ := s.Begin()
+	sum := int64(0)
+	rows := 0
+	if err := check.ScanTable(tbl, func(k base.Key, v base.Value) bool {
+		sum += dec(v)
+		rows++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	check.Abort()
+	if rows != accounts || sum != want {
+		t.Fatalf("final rows=%d sum=%d, want %d/%d (transfers lost or duplicated)", rows, sum, accounts, want)
+	}
+	t.Logf("transfers=%d conflicts=%d audits=%d", transfers.Load(), conflicts.Load(), audits.Load())
+}

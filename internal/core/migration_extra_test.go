@@ -1,0 +1,404 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/cluster"
+	"remus/internal/mvcc"
+	"remus/internal/node"
+	"remus/internal/simnet"
+)
+
+// TestMigrateUnderGTS runs a migration under the centralized timestamp
+// scheme: the ordered-diversion correctness must not depend on DTS.
+func TestMigrateUnderGTS(t *testing.T) {
+	c := cluster.New(cluster.Config{Nodes: 3, Scheme: cluster.GTS})
+	tbl, err := c.CreateTable("accounts", 6, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := c.Connect(1)
+	tx, _ := s.Begin()
+	for i := 0; i < 200; i++ {
+		if err := tx.Insert(tbl, base.EncodeUint64Key(uint64(i)), base.Value("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	stats, wg := runTraffic(t, c, tbl, 4, 200, stop)
+	time.Sleep(20 * time.Millisecond)
+	ctrl := NewController(c, DefaultOptions())
+	if _, err := ctrl.Migrate(c.ShardsOn(1), 2); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if got := stats.migrationAborts.Load(); got != 0 {
+		t.Errorf("migration aborts under GTS = %d", got)
+	}
+	if got := stats.otherErrors.Load(); got != 0 {
+		t.Errorf("unexpected errors = %d (last: %v)", got, stats.lastErr.Load())
+	}
+}
+
+// TestMigrateWithSpill forces the update-cache queue of a batch transaction
+// to spill to disk mid-migration (§3.3).
+func TestMigrateWithSpill(t *testing.T) {
+	f := newFixture(t, 2, 2, 50)
+	group := f.c.ShardsOn(1)
+
+	// Start a batch transaction writing many rows into the migrating shards
+	// and hold it open so the propagator must queue (and spill) its records.
+	s, _ := f.c.Connect(1)
+	batch, _ := s.Begin()
+	const rows = 600
+	for i := 0; i < rows; i++ {
+		key := base.EncodeUint64Key(uint64(1_000_000 + i))
+		if err := batch.Insert(f.tbl, key, base.Value("spill-payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	opts := DefaultOptions()
+	opts.Workers = 4
+	opts.SpillThreshold = 32 // force spilling
+	opts.SpillDir = t.TempDir()
+	ctrl := NewController(f.c, opts)
+	migDone := make(chan *Report, 1)
+	migErr := make(chan error, 1)
+	go func() {
+		rep, err := ctrl.Migrate(group, 2)
+		migErr <- err
+		migDone <- rep
+	}()
+	// Commit the batch shortly after the migration reaches dual execution.
+	time.Sleep(30 * time.Millisecond)
+	if _, err := batch.Commit(); err != nil {
+		t.Fatalf("batch commit: %v", err)
+	}
+	if err := <-migErr; err != nil {
+		t.Fatal(err)
+	}
+	rep := <-migDone
+	if rep.SpilledTxns == 0 {
+		t.Error("no spilled transactions despite tiny threshold")
+	}
+	// Every spilled row is visible exactly once on the destination.
+	check, _ := s.Begin()
+	count := 0
+	if err := check.ScanTable(f.tbl, func(k base.Key, v base.Value) bool {
+		if string(v) == "spill-payload" {
+			count++
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	check.Abort()
+	inShards := 0
+	for i := 0; i < rows; i++ {
+		key := base.EncodeUint64Key(uint64(1_000_000 + i))
+		for _, id := range group {
+			if f.tbl.ShardOf(key) == id {
+				inShards++
+			}
+		}
+	}
+	if count != rows {
+		t.Fatalf("spill rows visible = %d, want %d (of which %d in migrated shards)", count, rows, inShards)
+	}
+}
+
+// TestMigrateWithNetworkCosts runs a migration over a lossy-free but slow
+// interconnect; catch-up must still converge.
+func TestMigrateWithNetworkCosts(t *testing.T) {
+	store := mvcc.DefaultConfig()
+	c := cluster.New(cluster.Config{Nodes: 2, Store: store,
+		Net: simnet.Config{Latency: 100 * time.Microsecond, BandwidthMBps: 10}})
+	tbl, err := c.CreateTable("accounts", 2, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := c.Connect(1)
+	var rows []cluster.KV
+	for i := 0; i < 400; i++ {
+		rows = append(rows, cluster.KV{Key: base.EncodeUint64Key(uint64(i)), Value: base.Value(fmt.Sprintf("v%04d", i))})
+	}
+	tx, _ := s.Begin()
+	if err := tx.BatchInsert(tbl, rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	stats, wg := runTraffic(t, c, tbl, 3, 400, stop)
+	time.Sleep(20 * time.Millisecond)
+	ctrl := NewController(c, DefaultOptions())
+	rep, err := ctrl.Migrate(c.ShardsOn(1), 2)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.migrationAborts.Load() != 0 {
+		t.Errorf("migration aborts = %d", stats.migrationAborts.Load())
+	}
+	if rep.Snapshot.Bytes == 0 {
+		t.Error("no snapshot bytes accounted")
+	}
+	if c.Net().Bytes() == 0 {
+		t.Error("no network traffic accounted")
+	}
+}
+
+// TestForUpdateLockValidatedByMOCC: a source transaction that only takes an
+// explicit row lock (SELECT ... FOR UPDATE) on the migrating shard must
+// still be MOCC-validated — §3.5.2 lists "explicit row-level lock" among the
+// record kinds the shadow transaction re-executes — and must abort if a
+// destination transaction updated the tuple first.
+func TestForUpdateLockValidatedByMOCC(t *testing.T) {
+	f := newFixture(t, 2, 2, 50)
+	group := f.c.ShardsOn(1)
+	var key base.Key
+	for i := 0; i < 50; i++ {
+		k := base.EncodeUint64Key(uint64(i))
+		if f.tbl.ShardOf(k) == group[0] {
+			key = k
+			break
+		}
+	}
+
+	s, _ := f.c.Connect(1)
+	src, _ := s.Begin()
+	if err := src.LockRow(f.tbl, key); err != nil {
+		t.Fatal(err)
+	}
+
+	migDone := make(chan error, 1)
+	go func() {
+		_, err := f.ctrl.Migrate(group, 2)
+		migDone <- err
+	}()
+	waitFor(t, 5*time.Second, func() bool {
+		return f.c.Node(1).PhaseOf(group[0]) == node.PhaseSource
+	})
+
+	// A destination transaction updates the locked tuple and commits. On
+	// the source the row lock is held by src, but the destination knows
+	// nothing of it until validation.
+	s2, _ := f.c.Connect(2)
+	td, _ := s2.Begin()
+	if err := td.Update(f.tbl, key, base.Value("dest-wins")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := td.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The source's FOR UPDATE transaction must fail validation.
+	if _, err := src.Commit(); !errors.Is(err, base.ErrWWConflict) {
+		t.Fatalf("FOR UPDATE source commit = %v, want ww-conflict", err)
+	}
+	if err := <-migDone; err != nil {
+		t.Fatal(err)
+	}
+	s3, _ := f.c.Connect(2)
+	tx, _ := s3.Begin()
+	v, err := tx.Get(f.tbl, key)
+	if err != nil || string(v) != "dest-wins" {
+		t.Fatalf("final value = %q, %v", v, err)
+	}
+	tx.Abort()
+}
+
+// TestReadOnlySourceTxnNeedsNoValidation: per §3.5.2, "MOCC does not need to
+// validate the read set of each source transaction". A source transaction
+// that only reads the migrating shard commits without validation even when a
+// destination transaction concurrently overwrites what it read.
+func TestReadOnlySourceTxnNeedsNoValidation(t *testing.T) {
+	f := newFixture(t, 2, 2, 50)
+	group := f.c.ShardsOn(1)
+	var key base.Key
+	for i := 0; i < 50; i++ {
+		k := base.EncodeUint64Key(uint64(i))
+		if f.tbl.ShardOf(k) == group[0] {
+			key = k
+			break
+		}
+	}
+	s, _ := f.c.Connect(1)
+	reader, _ := s.Begin()
+	want, err := reader.Get(f.tbl, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	migDone := make(chan error, 1)
+	go func() {
+		_, err := f.ctrl.Migrate(group, 2)
+		migDone <- err
+	}()
+	waitFor(t, 5*time.Second, func() bool {
+		return f.c.Node(1).PhaseOf(group[0]) == node.PhaseSource
+	})
+	// Destination overwrites the tuple the reader already read.
+	s2, _ := f.c.Connect(2)
+	td, _ := s2.Begin()
+	if err := td.Update(f.tbl, key, base.Value("newer")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := td.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot stability on the source, then a clean commit — no WR
+	// dependency from destination to source exists under Theorem 3.1.
+	again, err := reader.Get(f.tbl, key)
+	if err != nil || string(again) != string(want) {
+		t.Fatalf("snapshot unstable during dual execution: %q vs %q (%v)", again, want, err)
+	}
+	if _, err := reader.Commit(); err != nil {
+		t.Fatalf("read-only source txn commit = %v, want success", err)
+	}
+	if err := <-migDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVacuumDuringMigrationKeepsOldSnapshots exercises the cluster-wide
+// vacuum horizon: reclamation during a migration must not break transactions
+// holding pre-migration snapshots.
+func TestVacuumDuringMigrationKeepsOldSnapshots(t *testing.T) {
+	f := newFixture(t, 2, 2, 100)
+	group := f.c.ShardsOn(1)
+
+	s, _ := f.c.Connect(2)
+	oldTxn, _ := s.Begin() // holds a pre-migration snapshot
+	var key base.Key
+	for i := 0; i < 100; i++ {
+		k := base.EncodeUint64Key(uint64(i))
+		if f.tbl.ShardOf(k) == group[0] {
+			key = k
+			break
+		}
+	}
+	want, err := oldTxn.Get(f.tbl, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent vacuum pressure during the migration.
+	stopVac := make(chan struct{})
+	vacDone := make(chan struct{})
+	go func() {
+		defer close(vacDone)
+		for {
+			select {
+			case <-stopVac:
+				return
+			default:
+			}
+			f.c.Vacuum(5 * time.Millisecond)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	// Update the key a few times so chains exist to vacuum.
+	s2, _ := f.c.Connect(1)
+	for i := 0; i < 5; i++ {
+		tx, _ := s2.Begin()
+		if err := tx.Update(f.tbl, key, base.Value(fmt.Sprintf("new%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Remus' drain is conservative: the source copy retires only once no
+	// cluster-wide snapshot predates the diversion barrier, so the migration
+	// blocks in dual execution while oldTxn lives. Read under vacuum
+	// pressure during that window, then finish oldTxn so the migration can
+	// complete.
+	migDone := make(chan error, 1)
+	go func() {
+		_, err := f.ctrl.Migrate(group, 2)
+		migDone <- err
+	}()
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		got, err := oldTxn.Get(f.tbl, key)
+		if err != nil {
+			t.Fatalf("old snapshot read during migration+vacuum: %v", err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("old snapshot read %q, want %q (vacuum reclaimed a needed version)", got, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	select {
+	case err := <-migDone:
+		t.Fatalf("migration completed while an old snapshot was active: %v", err)
+	default:
+	}
+	oldTxn.Abort()
+	if err := <-migDone; err != nil {
+		t.Fatal(err)
+	}
+	close(stopVac)
+	<-vacDone
+}
+
+// TestCheckpointDuringMigrationIsSafe runs aggressive WAL checkpoints on the
+// source while a migration's propagator tails the log: the propagator's WAL
+// hold must keep every record it still needs.
+func TestCheckpointDuringMigrationIsSafe(t *testing.T) {
+	const rows = 200
+	f := newFixture(t, 2, 2, rows)
+	group := f.c.ShardsOn(1)
+	stop := make(chan struct{})
+	stats, wg := runTraffic(t, f.c, f.tbl, 4, rows, stop)
+
+	ckptDone := make(chan struct{})
+	go func() {
+		defer close(ckptDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, n := range f.c.Nodes() {
+				n.Checkpoint()
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	time.Sleep(20 * time.Millisecond)
+	if _, err := f.ctrl.Migrate(group, 2); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	<-ckptDone
+	if got := stats.migrationAborts.Load(); got != 0 {
+		t.Errorf("migration aborts = %d", got)
+	}
+	if got := stats.otherErrors.Load(); got != 0 {
+		t.Errorf("unexpected errors = %d (last: %v)", got, stats.lastErr.Load())
+	}
+	f.verify(t, rows, 2, nil)
+	// No residual holds once the migration finished.
+	for _, n := range f.c.Nodes() {
+		if n.WALHoldCount() != 0 {
+			t.Errorf("%v still holds the WAL", n.ID())
+		}
+	}
+}

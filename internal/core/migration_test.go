@@ -1,0 +1,475 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/cluster"
+	"remus/internal/mvcc"
+	"remus/internal/node"
+	"remus/internal/shard"
+)
+
+// fixture is a small cluster with one loaded table.
+type fixture struct {
+	c    *cluster.Cluster
+	tbl  *shard.Table
+	ctrl *Controller
+}
+
+func newFixture(t *testing.T, nodes, shards, rows int) *fixture {
+	t.Helper()
+	store := mvcc.DefaultConfig()
+	store.LockTimeout = 3 * time.Second
+	store.PrepareWaitTimeout = 3 * time.Second
+	c := cluster.New(cluster.Config{Nodes: nodes, Store: store})
+	tbl, err := c.CreateTable("accounts", shards, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Connect(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rowsKV []cluster.KV
+	for i := 0; i < rows; i++ {
+		rowsKV = append(rowsKV, cluster.KV{Key: base.EncodeUint64Key(uint64(i)), Value: base.Value(fmt.Sprintf("v%d", i))})
+	}
+	tx, err := s.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.BatchInsert(tbl, rowsKV); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Workers = 8
+	opts.PhaseTimeout = 30 * time.Second
+	return &fixture{c: c, tbl: tbl, ctrl: NewController(c, opts)}
+}
+
+// verify checks every row is readable exactly once with the right value.
+func (f *fixture) verify(t *testing.T, rows int, sessNode base.NodeID, check func(i int, v string) bool) {
+	t.Helper()
+	s, err := f.c.Connect(sessNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := s.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Abort()
+	seen := map[string]int{}
+	if err := tx.ScanTable(f.tbl, func(k base.Key, v base.Value) bool {
+		seen[string(k)]++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != rows {
+		t.Fatalf("scan found %d distinct keys, want %d", len(seen), rows)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("key %x visible %d times (duplicate across nodes)", k, n)
+		}
+	}
+	for i := 0; i < rows; i++ {
+		v, err := tx.Get(f.tbl, base.EncodeUint64Key(uint64(i)))
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if check != nil && !check(i, string(v)) {
+			t.Fatalf("row %d has unexpected value %q", i, v)
+		}
+	}
+}
+
+func TestMigrateIdleShard(t *testing.T) {
+	const rows = 500
+	f := newFixture(t, 3, 6, rows)
+	victim := f.c.ShardsOn(1)
+	if len(victim) == 0 {
+		t.Fatal("node1 owns nothing")
+	}
+	rep, err := f.ctrl.Migrate(victim[:1], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Snapshot.Tuples == 0 {
+		t.Error("no tuples copied")
+	}
+	if owner, _ := f.c.OwnerOf(victim[0]); owner != 2 {
+		t.Fatalf("owner = %v, want node2", owner)
+	}
+	if f.c.Node(1).PhaseOf(victim[0]) != node.PhaseNone {
+		t.Error("source still holds the shard")
+	}
+	if f.c.Node(2).PhaseOf(victim[0]) != node.PhaseOwned {
+		t.Error("destination does not own the shard")
+	}
+	f.verify(t, rows, 3, func(i int, v string) bool { return v == fmt.Sprintf("v%d", i) })
+}
+
+func TestMigrateCollocatedGroup(t *testing.T) {
+	const rows = 400
+	f := newFixture(t, 3, 6, rows)
+	group := f.c.ShardsOn(1)
+	rep, err := f.ctrl.Migrate(group, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Shards) != len(group) {
+		t.Fatalf("report shards = %v", rep.Shards)
+	}
+	for _, id := range group {
+		if owner, _ := f.c.OwnerOf(id); owner != 3 {
+			t.Fatalf("shard %v owner = %v", id, owner)
+		}
+	}
+	f.verify(t, rows, 1, nil)
+}
+
+func TestPlanValidation(t *testing.T) {
+	f := newFixture(t, 3, 6, 10)
+	if _, err := f.ctrl.Plan(nil, 2); err == nil {
+		t.Error("empty group accepted")
+	}
+	if _, err := f.ctrl.Plan([]base.ShardID{1}, 99); err == nil {
+		t.Error("unknown destination accepted")
+	}
+	if _, err := f.ctrl.Plan([]base.ShardID{999}, 2); err == nil {
+		t.Error("unknown shard accepted")
+	}
+	s1, s2 := f.c.ShardsOn(1), f.c.ShardsOn(2)
+	if _, err := f.ctrl.Plan([]base.ShardID{s1[0], s2[0]}, 3); err == nil {
+		t.Error("cross-source group accepted")
+	}
+	if _, err := f.ctrl.Plan(s1[:1], 1); err == nil {
+		t.Error("self-migration accepted")
+	}
+}
+
+// trafficStats classifies workload outcomes during a migration.
+type trafficStats struct {
+	commits         atomic.Uint64
+	migrationAborts atomic.Uint64
+	wwConflicts     atomic.Uint64
+	otherErrors     atomic.Uint64
+	lastErr         atomic.Value
+}
+
+func (ts *trafficStats) record(err error) {
+	switch {
+	case err == nil:
+		ts.commits.Add(1)
+	case errors.Is(err, base.ErrMigrationAbort):
+		ts.migrationAborts.Add(1)
+	case errors.Is(err, base.ErrWWConflict):
+		ts.wwConflicts.Add(1)
+	default:
+		ts.otherErrors.Add(1)
+		ts.lastErr.Store(fmt.Sprintf("%v", err))
+	}
+}
+
+// runTraffic starts workers doing single-key read+update txns over [0,rows).
+func runTraffic(t *testing.T, c *cluster.Cluster, tbl *shard.Table, workers, rows int, stop chan struct{}) (*trafficStats, *sync.WaitGroup) {
+	t.Helper()
+	stats := &trafficStats{}
+	var wg sync.WaitGroup
+	nodes := c.Nodes()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, err := c.Connect(nodes[w%len(nodes)].ID())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			r := uint64(w*2654435761 + 1)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r = r*6364136223846793005 + 1442695040888963407
+				key := base.EncodeUint64Key(r % uint64(rows))
+				tx, err := s.Begin()
+				if err != nil {
+					stats.record(err)
+					continue
+				}
+				if _, err := tx.Get(tbl, key); err != nil {
+					tx.Abort()
+					stats.record(err)
+					continue
+				}
+				if err := tx.Update(tbl, key, base.Value(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					tx.Abort()
+					stats.record(err)
+					continue
+				}
+				_, err = tx.Commit()
+				stats.record(err)
+			}
+		}(w)
+	}
+	return stats, &wg
+}
+
+func TestMigrateUnderLoadZeroInterruption(t *testing.T) {
+	const rows = 300
+	f := newFixture(t, 3, 6, rows)
+	stop := make(chan struct{})
+	stats, wg := runTraffic(t, f.c, f.tbl, 6, rows, stop)
+
+	time.Sleep(20 * time.Millisecond) // warm up traffic
+	group := f.c.ShardsOn(1)
+	rep, err := f.ctrl.Migrate(group[:2], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep traffic running a moment after the migration.
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if got := stats.migrationAborts.Load(); got != 0 {
+		t.Errorf("migration-induced aborts = %d, want 0 (Remus headline)", got)
+	}
+	if got := stats.otherErrors.Load(); got != 0 {
+		t.Errorf("unexpected errors = %d (last: %v)", got, stats.lastErr.Load())
+	}
+	if stats.commits.Load() == 0 {
+		t.Error("no traffic committed")
+	}
+	if rep.ShippedTxns == 0 {
+		t.Error("no transactions propagated despite concurrent load")
+	}
+	f.verify(t, rows, 2, nil)
+}
+
+func TestLongBatchTxnSurvivesMigration(t *testing.T) {
+	const rows = 100
+	f := newFixture(t, 3, 4, rows)
+	group := f.c.ShardsOn(1)
+
+	// A slow batch transaction keeps inserting into the migrating shards
+	// throughout the whole migration; Remus must neither abort nor stall it.
+	s, err := f.c.Connect(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := s.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchDone := make(chan error, 1)
+	const batchBase = 1 << 20
+	const batchRows = 400
+	var inserted atomic.Uint64
+	var batchCommitted atomic.Bool
+	go func() {
+		for i := uint64(0); i < batchRows; i++ {
+			key := base.EncodeUint64Key(batchBase + i)
+			if err := batch.Insert(f.tbl, key, base.Value("batch")); err != nil {
+				batchDone <- err
+				return
+			}
+			inserted.Add(1)
+			time.Sleep(100 * time.Microsecond) // keep the txn long-lived
+		}
+		_, err := batch.Commit()
+		batchCommitted.Store(true)
+		batchDone <- err
+	}()
+
+	time.Sleep(5 * time.Millisecond) // the batch txn is mid-flight
+	if _, err := f.ctrl.Migrate(group, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Dual execution lasts until existing source transactions complete, so
+	// the migration finishing implies the batch committed — without abort.
+	if !batchCommitted.Load() {
+		t.Fatal("migration completed while a pre-barrier source txn was still active")
+	}
+	if err := <-batchDone; err != nil {
+		t.Fatalf("batch commit failed: %v", err)
+	}
+	// All batch rows visible exactly once.
+	check, _ := s.Begin()
+	count := 0
+	if err := check.ScanTable(f.tbl, func(k base.Key, v base.Value) bool {
+		if string(v) == "batch" {
+			count++
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	check.Abort()
+	if uint64(count) != inserted.Load() {
+		t.Fatalf("batch rows visible = %d, inserted = %d", count, inserted.Load())
+	}
+}
+
+func TestDualExecutionWWConflictDetected(t *testing.T) {
+	const rows = 50
+	f := newFixture(t, 2, 2, rows)
+	group := f.c.ShardsOn(1)
+
+	// Source transaction writes a key in the migrating shard and stays open
+	// through the migration's diversion. It commits after a destination
+	// transaction has updated the same key: MOCC must abort it.
+	var key base.Key
+	for i := 0; i < rows; i++ {
+		k := base.EncodeUint64Key(uint64(i))
+		if f.tbl.ShardOf(k) == group[0] {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no key found in the migrating shard")
+	}
+
+	s, _ := f.c.Connect(1)
+	src, err := s.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Update(f.tbl, key, base.Value("from-source")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run the migration in the background: it will block in dual execution
+	// until src finishes.
+	migDone := make(chan error, 1)
+	go func() {
+		_, err := f.ctrl.Migrate(group, 2)
+		migDone <- err
+	}()
+	// Wait until the shard is diverted (T_m committed).
+	waitFor(t, 5*time.Second, func() bool {
+		return f.c.Node(1).PhaseOf(group[0]) == node.PhaseSource
+	})
+
+	// A fresh transaction is routed to the destination and updates the key.
+	s2, _ := f.c.Connect(2)
+	td, err := s2.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := td.Update(f.tbl, key, base.Value("from-dest")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := td.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Now the source transaction commits: validation finds the newer
+	// version and aborts it.
+	if _, err := src.Commit(); !errors.Is(err, base.ErrWWConflict) {
+		t.Fatalf("source commit = %v, want ww-conflict", err)
+	}
+	if err := <-migDone; err != nil {
+		t.Fatal(err)
+	}
+	// The destination's write survives.
+	s3, _ := f.c.Connect(2)
+	tx, _ := s3.Begin()
+	v, err := tx.Get(f.tbl, key)
+	if err != nil || string(v) != "from-dest" {
+		t.Fatalf("final value = %q, %v", v, err)
+	}
+	tx.Abort()
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestMigrationReportPopulated(t *testing.T) {
+	f := newFixture(t, 2, 2, 200)
+	stop := make(chan struct{})
+	stats, wg := runTraffic(t, f.c, f.tbl, 4, 200, stop)
+	time.Sleep(20 * time.Millisecond)
+	rep, err := f.ctrl.Migrate(f.c.ShardsOn(1), 2)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SnapTS == 0 || rep.TmCTS == 0 {
+		t.Error("timestamps missing in report")
+	}
+	if rep.TotalDuration == 0 || rep.SnapshotDuration == 0 {
+		t.Error("durations missing")
+	}
+	if rep.Source != 1 || rep.Dest != 2 {
+		t.Errorf("endpoints = %v -> %v", rep.Source, rep.Dest)
+	}
+	_ = stats
+}
+
+func TestConsecutiveMigrations(t *testing.T) {
+	// Cluster consolidation shape: move every shard off node 1, two at a
+	// time, under load; then the node is empty.
+	const rows = 240
+	f := newFixture(t, 3, 6, rows)
+	stop := make(chan struct{})
+	stats, wg := runTraffic(t, f.c, f.tbl, 4, rows, stop)
+	time.Sleep(10 * time.Millisecond)
+
+	shards := f.c.ShardsOn(1)
+	dst := []base.NodeID{2, 3}
+	for i := 0; i < len(shards); i++ {
+		if _, err := f.ctrl.Migrate(shards[i:i+1], dst[i%2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := stats.migrationAborts.Load(); got != 0 {
+		t.Errorf("migration aborts = %d", got)
+	}
+	if got := stats.otherErrors.Load(); got != 0 {
+		t.Errorf("unexpected errors = %d (last: %v)", got, stats.lastErr.Load())
+	}
+	if len(f.c.ShardsOn(1)) != 0 {
+		t.Errorf("node1 still owns %v", f.c.ShardsOn(1))
+	}
+	if len(f.c.Node(1).Shards()) != 0 {
+		t.Errorf("node1 still stores %v", f.c.Node(1).Shards())
+	}
+	f.verify(t, rows, 1, nil)
+}
+
+func TestPhaseString(t *testing.T) {
+	phases := []Phase{PhasePlanned, PhaseSnapshot, PhaseAsync, PhaseModeChange,
+		PhaseDiversion, PhaseDual, PhaseCleanup, PhaseDone, PhaseFailed, PhaseRolledBack, Phase(42)}
+	for _, p := range phases {
+		if p.String() == "" {
+			t.Errorf("empty phase string for %d", p)
+		}
+	}
+}

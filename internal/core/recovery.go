@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+
+	"remus/internal/base"
+	"remus/internal/node"
+)
+
+// Recover resolves a migration stopped by a failure (§3.7). The caller must
+// have brought crashed nodes back with node.Recover first. The decision tree
+// follows the paper:
+//
+//   - first resolve T_m with 2PC recovery: it commits iff the coordinator
+//     recorded a commit decision (entered the second phase) before the
+//     crash;
+//   - terminate residual source transactions waiting for validation
+//     verdicts;
+//   - resolve residual prepared shadow transactions to the outcome of their
+//     source transactions;
+//   - if T_m did not commit, the migration rolls back: the partially
+//     migrated data on the destination is cleaned up and the source keeps
+//     serving; the migration can be initiated again;
+//   - if T_m committed, the destination owns the shards and the migration
+//     is driven to completion (divert, drain, retire the source copy).
+func (m *Migration) Recover() (*Report, error) {
+	if m.Phase() != PhaseFailed {
+		return &m.report, fmt.Errorf("core: recover of migration in phase %v", m.Phase())
+	}
+	if m.src.Crashed() || m.dst.Crashed() {
+		return &m.report, fmt.Errorf("core: recover with nodes still down: %w", base.ErrNodeDown)
+	}
+
+	// 1. 2PC recovery of T_m.
+	tmCommitted := false
+	if m.tmPrepared {
+		if m.tmDecided {
+			if err := m.commitTm(); err != nil {
+				return &m.report, err
+			}
+			tmCommitted = true
+		} else {
+			m.abortTm()
+		}
+	}
+
+	// 2. Terminate source transactions parked in validation waits: their
+	// verdicts may never arrive (destination crash). They abort and their
+	// clients retry.
+	if m.gate != nil {
+		m.gate.abortWaiters(fmt.Errorf("%w: migration recovery", base.ErrMigrationAbort))
+	}
+
+	// 3. Resolve residual prepared shadows to their source outcomes.
+	if m.rep != nil {
+		for _, xid := range m.rep.ResidualShadows() {
+			entry := m.src.CLOG().Lookup(xid)
+			switch entry.Status {
+			case base.StatusCommitted:
+				if err := m.rep.ResolveShadow(xid, true, entry.CommitTS); err != nil {
+					return &m.report, err
+				}
+			default:
+				// Aborted, or still prepared on a source that will roll it
+				// back: the paper terminates waiting source transactions
+				// first, so a still-prepared source transaction here lost
+				// its coordinator — roll the shadow back with it.
+				if err := m.rep.ResolveShadow(xid, false, 0); err != nil {
+					return &m.report, err
+				}
+			}
+		}
+	}
+
+	if !tmCommitted {
+		return m.rollback()
+	}
+	return m.completeAfterTm()
+}
+
+// rollback terminates the migration: no transactions were ever diverted, the
+// source holds all updates, so the destination's partial copy is dropped.
+func (m *Migration) rollback() (*Report, error) {
+	if m.gate != nil {
+		m.src.Manager().InstallGate(nil)
+	}
+	if m.prop != nil {
+		m.prop.Stop()
+	}
+	if m.rep != nil {
+		m.rep.Close()
+	}
+	for _, n := range m.c.Nodes() {
+		n.ReadThrough().Clear(m.shards...)
+	}
+	for _, id := range m.shards {
+		m.dst.DropShard(id)
+		m.src.SetPhase(id, node.PhaseOwned)
+	}
+	m.setPhase(PhaseRolledBack)
+	return &m.report, nil
+}
+
+// completeAfterTm finishes a migration whose T_m committed: the destination
+// already owns some latest updates, so the migration must go forward.
+func (m *Migration) completeAfterTm() (*Report, error) {
+	m.report.TmCTS = m.tmCTS
+	for _, id := range m.shards {
+		m.dst.SetPhase(id, node.PhaseDestActive)
+		m.src.DivertSource(id, m.tmCTS)
+	}
+	for _, n := range m.c.Nodes() {
+		n.ReadThrough().Clear(m.shards...)
+	}
+	m.setPhase(PhaseDual)
+	if err := m.finishDual(m.tmCTS); err != nil {
+		m.setPhase(PhaseFailed)
+		return &m.report, err
+	}
+	m.setPhase(PhaseCleanup)
+	m.cleanupAfterSuccess()
+	m.setPhase(PhaseDone)
+	return &m.report, nil
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/node"
+)
+
+// failAt builds a failpoint hook that errors at one stage, optionally
+// crashing a node first.
+func failAt(stage string, crash *node.Node) func(string) error {
+	return func(s string) error {
+		if s != stage {
+			return nil
+		}
+		if crash != nil {
+			crash.Crash()
+		}
+		return fmt.Errorf("injected crash at %s", s)
+	}
+}
+
+func planWithFailpoint(t *testing.T, f *fixture, fp func(string) error, shards []base.ShardID, dst base.NodeID) *Migration {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Workers = 4
+	opts.PhaseTimeout = 20 * time.Second
+	opts.Failpoint = fp
+	ctrl := NewController(f.c, opts)
+	m, err := ctrl.Plan(shards, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRecoverRollbackBeforeTm(t *testing.T) {
+	// Destination crashes before T_m: the migration terminates, the
+	// partially migrated data on the destination is cleaned up, the source
+	// keeps everything, and the migration can be initiated again (§3.7).
+	const rows = 200
+	f := newFixture(t, 2, 2, rows)
+	group := f.c.ShardsOn(1)
+	dst := f.c.Node(2)
+
+	m := planWithFailpoint(t, f, failAt(FPBeforeTm, dst), group, 2)
+	if _, err := m.Run(); err == nil {
+		t.Fatal("migration ignored the injected crash")
+	}
+	if m.Phase() != PhaseFailed {
+		t.Fatalf("phase = %v, want failed", m.Phase())
+	}
+	// Recover with the node still down is refused.
+	if _, err := m.Recover(); !errors.Is(err, base.ErrNodeDown) {
+		t.Fatalf("recover with node down = %v", err)
+	}
+	dst.Recover()
+	if _, err := m.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Phase() != PhaseRolledBack {
+		t.Fatalf("phase = %v, want rolled-back", m.Phase())
+	}
+	// Source still owns and serves everything.
+	for _, id := range group {
+		if owner, _ := f.c.OwnerOf(id); owner != 1 {
+			t.Fatalf("shard %v owner = %v after rollback", id, owner)
+		}
+		if f.c.Node(1).PhaseOf(id) != node.PhaseOwned {
+			t.Fatalf("source phase = %v", f.c.Node(1).PhaseOf(id))
+		}
+		if dst.PhaseOf(id) != node.PhaseNone {
+			t.Fatalf("destination still holds %v", id)
+		}
+	}
+	f.verify(t, rows, 1, nil)
+
+	// The migration can be re-initiated and succeeds.
+	ctrl := NewController(f.c, DefaultOptions())
+	if _, err := ctrl.Migrate(group, 2); err != nil {
+		t.Fatal(err)
+	}
+	f.verify(t, rows, 2, nil)
+}
+
+func TestRecoverAbortsTmLeftPrepared(t *testing.T) {
+	// Controller dies between T_m's prepare and the commit decision: 2PC
+	// recovery rolls T_m back (it never entered the second phase) and the
+	// migration terminates.
+	const rows = 120
+	f := newFixture(t, 2, 2, rows)
+	group := f.c.ShardsOn(1)
+
+	m := planWithFailpoint(t, f, failAt(FPTmPrepared, nil), group, 2)
+	if _, err := m.Run(); err == nil {
+		t.Fatal("migration ignored the failpoint")
+	}
+	if _, err := m.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Phase() != PhaseRolledBack {
+		t.Fatalf("phase = %v", m.Phase())
+	}
+	// The map rows are rolled back: owner is still the source, and reads do
+	// not block (no residual prepared row versions).
+	done := make(chan base.NodeID, 1)
+	go func() {
+		owner, _ := f.c.OwnerOf(group[0])
+		done <- owner
+	}()
+	select {
+	case owner := <-done:
+		if owner != 1 {
+			t.Fatalf("owner = %v after T_m rollback", owner)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("map read blocked on residual prepared T_m")
+	}
+	f.verify(t, rows, 1, nil)
+}
+
+func TestRecoverCompletesAfterTmDecided(t *testing.T) {
+	// Controller dies after recording the commit decision: recovery commits
+	// T_m and drives the migration to completion — the destination has the
+	// latest updates, so going forward is the only safe direction (§3.7).
+	const rows = 150
+	f := newFixture(t, 2, 2, rows)
+	group := f.c.ShardsOn(1)
+
+	m := planWithFailpoint(t, f, failAt(FPTmDecided, nil), group, 2)
+	if _, err := m.Run(); err == nil {
+		t.Fatal("migration ignored the failpoint")
+	}
+	rep, err := m.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Phase() != PhaseDone {
+		t.Fatalf("phase = %v, want done", m.Phase())
+	}
+	if rep.TmCTS == 0 {
+		t.Error("TmCTS missing after recovery")
+	}
+	for _, id := range group {
+		if owner, _ := f.c.OwnerOf(id); owner != 2 {
+			t.Fatalf("shard %v owner = %v, want destination", id, owner)
+		}
+	}
+	f.verify(t, rows, 1, nil)
+}
+
+func TestRecoverResolvesResidualShadows(t *testing.T) {
+	// A synchronized source transaction is parked in validation when the
+	// controller dies after T_m was decided. Recovery terminates the
+	// waiter, rolls its prepared shadow back, and completes the migration.
+	const rows = 80
+	f := newFixture(t, 2, 2, rows)
+	group := f.c.ShardsOn(1)
+
+	var key base.Key
+	for i := 0; i < rows; i++ {
+		k := base.EncodeUint64Key(uint64(i))
+		if f.tbl.ShardOf(k) == group[0] {
+			key = k
+			break
+		}
+	}
+
+	tmDecided := make(chan struct{})
+	proceed := make(chan struct{})
+	fp := func(stage string) error {
+		if stage != FPTmDecided {
+			return nil
+		}
+		close(tmDecided)
+		<-proceed
+		return fmt.Errorf("injected controller crash")
+	}
+	m := planWithFailpoint(t, f, fp, group, 2)
+
+	// A source transaction updates the key and will commit during the
+	// migration window; it must park in validation (sync mode is on before
+	// T_m).
+	s, _ := f.c.Connect(1)
+	src, err := s.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Update(f.tbl, key, base.Value("inflight")); err != nil {
+		t.Fatal(err)
+	}
+	commitErr := make(chan error, 1)
+
+	migDone := make(chan error, 1)
+	go func() {
+		_, err := m.Run()
+		migDone <- err
+	}()
+	<-tmDecided
+	// Source commit now parks in the validation wait (no verdict will come:
+	// the controller is "dead" and we recover before the replayer acks...
+	// actually the replayer is still alive, so the verdict will arrive and
+	// the txn may commit. Either way recovery must leave a consistent
+	// state; we only require: no hang, and the migration completes.
+	go func() {
+		_, err := src.Commit()
+		commitErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(proceed)
+	if err := <-migDone; err == nil {
+		t.Fatal("migration ignored injected crash")
+	}
+	if _, err := m.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Phase() != PhaseDone {
+		t.Fatalf("phase = %v", m.Phase())
+	}
+	err = <-commitErr
+	// The in-flight transaction either committed (validation verdict raced
+	// ahead of recovery) or was terminated by recovery; both are legal.
+	if err != nil && !errors.Is(err, base.ErrAborted) && !errors.Is(err, base.ErrWWConflict) {
+		t.Fatalf("in-flight txn ended with %v", err)
+	}
+	// The key is consistent: either the new or the old value, exactly once.
+	s2, _ := f.c.Connect(2)
+	tx, _ := s2.Begin()
+	v, gerr := tx.Get(f.tbl, key)
+	if gerr != nil {
+		t.Fatalf("key unreadable after recovery: %v", gerr)
+	}
+	if err == nil && string(v) != "inflight" {
+		t.Fatalf("txn committed but value = %q", v)
+	}
+	if err != nil && string(v) == "inflight" {
+		t.Fatalf("txn aborted but value = %q", v)
+	}
+	tx.Abort()
+	f.verify(t, rows, 2, nil)
+}
+
+func TestRecoverOfHealthyMigrationRefused(t *testing.T) {
+	f := newFixture(t, 2, 2, 50)
+	ctrl := NewController(f.c, DefaultOptions())
+	m, err := ctrl.Plan(f.c.ShardsOn(1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Recover(); err == nil {
+		t.Error("recover of a planned migration succeeded")
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Recover(); err == nil {
+		t.Error("recover of a completed migration succeeded")
+	}
+}

@@ -1,0 +1,209 @@
+package mvcc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"remus/internal/base"
+)
+
+// LockTable implements row-level exclusive locks with FIFO waiters,
+// reentrancy and wait-for-graph deadlock detection. Writers acquire the lock
+// for a key before creating a new tuple version and hold it until the
+// transaction finishes, mirroring PostgreSQL's row-level write locking under
+// snapshot isolation; like PostgreSQL, a lock request that would close a
+// wait-for cycle fails immediately with base.ErrDeadlock (the requester is
+// the victim) instead of hanging until the timeout.
+type LockTable struct {
+	mu    sync.Mutex
+	locks map[base.Key]*lockState
+	held  map[base.XID]map[base.Key]struct{}
+	// waitingOn records, for every blocked transaction, the key it waits
+	// for — the edges of the wait-for graph.
+	waitingOn map[base.XID]base.Key
+}
+
+type lockWaiter struct {
+	xid     base.XID
+	granted chan struct{}
+	done    bool // set under LockTable.mu when granted or abandoned
+}
+
+type lockState struct {
+	owner   base.XID
+	depth   int
+	waiters []*lockWaiter
+}
+
+// NewLockTable returns an empty lock table.
+func NewLockTable() *LockTable {
+	return &LockTable{
+		locks:     make(map[base.Key]*lockState),
+		held:      make(map[base.XID]map[base.Key]struct{}),
+		waitingOn: make(map[base.XID]base.Key),
+	}
+}
+
+// wouldDeadlock walks the wait-for graph from the lock xid requests: if the
+// chain of "owner waits for key whose owner waits for ..." leads back to
+// xid, granting the wait would close a cycle. Caller holds lt.mu.
+func (lt *LockTable) wouldDeadlock(xid base.XID, key base.Key) bool {
+	seen := make(map[base.XID]bool)
+	cur := key
+	for {
+		st := lt.locks[cur]
+		if st == nil || st.owner == base.InvalidXID {
+			return false
+		}
+		if st.owner == xid {
+			return true
+		}
+		if seen[st.owner] {
+			return false // cycle not involving xid
+		}
+		seen[st.owner] = true
+		next, waiting := lt.waitingOn[st.owner]
+		if !waiting {
+			return false
+		}
+		cur = next
+	}
+}
+
+// Acquire blocks until xid owns the lock for key, or until timeout (zero
+// means wait forever). Reentrant acquisition succeeds immediately.
+func (lt *LockTable) Acquire(key base.Key, xid base.XID, timeout time.Duration) error {
+	lt.mu.Lock()
+	st := lt.locks[key]
+	if st == nil {
+		st = &lockState{}
+		lt.locks[key] = st
+	}
+	if st.owner == base.InvalidXID || st.owner == xid {
+		st.owner = xid
+		st.depth++
+		lt.noteHeld(xid, key)
+		lt.mu.Unlock()
+		return nil
+	}
+	if lt.wouldDeadlock(xid, key) {
+		lt.mu.Unlock()
+		return fmt.Errorf("lock on %q by %v: %w", string(key), xid, base.ErrDeadlock)
+	}
+	w := &lockWaiter{xid: xid, granted: make(chan struct{})}
+	st.waiters = append(st.waiters, w)
+	lt.waitingOn[xid] = key
+	lt.mu.Unlock()
+
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case <-w.granted:
+		lt.mu.Lock()
+		delete(lt.waitingOn, xid)
+		lt.mu.Unlock()
+		return nil
+	case <-timer:
+	}
+	// Timed out: withdraw, unless the grant raced the timer.
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	delete(lt.waitingOn, xid)
+	if w.done {
+		// Granted concurrently with the timeout; keep the lock.
+		return nil
+	}
+	w.done = true
+	for i, cand := range st.waiters {
+		if cand == w {
+			st.waiters = append(st.waiters[:i], st.waiters[i+1:]...)
+			break
+		}
+	}
+	return fmt.Errorf("lock wait on %q: %w", string(key), base.ErrTimeout)
+}
+
+// noteHeld records ownership for ReleaseAll. Caller holds lt.mu.
+func (lt *LockTable) noteHeld(xid base.XID, key base.Key) {
+	m := lt.held[xid]
+	if m == nil {
+		m = make(map[base.Key]struct{})
+		lt.held[xid] = m
+	}
+	m[key] = struct{}{}
+}
+
+// Release drops one reentrancy level of xid's lock on key, handing the lock
+// to the next waiter when the depth reaches zero.
+func (lt *LockTable) Release(key base.Key, xid base.XID) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	lt.releaseLocked(key, xid, false)
+}
+
+// ReleaseAll drops every lock held by xid (transaction end).
+func (lt *LockTable) ReleaseAll(xid base.XID) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	for key := range lt.held[xid] {
+		lt.releaseLocked(key, xid, true)
+	}
+	delete(lt.held, xid)
+}
+
+func (lt *LockTable) releaseLocked(key base.Key, xid base.XID, all bool) {
+	st := lt.locks[key]
+	if st == nil || st.owner != xid {
+		return
+	}
+	if all {
+		st.depth = 0
+	} else {
+		st.depth--
+	}
+	if st.depth > 0 {
+		return
+	}
+	if m := lt.held[xid]; m != nil && !all {
+		delete(m, key)
+	}
+	// Hand to the next live waiter.
+	for len(st.waiters) > 0 {
+		w := st.waiters[0]
+		st.waiters = st.waiters[1:]
+		if w.done {
+			continue
+		}
+		st.owner = w.xid
+		st.depth = 1
+		w.done = true
+		delete(lt.waitingOn, w.xid) // the edge dies at grant time
+		lt.noteHeld(w.xid, key)
+		close(w.granted)
+		return
+	}
+	st.owner = base.InvalidXID
+	delete(lt.locks, key)
+}
+
+// Owner reports the current lock owner for key (for tests and debugging).
+func (lt *LockTable) Owner(key base.Key) base.XID {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if st := lt.locks[key]; st != nil {
+		return st.owner
+	}
+	return base.InvalidXID
+}
+
+// HeldBy reports how many keys xid currently has locked.
+func (lt *LockTable) HeldBy(xid base.XID) int {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return len(lt.held[xid])
+}

@@ -1,0 +1,329 @@
+package mvcc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/clog"
+)
+
+func TestLockAcquireRelease(t *testing.T) {
+	lt := NewLockTable()
+	if err := lt.Acquire("k", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if lt.Owner("k") != 1 {
+		t.Fatalf("owner = %v", lt.Owner("k"))
+	}
+	lt.Release("k", 1)
+	if lt.Owner("k") != base.InvalidXID {
+		t.Fatal("lock not released")
+	}
+}
+
+func TestLockReentrant(t *testing.T) {
+	lt := NewLockTable()
+	if err := lt.Acquire("k", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.Acquire("k", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	lt.Release("k", 1)
+	if lt.Owner("k") != 1 {
+		t.Fatal("reentrant lock released too early")
+	}
+	lt.Release("k", 1)
+	if lt.Owner("k") != base.InvalidXID {
+		t.Fatal("lock not fully released")
+	}
+}
+
+func TestLockBlocksAndHandsOver(t *testing.T) {
+	lt := NewLockTable()
+	if err := lt.Acquire("k", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan struct{})
+	go func() {
+		if err := lt.Acquire("k", 2, 0); err != nil {
+			t.Error(err)
+		}
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("waiter acquired a held lock")
+	case <-time.After(10 * time.Millisecond):
+	}
+	lt.Release("k", 1)
+	select {
+	case <-acquired:
+	case <-time.After(time.Second):
+		t.Fatal("waiter never granted")
+	}
+	if lt.Owner("k") != 2 {
+		t.Fatalf("owner = %v, want 2", lt.Owner("k"))
+	}
+}
+
+func TestLockFIFO(t *testing.T) {
+	lt := NewLockTable()
+	if err := lt.Acquire("k", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan base.XID, 2)
+	var ready sync.WaitGroup
+	start := func(xid base.XID) {
+		ready.Done()
+		if err := lt.Acquire("k", xid, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		order <- xid
+		lt.Release("k", xid)
+	}
+	ready.Add(1)
+	go start(2)
+	ready.Wait()
+	time.Sleep(10 * time.Millisecond) // ensure 2 queues first
+	ready.Add(1)
+	go start(3)
+	ready.Wait()
+	time.Sleep(10 * time.Millisecond)
+	lt.Release("k", 1)
+	if first := <-order; first != 2 {
+		t.Errorf("first grant to %v, want 2 (FIFO)", first)
+	}
+	if second := <-order; second != 3 {
+		t.Errorf("second grant to %v, want 3", second)
+	}
+}
+
+func TestLockTimeout(t *testing.T) {
+	lt := NewLockTable()
+	if err := lt.Acquire("k", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	err := lt.Acquire("k", 2, 20*time.Millisecond)
+	if !errors.Is(err, base.ErrTimeout) {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+	// The timed-out waiter must not receive the lock later.
+	lt.Release("k", 1)
+	if owner := lt.Owner("k"); owner != base.InvalidXID {
+		t.Fatalf("owner = %v after release, want none", owner)
+	}
+}
+
+func TestReleaseAll(t *testing.T) {
+	lt := NewLockTable()
+	for _, k := range []base.Key{"a", "b", "c"} {
+		if err := lt.Acquire(k, 7, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lt.HeldBy(7) != 3 {
+		t.Fatalf("HeldBy = %d", lt.HeldBy(7))
+	}
+	lt.ReleaseAll(7)
+	if lt.HeldBy(7) != 0 {
+		t.Fatal("locks not released")
+	}
+	for _, k := range []base.Key{"a", "b", "c"} {
+		if lt.Owner(k) != base.InvalidXID {
+			t.Fatalf("%q still owned", k)
+		}
+	}
+}
+
+func TestReleaseAllWakesWaiters(t *testing.T) {
+	lt := NewLockTable()
+	if err := lt.Acquire("a", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.Acquire("b", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, k := range []base.Key{"a", "b"} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := lt.Acquire(k, 2, time.Second); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	lt.ReleaseAll(1)
+	wg.Wait()
+	if lt.HeldBy(2) != 2 {
+		t.Fatalf("HeldBy(2) = %d, want 2", lt.HeldBy(2))
+	}
+}
+
+func TestReleaseByNonOwnerIgnored(t *testing.T) {
+	lt := NewLockTable()
+	if err := lt.Acquire("k", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	lt.Release("k", 2) // not the owner
+	if lt.Owner("k") != 1 {
+		t.Fatal("non-owner release changed ownership")
+	}
+	lt.Release("zzz", 1) // unknown key
+}
+
+func TestLockContentionStress(t *testing.T) {
+	lt := NewLockTable()
+	const workers = 16
+	counter := 0
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(xid base.XID) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if err := lt.Acquire("hot", xid, time.Minute); err != nil {
+					t.Error(err)
+					return
+				}
+				counter++ // exclusive lock makes this safe
+				lt.ReleaseAll(xid)
+			}
+		}(base.XID(i + 1))
+	}
+	wg.Wait()
+	if counter != workers*100 {
+		t.Fatalf("counter = %d, want %d (mutual exclusion broken)", counter, workers*100)
+	}
+}
+
+func TestDeadlockDetectedABBA(t *testing.T) {
+	lt := NewLockTable()
+	if err := lt.Acquire("a", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.Acquire("b", 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Txn 1 blocks on b (held by 2).
+	blocked := make(chan error, 1)
+	go func() { blocked <- lt.Acquire("b", 1, time.Minute) }()
+	time.Sleep(10 * time.Millisecond)
+	// Txn 2 requesting a would close the cycle: immediate deadlock error,
+	// long before any timeout.
+	start := time.Now()
+	err := lt.Acquire("a", 2, time.Minute)
+	if !errors.Is(err, base.ErrDeadlock) {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("deadlock detection took too long")
+	}
+	// The victim (txn 2) releases its locks; txn 1 proceeds.
+	lt.ReleaseAll(2)
+	if err := <-blocked; err != nil {
+		t.Fatalf("survivor's acquire = %v", err)
+	}
+}
+
+func TestDeadlockDetectedThreeWayCycle(t *testing.T) {
+	lt := NewLockTable()
+	for i, k := range []base.Key{"a", "b", "c"} {
+		if err := lt.Acquire(k, base.XID(i+1), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	errs := make(chan error, 2)
+	go func() { errs <- lt.Acquire("b", 1, time.Minute) }() // 1 -> 2
+	time.Sleep(10 * time.Millisecond)
+	go func() { errs <- lt.Acquire("c", 2, time.Minute) }() // 2 -> 3
+	time.Sleep(10 * time.Millisecond)
+	// 3 -> 1 closes the cycle.
+	if err := lt.Acquire("a", 3, time.Minute); !errors.Is(err, base.ErrDeadlock) {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+	lt.ReleaseAll(3) // victim rolls back: 2 gets c, finishes, 1 gets b
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	lt.ReleaseAll(2)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoFalseDeadlockOnChains(t *testing.T) {
+	lt := NewLockTable()
+	if err := lt.Acquire("a", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// 2 waits for a; 3 requesting a is a chain, not a cycle.
+	go func() { _ = lt.Acquire("a", 2, time.Minute) }()
+	time.Sleep(10 * time.Millisecond)
+	done := make(chan error, 1)
+	go func() { done <- lt.Acquire("a", 3, time.Minute) }()
+	time.Sleep(10 * time.Millisecond)
+	lt.ReleaseAll(1)
+	time.Sleep(10 * time.Millisecond)
+	lt.ReleaseAll(2)
+	if err := <-done; err != nil {
+		t.Fatalf("chain waiter got %v", err)
+	}
+}
+
+func TestDeadlockVictimTxnLevel(t *testing.T) {
+	// End-to-end through the store: two transactions updating (k1,k2) in
+	// opposite orders; one must fail fast with a deadlock-classified
+	// ww-conflict, the other commits.
+	cl := clog.New()
+	cl.Begin(FrozenXID)
+	if err := cl.SetCommitted(FrozenXID, base.TsBootstrap); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	st := NewStore(cl, cfg)
+	seed := func(xid base.XID, key string) {
+		cl.Begin(xid)
+		if err := st.Write(WriteReq{Kind: WriteInsert, Key: base.Key(key), Value: base.Value("v"), XID: xid, StartTS: 5}); err != nil {
+			t.Fatal(err)
+		}
+		cl.SetPrepared(xid)
+		cl.SetCommitted(xid, 6)
+		st.ReleaseLocks(xid)
+	}
+	seed(100, "k1")
+	seed(101, "k2")
+
+	cl.Begin(11)
+	cl.Begin(12)
+	if err := st.Write(WriteReq{Kind: WriteUpdate, Key: "k1", Value: base.Value("a"), XID: 11, StartTS: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Write(WriteReq{Kind: WriteUpdate, Key: "k2", Value: base.Value("b"), XID: 12, StartTS: 10}); err != nil {
+		t.Fatal(err)
+	}
+	res := make(chan error, 1)
+	go func() {
+		res <- st.Write(WriteReq{Kind: WriteUpdate, Key: "k2", Value: base.Value("a2"), XID: 11, StartTS: 10})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	err2 := st.Write(WriteReq{Kind: WriteUpdate, Key: "k1", Value: base.Value("b2"), XID: 12, StartTS: 10})
+	if !errors.Is(err2, base.ErrDeadlock) {
+		t.Fatalf("second writer = %v, want deadlock", err2)
+	}
+	// Victim aborts; survivor's blocked write proceeds.
+	cl.SetAborted(12)
+	st.ReleaseLocks(12)
+	if err := <-res; err != nil {
+		t.Fatalf("survivor write = %v", err)
+	}
+	cl.SetPrepared(11)
+	cl.SetCommitted(11, 20)
+	st.ReleaseLocks(11)
+}

@@ -1,0 +1,136 @@
+package mvcc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"remus/internal/base"
+	"remus/internal/clog"
+)
+
+// refVersion is the reference model's record of one committed write.
+type refVersion struct {
+	cts     base.Timestamp
+	value   string
+	deleted bool
+}
+
+// TestSnapshotReadsMatchReferenceModel drives random committed histories
+// into the store and checks that reads at arbitrary snapshots agree with a
+// trivial reference implementation of snapshot isolation.
+func TestSnapshotReadsMatchReferenceModel(t *testing.T) {
+	f := func(seed int64, opsRaw []uint16) bool {
+		cl := clog.New()
+		cl.Begin(FrozenXID)
+		if err := cl.SetCommitted(FrozenXID, base.TsBootstrap); err != nil {
+			return false
+		}
+		st := NewStore(cl, DefaultConfig())
+		r := rand.New(rand.NewSource(seed))
+
+		const keys = 8
+		ref := make(map[int][]refVersion) // key -> committed versions in cts order
+		nextXID := base.XID(10)
+		ts := base.Timestamp(10)
+		live := func(k int) (string, bool) {
+			vs := ref[k]
+			if len(vs) == 0 || vs[len(vs)-1].deleted {
+				return "", false
+			}
+			return vs[len(vs)-1].value, true
+		}
+
+		for i, op := range opsRaw {
+			k := int(op) % keys
+			key := base.Key(fmt.Sprintf("k%d", k))
+			xid := nextXID
+			nextXID++
+			cl.Begin(xid)
+			start := ts // snapshot covers all committed history
+			val := fmt.Sprintf("v%d", i)
+
+			var kind WriteKind
+			_, exists := live(k)
+			switch r.Intn(3) {
+			case 0:
+				kind = WriteInsert
+			case 1:
+				kind = WriteUpdate
+			default:
+				kind = WriteDelete
+			}
+			err := st.Write(WriteReq{Kind: kind, Key: key, Value: base.Value(val), XID: xid, StartTS: start})
+			switch kind {
+			case WriteInsert:
+				if exists {
+					if !errors.Is(err, base.ErrDuplicateKey) {
+						return false
+					}
+				} else if err != nil {
+					return false
+				}
+			case WriteUpdate, WriteDelete:
+				if !exists {
+					if !errors.Is(err, base.ErrKeyNotFound) {
+						return false
+					}
+				} else if err != nil {
+					return false
+				}
+			}
+			if err != nil {
+				if e := cl.SetAborted(xid); e != nil {
+					return false
+				}
+				st.ReleaseLocks(xid)
+				continue
+			}
+			// Commit or abort randomly.
+			if r.Intn(4) == 0 {
+				if e := cl.SetAborted(xid); e != nil {
+					return false
+				}
+				st.ReleaseLocks(xid)
+				continue
+			}
+			if e := cl.SetPrepared(xid); e != nil {
+				return false
+			}
+			ts++
+			if e := cl.SetCommitted(xid, ts); e != nil {
+				return false
+			}
+			st.ReleaseLocks(xid)
+			ref[k] = append(ref[k], refVersion{cts: ts, value: val, deleted: kind == WriteDelete})
+		}
+
+		// Validate reads at a spread of snapshots against the model.
+		for snap := base.Timestamp(10); snap <= ts+2; snap += base.Timestamp(1 + r.Intn(3)) {
+			for k := 0; k < keys; k++ {
+				var want *refVersion
+				for i := range ref[k] {
+					if ref[k][i].cts <= snap {
+						want = &ref[k][i]
+					}
+				}
+				got, err := st.Read(base.Key(fmt.Sprintf("k%d", k)), snap, 0)
+				if want == nil || want.deleted {
+					if !errors.Is(err, base.ErrKeyNotFound) {
+						return false
+					}
+					continue
+				}
+				if err != nil || string(got) != want.value {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

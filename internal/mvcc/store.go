@@ -1,0 +1,443 @@
+// Package mvcc implements the multi-version tuple store of one shard: version
+// chains over an ordered primary index, snapshot-isolation visibility checks
+// resolved through the CLOG (including the 2PC prepare-wait of §2.2), row
+// locks and first-updater-wins write-conflict detection.
+package mvcc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/btree"
+	"remus/internal/clog"
+)
+
+// FrozenXID is the reserved transaction id that owns bootstrap versions:
+// migrated snapshot tuples installed on a destination node (§3.2) and
+// initially loaded data. Nodes register it in their CLOG as committed at
+// base.TsBootstrap.
+const FrozenXID base.XID = 1
+
+// Version is one entry in a tuple's version chain.
+type Version struct {
+	XID     base.XID
+	Value   base.Value
+	Deleted bool // tombstone
+}
+
+// versionChain holds a tuple's versions, newest first.
+type versionChain struct {
+	mu       sync.Mutex
+	versions []*Version
+}
+
+// snapshot copies the version list so visibility can be resolved (including
+// prepare-waits) without holding the chain lock.
+func (c *versionChain) snapshot() []*Version {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Version, len(c.versions))
+	copy(out, c.versions)
+	return out
+}
+
+// WriteKind enumerates tuple mutations.
+type WriteKind uint8
+
+const (
+	// WriteInsert creates a tuple; fails with ErrDuplicateKey if a live
+	// version exists.
+	WriteInsert WriteKind = iota + 1
+	// WriteUpdate overwrites an existing tuple.
+	WriteUpdate
+	// WriteDelete tombstones an existing tuple.
+	WriteDelete
+	// WriteLock takes the row lock and validates the tuple without
+	// changing it (SELECT ... FOR UPDATE). It participates in WW-conflict
+	// detection and MOCC validation but appends no version.
+	WriteLock
+)
+
+func (k WriteKind) String() string {
+	switch k {
+	case WriteInsert:
+		return "insert"
+	case WriteUpdate:
+		return "update"
+	case WriteDelete:
+		return "delete"
+	case WriteLock:
+		return "lock"
+	default:
+		return fmt.Sprintf("writekind(%d)", uint8(k))
+	}
+}
+
+// Config tunes a store.
+type Config struct {
+	// LockTimeout bounds row-lock waits; zero means wait forever.
+	LockTimeout time.Duration
+	// PrepareWaitTimeout bounds prepare-wait during visibility checks.
+	PrepareWaitTimeout time.Duration
+}
+
+// DefaultConfig returns production-ish defaults.
+func DefaultConfig() Config {
+	return Config{LockTimeout: 10 * time.Second, PrepareWaitTimeout: 10 * time.Second}
+}
+
+// Store is the MVCC tuple store of one shard.
+type Store struct {
+	clog *clog.CLOG
+	cfg  Config
+
+	mu    sync.RWMutex // guards index structure
+	index *btree.Tree
+
+	locks *LockTable
+
+	// stats
+	statMu       sync.Mutex
+	versionCount int
+}
+
+// NewStore returns an empty store resolving visibility through cl.
+func NewStore(cl *clog.CLOG, cfg Config) *Store {
+	return &Store{clog: cl, cfg: cfg, index: btree.New(), locks: NewLockTable()}
+}
+
+// CLOG exposes the commit log the store resolves against.
+func (s *Store) CLOG() *clog.CLOG { return s.clog }
+
+func (s *Store) chain(key base.Key, create bool) *versionChain {
+	s.mu.RLock()
+	v, ok := s.index.Get(key)
+	s.mu.RUnlock()
+	if ok {
+		return v.(*versionChain)
+	}
+	if !create {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.index.Get(key); ok {
+		return v.(*versionChain)
+	}
+	c := &versionChain{}
+	s.index.Set(key, c)
+	return c
+}
+
+// resolve determines the visibility of one version for a snapshot, waiting
+// out prepared writers (prepare-wait, §2.2). It returns:
+//
+//	visible  — the version is committed with commitTS <= snap
+//	skip     — aborted, in-progress, or committed after snap
+//	err      — prepare-wait timed out
+func (s *Store) resolve(v *Version, snap base.Timestamp) (visible bool, err error) {
+	e := s.clog.Lookup(v.XID)
+	if e.Status == base.StatusPrepared {
+		e, err = s.clog.WaitDone(v.XID, s.cfg.PrepareWaitTimeout)
+		if err != nil {
+			return false, err
+		}
+	}
+	return e.Status == base.StatusCommitted && e.CommitTS <= snap, nil
+}
+
+// Read returns the tuple value visible to the snapshot. A transaction sees
+// its own uncommitted writes (selfXID). Returns base.ErrKeyNotFound when no
+// visible live version exists.
+func (s *Store) Read(key base.Key, snap base.Timestamp, selfXID base.XID) (base.Value, error) {
+	v, _, err := s.ReadVersion(key, snap, selfXID)
+	return v, err
+}
+
+// ReadVersion is Read returning also the commit timestamp of the visible
+// version (zero for the reader's own uncommitted writes). The shard map
+// cache uses the commit timestamp to apply updates monotonically (§3.5.1).
+func (s *Store) ReadVersion(key base.Key, snap base.Timestamp, selfXID base.XID) (base.Value, base.Timestamp, error) {
+	c := s.chain(key, false)
+	if c == nil {
+		return nil, 0, base.ErrKeyNotFound
+	}
+	for _, v := range c.snapshot() {
+		if v.XID == selfXID && selfXID != base.InvalidXID {
+			if v.Deleted {
+				return nil, 0, base.ErrKeyNotFound
+			}
+			return v.Value, 0, nil
+		}
+		vis, err := s.resolve(v, snap)
+		if err != nil {
+			return nil, 0, err
+		}
+		if vis {
+			if v.Deleted {
+				return nil, 0, base.ErrKeyNotFound
+			}
+			return v.Value, s.clog.Lookup(v.XID).CommitTS, nil
+		}
+	}
+	return nil, 0, base.ErrKeyNotFound
+}
+
+// WriteReq describes one tuple mutation.
+type WriteReq struct {
+	Kind    WriteKind
+	Key     base.Key
+	Value   base.Value
+	XID     base.XID
+	StartTS base.Timestamp
+}
+
+// Write performs a mutation with first-updater-wins conflict detection:
+//
+//  1. take the row lock (blocking on concurrent writers);
+//  2. find the latest non-aborted version; if it committed after the
+//     writer's snapshot, fail with ErrWWConflict (§3.5.2 uses exactly this
+//     check to validate propagated changes on the destination);
+//  3. append the new version.
+//
+// The row lock stays held until ReleaseLocks(xid).
+func (s *Store) Write(req WriteReq) (err error) {
+	if err := s.locks.Acquire(req.Key, req.XID, s.cfg.LockTimeout); err != nil {
+		// Both a lock timeout and a detected deadlock surface as
+		// serialization failures; the dual %w keeps the specific cause
+		// (ErrTimeout / ErrDeadlock) inspectable.
+		return fmt.Errorf("%w: %w", base.ErrWWConflict, err)
+	}
+	// A failed statement must not retain the lock level it just took: the
+	// transaction will abort, but other writers would otherwise stall on a
+	// lock that no recorded write ever releases. Reentrant acquisitions
+	// from earlier successful writes keep their levels.
+	defer func() {
+		if err != nil {
+			s.locks.Release(req.Key, req.XID)
+		}
+	}()
+	c := s.chain(req.Key, true)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	// Latest non-aborted version decides conflicts and constraints.
+	var top *Version
+	var topEntry clog.Entry
+	for _, v := range c.versions {
+		e := s.clog.Lookup(v.XID)
+		if e.Status == base.StatusAborted {
+			continue
+		}
+		top, topEntry = v, e
+		break
+	}
+
+	if top != nil && top.XID != req.XID {
+		switch topEntry.Status {
+		case base.StatusCommitted:
+			if topEntry.CommitTS > req.StartTS {
+				return fmt.Errorf("%v at %q: %w", req.Kind, string(req.Key), base.ErrWWConflict)
+			}
+		default:
+			// A live foreign version despite holding the row lock can only
+			// belong to a writer that finished without releasing (crash
+			// path); treat as a conflict rather than corrupt the chain.
+			return fmt.Errorf("%v at %q blocked by %v (%v): %w",
+				req.Kind, string(req.Key), top.XID, topEntry.Status, base.ErrWWConflict)
+		}
+	}
+
+	liveTuple := top != nil && !top.Deleted
+	switch req.Kind {
+	case WriteInsert:
+		if liveTuple {
+			return fmt.Errorf("insert %q: %w", string(req.Key), base.ErrDuplicateKey)
+		}
+	case WriteUpdate, WriteDelete, WriteLock:
+		if !liveTuple {
+			return fmt.Errorf("%v %q: %w", req.Kind, string(req.Key), base.ErrKeyNotFound)
+		}
+	default:
+		return fmt.Errorf("mvcc: unknown write kind %v", req.Kind)
+	}
+
+	if req.Kind == WriteLock {
+		return nil
+	}
+	nv := &Version{XID: req.XID, Value: req.Value.Clone(), Deleted: req.Kind == WriteDelete}
+	c.versions = append([]*Version{nv}, c.versions...)
+	s.statMu.Lock()
+	s.versionCount++
+	s.statMu.Unlock()
+	return nil
+}
+
+// ReleaseLocks releases every row lock held by xid (called at txn end).
+func (s *Store) ReleaseLocks(xid base.XID) { s.locks.ReleaseAll(xid) }
+
+// InstallBootstrap installs a migrated snapshot tuple owned by FrozenXID
+// (committed at base.TsBootstrap), bypassing conflict checks. The migration
+// snapshot installer is the only writer of the destination shard at that
+// point, so this is safe (§3.2).
+func (s *Store) InstallBootstrap(key base.Key, value base.Value) {
+	c := s.chain(key, true)
+	c.mu.Lock()
+	c.versions = append(c.versions, &Version{XID: FrozenXID, Value: value.Clone()})
+	c.mu.Unlock()
+	s.statMu.Lock()
+	s.versionCount++
+	s.statMu.Unlock()
+}
+
+// SnapshotScan streams every tuple version visible at snap, in key order,
+// into fn. It is the migration snapshot reader of §3.2: the scan runs
+// against the snapshot while concurrent transactions keep writing. fn
+// returning false stops the scan.
+func (s *Store) SnapshotScan(snap base.Timestamp, fn func(key base.Key, value base.Value) bool) error {
+	return s.scanRange("", "", true, snap, base.InvalidXID, fn)
+}
+
+// ScanRange streams tuples with keys in [lo, hi) visible at snap into fn.
+// An empty hi means "to the end of the key space".
+func (s *Store) ScanRange(lo, hi base.Key, snap base.Timestamp, selfXID base.XID, fn func(key base.Key, value base.Value) bool) error {
+	return s.scanRange(lo, hi, false, snap, selfXID, fn)
+}
+
+func (s *Store) scanRange(lo, hi base.Key, all bool, snap base.Timestamp, selfXID base.XID, fn func(key base.Key, value base.Value) bool) error {
+	// Collect the chains under the index lock, resolve visibility outside it
+	// so prepare-waits don't block the index.
+	type entry struct {
+		key base.Key
+		c   *versionChain
+	}
+	var entries []entry
+	s.mu.RLock()
+	collect := func(k base.Key, v any) bool {
+		entries = append(entries, entry{k, v.(*versionChain)})
+		return true
+	}
+	switch {
+	case all:
+		s.index.Ascend(collect)
+	case hi == "":
+		s.index.AscendFrom(lo, collect)
+	default:
+		s.index.AscendRange(lo, hi, collect)
+	}
+	s.mu.RUnlock()
+
+	for _, e := range entries {
+		var val base.Value
+		found := false
+		for _, v := range e.c.snapshot() {
+			if v.XID == selfXID && selfXID != base.InvalidXID {
+				if !v.Deleted {
+					val, found = v.Value, true
+				}
+				break
+			}
+			vis, err := s.resolve(v, snap)
+			if err != nil {
+				return err
+			}
+			if vis {
+				if !v.Deleted {
+					val, found = v.Value, true
+				}
+				break
+			}
+		}
+		if found && !fn(e.key, val) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Vacuum prunes version chains: every version strictly older than the newest
+// version visible at oldestActive is unreachable and dropped, as are aborted
+// versions. Returns the number of versions reclaimed. Long-running snapshots
+// (Fig 10) hold oldestActive back and make chains grow.
+func (s *Store) Vacuum(oldestActive base.Timestamp) int {
+	var chains []*versionChain
+	s.mu.RLock()
+	s.index.Ascend(func(_ base.Key, v any) bool {
+		chains = append(chains, v.(*versionChain))
+		return true
+	})
+	s.mu.RUnlock()
+
+	reclaimed := 0
+	for _, c := range chains {
+		c.mu.Lock()
+		kept := c.versions[:0]
+		seenVisible := false
+		for _, v := range c.versions {
+			e := s.clog.Lookup(v.XID)
+			switch {
+			case e.Status == base.StatusAborted:
+				reclaimed++
+			case seenVisible && e.Status == base.StatusCommitted:
+				reclaimed++ // shadowed by a newer version already visible to all
+			default:
+				kept = append(kept, v)
+				if e.Status == base.StatusCommitted && e.CommitTS <= oldestActive {
+					seenVisible = true
+				}
+			}
+		}
+		// Zero the tail so dropped versions are collectable.
+		for i := len(kept); i < len(c.versions); i++ {
+			c.versions[i] = nil
+		}
+		c.versions = kept
+		c.mu.Unlock()
+	}
+	s.statMu.Lock()
+	s.versionCount -= reclaimed
+	s.statMu.Unlock()
+	return reclaimed
+}
+
+// DropAll removes every tuple (used when cleaning up a source shard after
+// migration completes, or a partially migrated destination shard on
+// rollback).
+func (s *Store) DropAll() {
+	s.mu.Lock()
+	s.index = btree.New()
+	s.mu.Unlock()
+	s.statMu.Lock()
+	s.versionCount = 0
+	s.statMu.Unlock()
+}
+
+// Keys reports the number of distinct keys (including tombstoned tuples).
+func (s *Store) Keys() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.index.Len()
+}
+
+// Versions reports the total number of live version objects.
+func (s *Store) Versions() int {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	return s.versionCount
+}
+
+// ChainLength reports the version-chain length for key (Fig 10 diagnostics).
+func (s *Store) ChainLength(key base.Key) int {
+	c := s.chain(key, false)
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.versions)
+}
+
+// LockOwner exposes the current row-lock owner (tests).
+func (s *Store) LockOwner(key base.Key) base.XID { return s.locks.Owner(key) }

@@ -1,0 +1,72 @@
+package node
+
+import (
+	"sync"
+
+	"remus/internal/wal"
+)
+
+// WAL checkpointing. The paper's experiments run with synchronous WAL
+// logging and periodic checkpoints (§4.1); here a checkpoint truncates the
+// in-memory log up to the oldest position anyone still needs:
+//
+//   - the first LSN of every active transaction (its changes may still need
+//     to be read by a migration starting now, §3.3), and
+//   - every registered hold — migration propagators pin their read position
+//     so catch-up never races a checkpoint.
+
+// walHolds tracks LSN pins on a node's WAL.
+type walHolds struct {
+	mu    sync.Mutex
+	next  int
+	holds map[int]wal.LSN
+}
+
+// AcquireWALHold pins the WAL at `from`: records at or above it survive
+// checkpoints until the returned release function runs.
+func (n *Node) AcquireWALHold(from wal.LSN) (release func()) {
+	n.holds.mu.Lock()
+	defer n.holds.mu.Unlock()
+	if n.holds.holds == nil {
+		n.holds.holds = make(map[int]wal.LSN)
+	}
+	n.holds.next++
+	id := n.holds.next
+	n.holds.holds[id] = from
+	return func() {
+		n.holds.mu.Lock()
+		delete(n.holds.holds, id)
+		n.holds.mu.Unlock()
+	}
+}
+
+// WALHoldCount reports active holds (tests/monitoring).
+func (n *Node) WALHoldCount() int {
+	n.holds.mu.Lock()
+	defer n.holds.mu.Unlock()
+	return len(n.holds.holds)
+}
+
+// Checkpoint truncates the WAL up to the oldest needed position and returns
+// the LSN up to which records were dropped (0 if nothing could be dropped).
+func (n *Node) Checkpoint() wal.LSN {
+	// Oldest position an active transaction's changes start at.
+	safe := n.wal.FlushLSN()
+	for _, t := range n.mgr.ActiveTxns() {
+		if f := t.FirstLSN(); f != 0 && f-1 < safe {
+			safe = f - 1
+		}
+	}
+	n.holds.mu.Lock()
+	for _, h := range n.holds.holds {
+		if h-1 < safe {
+			safe = h - 1
+		}
+	}
+	n.holds.mu.Unlock()
+	if safe == 0 {
+		return 0
+	}
+	n.wal.Truncate(safe)
+	return safe
+}

@@ -1,0 +1,100 @@
+package node
+
+import (
+	"testing"
+
+	"remus/internal/base"
+	"remus/internal/mvcc"
+)
+
+func TestCheckpointTruncatesCommittedHistory(t *testing.T) {
+	n := newNode(t, 1)
+	n.AddShard(10, 1, PhaseOwned)
+	for i := 0; i < 20; i++ {
+		tx := n.Manager().Begin(0, 0)
+		kind := mvcc.WriteInsert
+		if i > 0 {
+			kind = mvcc.WriteUpdate
+		}
+		if err := n.Write(tx, 10, kind, "k", base.Value("v")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tail := n.WAL().FlushLSN()
+	if safe := n.Checkpoint(); safe != tail {
+		t.Fatalf("checkpoint truncated to %d, want %d (no holders)", safe, tail)
+	}
+	if _, ok := n.WAL().Get(tail - 1); ok {
+		t.Error("old records survived the checkpoint")
+	}
+}
+
+func TestCheckpointRespectsActiveTxn(t *testing.T) {
+	n := newNode(t, 1)
+	n.AddShard(10, 1, PhaseOwned)
+	open := n.Manager().Begin(0, 0)
+	if err := n.Write(open, 10, mvcc.WriteInsert, "pinned", base.Value("v")); err != nil {
+		t.Fatal(err)
+	}
+	first := open.FirstLSN()
+	// More committed traffic after the open transaction's record.
+	for i := 0; i < 10; i++ {
+		tx := n.Manager().Begin(0, 0)
+		if err := n.Write(tx, 10, mvcc.WriteInsert, base.Key("k"+string(rune('a'+i))), base.Value("v")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	safe := n.Checkpoint()
+	if safe >= first {
+		t.Fatalf("checkpoint reached %d, must stay below open txn's first LSN %d", safe, first)
+	}
+	if _, ok := n.WAL().Get(first); !ok {
+		t.Error("open txn's record was truncated")
+	}
+	open.Abort()
+}
+
+func TestCheckpointRespectsWALHolds(t *testing.T) {
+	n := newNode(t, 1)
+	n.AddShard(10, 1, PhaseOwned)
+	for i := 0; i < 5; i++ {
+		tx := n.Manager().Begin(0, 0)
+		if err := n.Write(tx, 10, mvcc.WriteInsert, base.Key("h"+string(rune('a'+i))), base.Value("v")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	release := n.AcquireWALHold(3)
+	if n.WALHoldCount() != 1 {
+		t.Fatalf("hold count = %d", n.WALHoldCount())
+	}
+	if safe := n.Checkpoint(); safe != 2 {
+		t.Fatalf("checkpoint = %d, want 2 (hold at 3)", safe)
+	}
+	if _, ok := n.WAL().Get(3); !ok {
+		t.Error("held record truncated")
+	}
+	release()
+	if n.WALHoldCount() != 0 {
+		t.Fatal("hold not released")
+	}
+	tail := n.WAL().FlushLSN()
+	if safe := n.Checkpoint(); safe != tail {
+		t.Fatalf("post-release checkpoint = %d, want %d", safe, tail)
+	}
+}
+
+func TestCheckpointEmptyLog(t *testing.T) {
+	n := newNode(t, 1)
+	if safe := n.Checkpoint(); safe != 0 {
+		t.Fatalf("checkpoint on empty log = %d", safe)
+	}
+}

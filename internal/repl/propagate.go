@@ -1,0 +1,334 @@
+package repl
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/node"
+	"remus/internal/wal"
+)
+
+// PropagatorConfig tunes one propagation stream.
+type PropagatorConfig struct {
+	// Shards is the migrating shard set whose changes are extracted.
+	Shards map[base.ShardID]bool
+	// SnapTS is the migration snapshot timestamp; transactions committing
+	// at or below it are already covered by the snapshot copy and dropped.
+	SnapTS base.Timestamp
+	// StartLSN is the WAL position to tail from (at or below the first LSN
+	// of every transaction that may commit after SnapTS).
+	StartLSN wal.LSN
+	// SpillThreshold is the per-transaction record count above which the
+	// update cache queue spills to disk; zero disables spilling.
+	SpillThreshold int
+	// SpillDir is the directory for spill files ("" = os.TempDir).
+	SpillDir string
+}
+
+// Propagator is the send process of §3.3: it tails the source WAL, builds an
+// update cache queue per transaction, and ships each transaction to the
+// destination replayer when its commit record (async phase) or validation
+// prepare record (sync phase, §3.5.2) is encountered. It holds the WAL
+// against checkpoints from its start position until stopped.
+type Propagator struct {
+	src        *node.Node
+	rep        *Replayer
+	cfg        PropagatorConfig
+	releaseWAL func()
+
+	stop     chan struct{}
+	done     chan struct{}
+	consumed atomic.Uint64 // last WAL LSN processed
+
+	mu        sync.Mutex
+	queues    map[base.XID]*queue
+	validated map[base.XID]bool
+	err       error
+
+	shippedTxns    atomic.Uint64
+	shippedRecords atomic.Uint64
+	droppedTxns    atomic.Uint64
+	spilledTxns    atomic.Uint64
+
+	// streamDebt accumulates the bandwidth cost of shipped bytes; the loop
+	// sleeps it off in >=1ms slices (pipelined-stream backpressure: latency
+	// is paid once by the stream, not per transaction).
+	streamDebt time.Duration
+}
+
+// StartPropagator begins tailing src's WAL into the replayer.
+func StartPropagator(src *node.Node, rep *Replayer, cfg PropagatorConfig) *Propagator {
+	p := &Propagator{
+		src:       src,
+		rep:       rep,
+		cfg:       cfg,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		queues:    make(map[base.XID]*queue),
+		validated: make(map[base.XID]bool),
+	}
+	if cfg.StartLSN > 0 {
+		p.consumed.Store(uint64(cfg.StartLSN - 1))
+	}
+	p.releaseWAL = src.AcquireWALHold(cfg.StartLSN)
+	go p.loop()
+	return p
+}
+
+// Stop terminates the propagation process and releases queue resources. It
+// does not close the replayer (the migration driver owns it).
+func (p *Propagator) Stop() {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	<-p.done
+	p.releaseWAL()
+}
+
+// Err reports a propagation failure (nil while healthy).
+func (p *Propagator) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Consumed returns the last WAL LSN processed.
+func (p *Propagator) Consumed() wal.LSN { return wal.LSN(p.consumed.Load()) }
+
+// Lag estimates the catch-up distance: unconsumed WAL records plus replay
+// tasks still pending on the destination.
+func (p *Propagator) Lag() uint64 {
+	flushed := uint64(p.src.WAL().FlushLSN())
+	consumed := p.consumed.Load()
+	lag := uint64(0)
+	if flushed > consumed {
+		lag = flushed - consumed
+	}
+	return lag + p.rep.Pending()
+}
+
+// ShippedTxns reports transactions shipped to the destination.
+func (p *Propagator) ShippedTxns() uint64 { return p.shippedTxns.Load() }
+
+// ShippedRecords reports change records shipped.
+func (p *Propagator) ShippedRecords() uint64 { return p.shippedRecords.Load() }
+
+// SpilledTxns reports transactions whose queues spilled to disk.
+func (p *Propagator) SpilledTxns() uint64 { return p.spilledTxns.Load() }
+
+// WaitCaughtUp blocks until the destination has caught up: either the
+// absolute lag drops to the threshold, or the remaining backlog is clearable
+// within ~150 ms at the propagator's observed consumption rate (the §3.4
+// criterion is "the number of changes that have not been applied drops below
+// a threshold"; with a busy cluster the WAL also carries unrelated records,
+// so a pure record count never converges even when the migrating shard's
+// backlog is tiny). Returns base.ErrTimeout when speed_replay cannot exceed
+// speed_update (§3.6's divergence case).
+func (p *Propagator) WaitCaughtUp(threshold uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	lastConsumed := p.consumed.Load()
+	lastAt := time.Now()
+	var rate float64 // consumed records per second (EMA)
+	for {
+		lag := p.Lag()
+		if lag <= threshold {
+			return nil
+		}
+		now := time.Now()
+		if dt := now.Sub(lastAt); dt >= 10*time.Millisecond {
+			cur := p.consumed.Load()
+			inst := float64(cur-lastConsumed) / dt.Seconds()
+			if rate == 0 {
+				rate = inst
+			} else {
+				rate = 0.7*rate + 0.3*inst
+			}
+			lastConsumed, lastAt = cur, now
+		}
+		if rate > 0 && float64(lag) <= rate*0.15 {
+			return nil
+		}
+		if err := p.Err(); err != nil {
+			return err
+		}
+		if timeout > 0 && now.After(deadline) {
+			return base.ErrTimeout
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+}
+
+// WaitApplied blocks until every migrating-shard change up to and including
+// lsn has been consumed and applied on the destination (the LSN_unsync
+// condition of §3.4).
+func (p *Propagator) WaitApplied(lsn wal.LSN, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for wal.LSN(p.consumed.Load()) < lsn {
+		if err := p.Err(); err != nil {
+			return err
+		}
+		if timeout > 0 && time.Now().After(deadline) {
+			return base.ErrTimeout
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	p.rep.Barrier()
+	return nil
+}
+
+func (p *Propagator) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+func (p *Propagator) loop() {
+	defer close(p.done)
+	defer func() {
+		p.mu.Lock()
+		for _, q := range p.queues {
+			q.release()
+		}
+		p.queues = nil
+		p.mu.Unlock()
+	}()
+	reader := p.src.WAL().NewReader(p.cfg.StartLSN)
+	for {
+		rec, err := reader.Next(p.stop)
+		switch {
+		case err == nil:
+		case errors.Is(err, base.ErrTimeout) || errors.Is(err, wal.ErrClosed):
+			// Stop requested, or the source WAL closed (node shutdown).
+			return
+		default:
+			// A real failure (e.g. the read position was truncated away)
+			// must surface to the migration driver, not die silently.
+			p.fail(err)
+			return
+		}
+		p.handle(rec)
+		p.consumed.Store(uint64(rec.LSN))
+	}
+}
+
+func (p *Propagator) handle(rec wal.Record) {
+	switch {
+	case rec.Type.IsChange():
+		if !p.cfg.Shards[rec.Shard] {
+			return
+		}
+		p.src.Counters.PropagationOps.Add(1)
+		p.mu.Lock()
+		q := p.queues[rec.XID]
+		if q == nil {
+			q = &queue{}
+			p.queues[rec.XID] = q
+		}
+		hadSpill := q.spill != nil
+		err := q.add(rec, p.cfg.SpillThreshold, p.cfg.SpillDir)
+		if !hadSpill && q.spill != nil {
+			p.spilledTxns.Add(1)
+		}
+		p.mu.Unlock()
+		if err != nil {
+			p.fail(err)
+		}
+
+	case rec.Type == wal.RecPrepare && rec.Validation:
+		// MOCC validation stage: ship the queue now and validate on the
+		// destination; the source transaction is blocked in its commit gate
+		// until the replayer's sink delivers the outcome.
+		records, bytes, ok := p.takeQueue(rec.XID)
+		if !ok {
+			// The transaction wrote migrating shards according to its gate
+			// but nothing reached this propagator's shard set (e.g. a
+			// multi-shard migration splits work across streams): validate
+			// an empty change set so the ack still flows.
+			records = nil
+		}
+		p.mu.Lock()
+		p.validated[rec.XID] = true
+		p.mu.Unlock()
+		p.ship(len(records), bytes)
+		p.rep.SubmitValidate(rec.XID, rec.Txn, rec.StartTS, records)
+
+	case rec.Type == wal.RecCommit:
+		p.mu.Lock()
+		wasValidated := p.validated[rec.XID]
+		delete(p.validated, rec.XID)
+		p.mu.Unlock()
+		if wasValidated {
+			p.src.Net().Account(64)
+			p.rep.SubmitCommitShadow(rec.XID, rec.CommitTS)
+			return
+		}
+		records, bytes, ok := p.takeQueue(rec.XID)
+		if !ok {
+			return // transaction did not touch the migrating shards
+		}
+		if rec.CommitTS <= p.cfg.SnapTS {
+			p.droppedTxns.Add(1)
+			return // covered by the snapshot copy
+		}
+		p.ship(len(records), bytes)
+		p.rep.SubmitApply(rec.XID, rec.Txn, rec.StartTS, rec.CommitTS, records)
+
+	case rec.Type == wal.RecAbort:
+		p.mu.Lock()
+		wasValidated := p.validated[rec.XID]
+		delete(p.validated, rec.XID)
+		q := p.queues[rec.XID]
+		delete(p.queues, rec.XID)
+		p.mu.Unlock()
+		if q != nil {
+			q.release()
+		}
+		if wasValidated {
+			// Prepared shadow (if any) must roll back: the source aborted
+			// after validation (coordinator decision or validation failure).
+			p.src.Net().Account(64)
+			p.rep.SubmitAbortShadow(rec.XID)
+		}
+	}
+}
+
+func (p *Propagator) takeQueue(xid base.XID) ([]wal.Record, int, bool) {
+	p.mu.Lock()
+	q := p.queues[xid]
+	delete(p.queues, xid)
+	p.mu.Unlock()
+	if q == nil {
+		return nil, 0, false
+	}
+	bytes := q.bytes
+	records, err := q.take()
+	if err != nil {
+		p.fail(err)
+		return nil, 0, false
+	}
+	return records, bytes, true
+}
+
+// ship charges the network for a transaction's change batch. The stream is
+// pipelined: bytes are accounted immediately and the bandwidth cost accrues
+// as debt slept off in coarse slices, so the propagation loop is never
+// serialized behind sub-millisecond timer sleeps.
+func (p *Propagator) ship(records, bytes int) {
+	p.shippedTxns.Add(1)
+	p.shippedRecords.Add(uint64(records))
+	net := p.src.Net()
+	net.Account(bytes + 64)
+	p.streamDebt += net.TransferTime(bytes + 64)
+	if p.streamDebt >= time.Millisecond {
+		d := p.streamDebt
+		p.streamDebt = 0
+		time.Sleep(d)
+	}
+}

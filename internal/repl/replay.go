@@ -1,0 +1,376 @@
+// Package repl is the migration replication substrate shared by Remus and
+// the push baselines: streaming MVCC snapshot copy (§3.2), the WAL
+// propagation process with per-transaction update cache queues and
+// spill-to-disk (§3.3), and the destination replay process with
+// transaction-level parallel apply (§3.6).
+package repl
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"remus/internal/base"
+	"remus/internal/mvcc"
+	"remus/internal/node"
+	"remus/internal/txn"
+	"remus/internal/wal"
+)
+
+// taskKind enumerates replay work items.
+type taskKind uint8
+
+const (
+	// taskApply replays a fully committed source transaction (async phase):
+	// begin a shadow txn with the source start timestamp, re-execute the
+	// changes, commit with the source commit timestamp.
+	taskApply taskKind = iota + 1
+	// taskValidate replays a synchronized source transaction's changes and
+	// 2PC-prepares the shadow transaction (MOCC validation stage); the
+	// result is reported to the validation sink.
+	taskValidate
+	// taskCommitShadow commits a previously prepared shadow transaction
+	// with the source commit timestamp (MOCC commit stage).
+	taskCommitShadow
+	// taskAbortShadow rolls back a previously prepared shadow transaction
+	// (the source transaction aborted after validation, e.g. a distributed
+	// transaction whose other participants failed).
+	taskAbortShadow
+)
+
+type depKey struct {
+	shard base.ShardID
+	key   base.Key
+}
+
+// task is one unit of replay work with its per-key dependencies.
+type task struct {
+	kind     taskKind
+	xid      base.XID // source transaction id
+	globalID base.TxnID
+	startTS  base.Timestamp
+	commitTS base.Timestamp
+	records  []wal.Record
+	deps     []*task
+	done     chan struct{}
+	err      error
+}
+
+// shadowState tracks a prepared shadow transaction awaiting its outcome.
+type shadowState struct {
+	txn  *txn.Txn
+	task *task // the validation task (commit/abort depend on it)
+}
+
+// Replayer applies propagated source transactions on the destination node,
+// in source commit order per tuple, in parallel across disjoint
+// transactions.
+type Replayer struct {
+	dst     *node.Node
+	workers int
+
+	tasks chan *task
+
+	mu       sync.Mutex
+	lastByKy map[depKey]*task
+	shadows  map[base.XID]*shadowState
+	enqueued uint64
+	closed   bool
+
+	completed atomic.Uint64
+	applied   atomic.Uint64 // records applied
+	conflicts atomic.Uint64 // WW-conflicts detected during validation
+
+	barrierMu sync.Mutex
+	barrierC  *sync.Cond
+
+	// sink receives validation outcomes (MOCC ack channel back to the
+	// source's commit gate). May be nil in async-only uses.
+	sink func(xid base.XID, err error)
+
+	wg sync.WaitGroup
+}
+
+// NewReplayer starts a replay pool of the given parallelism on dst.
+func NewReplayer(dst *node.Node, workers int, sink func(base.XID, error)) *Replayer {
+	if workers <= 0 {
+		workers = 1
+	}
+	r := &Replayer{
+		dst:      dst,
+		workers:  workers,
+		tasks:    make(chan *task, 4096),
+		lastByKy: make(map[depKey]*task),
+		shadows:  make(map[base.XID]*shadowState),
+		sink:     sink,
+	}
+	r.barrierC = sync.NewCond(&r.barrierMu)
+	for i := 0; i < workers; i++ {
+		r.wg.Add(1)
+		go r.worker()
+	}
+	return r
+}
+
+// Close drains and stops the workers.
+func (r *Replayer) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.tasks)
+	r.wg.Wait()
+}
+
+// Applied reports the number of change records applied.
+func (r *Replayer) Applied() uint64 { return r.applied.Load() }
+
+// Conflicts reports the number of WW-conflicts found during validation.
+func (r *Replayer) Conflicts() uint64 { return r.conflicts.Load() }
+
+// Pending reports tasks enqueued but not yet completed.
+func (r *Replayer) Pending() uint64 {
+	r.mu.Lock()
+	enq := r.enqueued
+	r.mu.Unlock()
+	return enq - r.completed.Load()
+}
+
+// enqueue registers dependencies and dispatches the task.
+func (r *Replayer) enqueue(t *task) {
+	t.done = make(chan struct{})
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		t.err = fmt.Errorf("replayer closed")
+		close(t.done)
+		return
+	}
+	seen := make(map[*task]struct{})
+	for _, rec := range t.records {
+		k := depKey{rec.Shard, rec.Key}
+		if prev := r.lastByKy[k]; prev != nil && prev != t {
+			if _, dup := seen[prev]; !dup {
+				seen[prev] = struct{}{}
+				t.deps = append(t.deps, prev)
+			}
+		}
+		r.lastByKy[k] = t
+	}
+	r.enqueued++
+	r.mu.Unlock()
+	r.tasks <- t
+}
+
+// SubmitApply schedules the async-phase replay of a committed source
+// transaction.
+func (r *Replayer) SubmitApply(xid base.XID, globalID base.TxnID, startTS, commitTS base.Timestamp, records []wal.Record) {
+	r.enqueue(&task{kind: taskApply, xid: xid, globalID: globalID, startTS: startTS, commitTS: commitTS, records: records})
+}
+
+// SubmitValidate schedules the MOCC validation of a synchronized source
+// transaction; the outcome reaches the validation sink.
+func (r *Replayer) SubmitValidate(xid base.XID, globalID base.TxnID, startTS base.Timestamp, records []wal.Record) {
+	r.enqueue(&task{kind: taskValidate, xid: xid, globalID: globalID, startTS: startTS, records: records})
+}
+
+// SubmitCommitShadow schedules the commit of a prepared shadow transaction.
+// The task re-registers the shadow's keys so later replay of those tuples
+// orders after the shadow's commit (the shadow holds their row locks until
+// then).
+func (r *Replayer) SubmitCommitShadow(xid base.XID, commitTS base.Timestamp) {
+	var records []wal.Record
+	if s, ok := r.shadowFor(xid); ok {
+		records = s.task.records
+	}
+	r.enqueue(&task{kind: taskCommitShadow, xid: xid, commitTS: commitTS, records: records})
+}
+
+// SubmitAbortShadow schedules the rollback of a prepared shadow transaction
+// (no-op if validation already failed and nothing is prepared).
+func (r *Replayer) SubmitAbortShadow(xid base.XID) {
+	var records []wal.Record
+	if s, ok := r.shadowFor(xid); ok {
+		records = s.task.records
+	}
+	r.enqueue(&task{kind: taskAbortShadow, xid: xid, records: records})
+}
+
+// Barrier blocks until every task enqueued before the call has completed.
+// The mode-change phase uses it to establish that all changes up to
+// LSN_unsync are applied (§3.4).
+func (r *Replayer) Barrier() {
+	r.mu.Lock()
+	target := r.enqueued
+	r.mu.Unlock()
+	r.barrierMu.Lock()
+	defer r.barrierMu.Unlock()
+	for r.completed.Load() < target {
+		r.barrierC.Wait()
+	}
+}
+
+func (r *Replayer) worker() {
+	defer r.wg.Done()
+	for t := range r.tasks {
+		for _, dep := range t.deps {
+			<-dep.done
+		}
+		t.err = r.run(t)
+		r.completed.Add(1)
+		close(t.done)
+		r.barrierMu.Lock()
+		r.barrierC.Broadcast()
+		r.barrierMu.Unlock()
+	}
+}
+
+func (r *Replayer) run(t *task) error {
+	switch t.kind {
+	case taskApply:
+		return r.runApply(t)
+	case taskValidate:
+		err := r.runValidate(t)
+		if r.sink != nil {
+			r.sink(t.xid, err)
+		}
+		return err
+	case taskCommitShadow:
+		return r.runCommitShadow(t)
+	case taskAbortShadow:
+		return r.runAbortShadow(t)
+	}
+	return fmt.Errorf("repl: unknown task kind %d", t.kind)
+}
+
+// applyRecords re-executes a source transaction's changes under shadow.
+func (r *Replayer) applyRecords(shadow *txn.Txn, records []wal.Record) error {
+	for i := range records {
+		rec := &records[i]
+		var kind mvcc.WriteKind
+		switch rec.Type {
+		case wal.RecInsert:
+			kind = mvcc.WriteInsert
+		case wal.RecUpdate:
+			kind = mvcc.WriteUpdate
+		case wal.RecDelete:
+			kind = mvcc.WriteDelete
+		case wal.RecLock:
+			kind = mvcc.WriteLock
+		default:
+			return fmt.Errorf("repl: change record with type %v", rec.Type)
+		}
+		if err := r.dst.ApplyWrite(shadow, rec.Shard, kind, rec.Key, rec.Value); err != nil {
+			return err
+		}
+		r.applied.Add(1)
+	}
+	return nil
+}
+
+// runApply replays one committed source transaction (async phase): same
+// start timestamp, same commit timestamp (§3.3).
+func (r *Replayer) runApply(t *task) error {
+	shadow := r.dst.Manager().Begin(t.globalID, t.startTS)
+	if err := r.applyRecords(shadow, t.records); err != nil {
+		_ = shadow.Abort()
+		return fmt.Errorf("repl: apply %v: %w", t.xid, err)
+	}
+	if _, err := shadow.Prepare(); err != nil {
+		_ = shadow.Abort()
+		return err
+	}
+	return shadow.CommitAt(t.commitTS)
+}
+
+// runValidate is the MOCC validation stage (§3.5.2): re-execute the changes;
+// any dead tuple or newer version is a WW-conflict that aborts both the
+// shadow and (through the sink) the source transaction. On success the
+// shadow is 2PC-prepared; its prepared status blocks destination readers of
+// its writes until the commit decision arrives (distributed SI).
+func (r *Replayer) runValidate(t *task) error {
+	shadow := r.dst.Manager().Begin(t.globalID, t.startTS)
+	if err := r.applyRecords(shadow, t.records); err != nil {
+		_ = shadow.Abort()
+		r.conflicts.Add(1)
+		return fmt.Errorf("repl: validate %v: %w", t.xid, err)
+	}
+	if _, err := shadow.Prepare(); err != nil {
+		_ = shadow.Abort()
+		return err
+	}
+	r.mu.Lock()
+	r.shadows[t.xid] = &shadowState{txn: shadow, task: t}
+	r.mu.Unlock()
+	return nil
+}
+
+func (r *Replayer) takeShadow(xid base.XID) (*shadowState, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.shadows[xid]
+	if ok {
+		delete(r.shadows, xid)
+	}
+	return s, ok
+}
+
+// shadowFor returns the prepared shadow state without removing it.
+func (r *Replayer) shadowFor(xid base.XID) (*shadowState, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.shadows[xid]
+	return s, ok
+}
+
+func (r *Replayer) runCommitShadow(t *task) error {
+	s, ok := r.takeShadow(t.xid)
+	if !ok {
+		return fmt.Errorf("repl: commit of unknown shadow for %v", t.xid)
+	}
+	return s.txn.CommitAt(t.commitTS)
+}
+
+func (r *Replayer) runAbortShadow(t *task) error {
+	s, ok := r.takeShadow(t.xid)
+	if !ok {
+		return nil // validation failed; nothing prepared
+	}
+	return s.txn.Abort()
+}
+
+// PreparedShadows reports the number of prepared shadows awaiting outcomes
+// (crash recovery inspects this).
+func (r *Replayer) PreparedShadows() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.shadows)
+}
+
+// ResidualShadows returns the xids of prepared shadow transactions that have
+// not received a commit/rollback decision (crash recovery, §3.7).
+func (r *Replayer) ResidualShadows() []base.XID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]base.XID, 0, len(r.shadows))
+	for xid := range r.shadows {
+		out = append(out, xid)
+	}
+	return out
+}
+
+// ResolveShadow commits or aborts a residual prepared shadow according to
+// the source transaction's recovered outcome (§3.7).
+func (r *Replayer) ResolveShadow(xid base.XID, commit bool, cts base.Timestamp) error {
+	s, ok := r.takeShadow(xid)
+	if !ok {
+		return fmt.Errorf("repl: resolve of unknown shadow for %v", xid)
+	}
+	if commit {
+		return s.txn.CommitAt(cts)
+	}
+	return s.txn.Abort()
+}

@@ -1,0 +1,107 @@
+package repl
+
+import (
+	"fmt"
+	"os"
+
+	"remus/internal/wal"
+)
+
+// spillFile holds a transaction's overflowing update cache queue on disk in
+// the WAL wire encoding (§3.3: "for transactions with a large write set
+// Remus also allows their change records being spilled to disk").
+type spillFile struct {
+	f     *os.File
+	count int
+	bytes int
+}
+
+func newSpillFile(dir string) (*spillFile, error) {
+	f, err := os.CreateTemp(dir, "remus-spill-*.dat")
+	if err != nil {
+		return nil, fmt.Errorf("repl: spill: %w", err)
+	}
+	// Unlink immediately; the fd keeps the space alive until Close.
+	_ = os.Remove(f.Name())
+	return &spillFile{f: f}, nil
+}
+
+func (s *spillFile) append(recs []wal.Record) error {
+	buf := wal.EncodeBatch(recs)
+	if _, err := s.f.Write(buf); err != nil {
+		return fmt.Errorf("repl: spill write: %w", err)
+	}
+	s.count += len(recs)
+	s.bytes += len(buf)
+	return nil
+}
+
+// reload reads every spilled record back (the queue is about to be shipped).
+func (s *spillFile) reload() ([]wal.Record, error) {
+	buf := make([]byte, s.bytes)
+	if _, err := s.f.ReadAt(buf, 0); err != nil {
+		return nil, fmt.Errorf("repl: spill read: %w", err)
+	}
+	recs, err := wal.DecodeBatch(buf)
+	if err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+func (s *spillFile) close() {
+	if s.f != nil {
+		_ = s.f.Close()
+		s.f = nil
+	}
+}
+
+// queue is one transaction's update cache queue.
+type queue struct {
+	records []wal.Record
+	spill   *spillFile
+	count   int
+	bytes   int
+}
+
+func (q *queue) add(rec wal.Record, spillThreshold int, spillDir string) error {
+	q.records = append(q.records, rec)
+	q.count++
+	q.bytes += rec.Size()
+	if spillThreshold > 0 && len(q.records) >= spillThreshold {
+		if q.spill == nil {
+			s, err := newSpillFile(spillDir)
+			if err != nil {
+				return err
+			}
+			q.spill = s
+		}
+		if err := q.spill.append(q.records); err != nil {
+			return err
+		}
+		q.records = q.records[:0]
+	}
+	return nil
+}
+
+// take returns the full record list (reloading any spilled prefix) and
+// releases the queue's resources.
+func (q *queue) take() ([]wal.Record, error) {
+	defer q.release()
+	if q.spill == nil {
+		return q.records, nil
+	}
+	spilled, err := q.spill.reload()
+	if err != nil {
+		return nil, err
+	}
+	return append(spilled, q.records...), nil
+}
+
+func (q *queue) release() {
+	if q.spill != nil {
+		q.spill.close()
+		q.spill = nil
+	}
+	q.records = nil
+}

@@ -1,0 +1,164 @@
+package shard
+
+import (
+	"sort"
+	"sync"
+
+	"remus/internal/base"
+)
+
+// CacheEntry is one cached shard placement together with the commit
+// timestamp of the map-table row version it was read from. Version lets the
+// cache apply the paper's rule "update the cache if there are new visible
+// tuple versions" monotonically.
+type CacheEntry struct {
+	Desc    Desc
+	Version base.Timestamp
+}
+
+// Cache is the private ordered shard map cache of one coordinator process
+// (§3.5.1, Figure 5). Entries are kept per table, ordered by hash range, so
+// routing a point lookup is a binary search and a range scan prunes shards
+// by range overlap. A Cache is used by a single session goroutine; the lock
+// only protects against monitoring reads.
+type Cache struct {
+	mu      sync.Mutex
+	byTable map[base.TableID][]CacheEntry // ordered by Range.Lo
+	epoch   uint64                        // last observed invalidation epoch
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{byTable: make(map[base.TableID][]CacheEntry)}
+}
+
+// Update installs a placement read from the shard map table, unless the
+// cache already holds a version at least as new. It reports whether the
+// entry changed.
+func (c *Cache) Update(d Desc, version base.Timestamp) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	entries := c.byTable[d.Table]
+	i := sort.Search(len(entries), func(i int) bool { return entries[i].Desc.Range.Lo >= d.Range.Lo })
+	if i < len(entries) && entries[i].Desc.ID == d.ID {
+		if entries[i].Version >= version {
+			return false
+		}
+		entries[i] = CacheEntry{Desc: d, Version: version}
+		return true
+	}
+	entries = append(entries, CacheEntry{})
+	copy(entries[i+1:], entries[i:])
+	entries[i] = CacheEntry{Desc: d, Version: version}
+	c.byTable[d.Table] = entries
+	return true
+}
+
+// LookupHash finds the cached placement of the shard owning hash h in table.
+func (c *Cache) LookupHash(table base.TableID, h uint64) (CacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	entries := c.byTable[table]
+	// Binary search for the last entry with Range.Lo <= h.
+	i := sort.Search(len(entries), func(i int) bool { return entries[i].Desc.Range.Lo > h })
+	if i == 0 {
+		return CacheEntry{}, false
+	}
+	e := entries[i-1]
+	if !e.Desc.Range.Contains(h) {
+		return CacheEntry{}, false
+	}
+	return e, true
+}
+
+// Lookup finds the cached placement of a shard by id (linear in the table's
+// shard count; used by invalidation paths, not routing).
+func (c *Cache) Lookup(id base.ShardID) (CacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, entries := range c.byTable {
+		for _, e := range entries {
+			if e.Desc.ID == id {
+				return e, true
+			}
+		}
+	}
+	return CacheEntry{}, false
+}
+
+// Epoch returns the last invalidation epoch the session observed.
+func (c *Cache) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// SetEpoch records that the cache has been refreshed up to epoch.
+func (c *Cache) SetEpoch(e uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epoch = e
+}
+
+// Len reports the number of cached entries (tests).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, entries := range c.byTable {
+		n += len(entries)
+	}
+	return n
+}
+
+// ReadThrough is the per-node cache-read-through state of §3.5.1: the set of
+// shard IDs whose placement must be read from the shard map table (at the
+// routing transaction's snapshot) instead of trusted from the private cache.
+// The migration controller marks the migrating shards before executing T_m
+// and clears them after T_m commits; clearing bumps the epoch so sessions
+// refresh their caches after their current transaction.
+type ReadThrough struct {
+	mu     sync.Mutex
+	shards map[base.ShardID]struct{}
+	epoch  uint64
+}
+
+// NewReadThrough returns an empty state at epoch 0.
+func NewReadThrough() *ReadThrough {
+	return &ReadThrough{shards: make(map[base.ShardID]struct{})}
+}
+
+// Mark enters read-through state for the given shards.
+func (rt *ReadThrough) Mark(ids ...base.ShardID) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, id := range ids {
+		rt.shards[id] = struct{}{}
+	}
+}
+
+// Clear leaves read-through state for the given shards and bumps the epoch,
+// signalling sessions to refresh stale entries.
+func (rt *ReadThrough) Clear(ids ...base.ShardID) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, id := range ids {
+		delete(rt.shards, id)
+	}
+	rt.epoch++
+}
+
+// Active reports whether the shard is currently in read-through state.
+func (rt *ReadThrough) Active(id base.ShardID) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	_, ok := rt.shards[id]
+	return ok
+}
+
+// Epoch returns the current invalidation epoch.
+func (rt *ReadThrough) Epoch() uint64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.epoch
+}

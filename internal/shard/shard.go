@@ -1,0 +1,150 @@
+// Package shard implements consistent-hash sharding and the shard map of
+// §2.1/§3.5.1: the hash space partitioning of user tables, the descriptor
+// rows stored in each node's MVCC shard map table, and the per-coordinator
+// ordered private cache with its cache-read-through protocol.
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"remus/internal/base"
+)
+
+// Hash maps a distribution key into the 64-bit consistent-hash space
+// (FNV-1a with a murmur3-style finalizer: FNV alone diffuses short
+// sequential keys poorly into the high bits that pick the shard). Every node
+// computes the same value for the same key.
+func Hash(key base.Key) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	// fmix64 finalizer.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Table describes a sharded user table.
+type Table struct {
+	ID base.TableID
+	// Name is used in logs and examples.
+	Name string
+	// NumShards is the fixed number of hash ranges the table is split into.
+	NumShards int
+	// PrefixLen is the number of leading key bytes fed to Hash for routing
+	// (the distribution key). Zero hashes the whole key. TPC-C tables set 8
+	// so every table shards by the warehouse id and collocates (§3.8).
+	PrefixLen int
+	// FirstShard is the globally unique ShardID of the table's shard 0;
+	// shard i has ID FirstShard+i. Assigned by the catalog.
+	FirstShard base.ShardID
+}
+
+// DistKey extracts the distribution key portion of a full primary key.
+func (t *Table) DistKey(key base.Key) base.Key {
+	if t.PrefixLen > 0 && t.PrefixLen < len(key) {
+		return key[:t.PrefixLen]
+	}
+	return key
+}
+
+// ShardIndex returns the index (0..NumShards-1) of the shard owning key.
+func (t *Table) ShardIndex(key base.Key) int {
+	return t.IndexOfHash(Hash(t.DistKey(key)))
+}
+
+// IndexOfHash returns the shard index owning a hash value. Ranges split the
+// hash space evenly: shard i owns [i*step, (i+1)*step) with the last shard
+// absorbing the remainder.
+func (t *Table) IndexOfHash(h uint64) int {
+	step := ^uint64(0)/uint64(t.NumShards) + 1
+	idx := int(h / step)
+	if idx >= t.NumShards {
+		idx = t.NumShards - 1
+	}
+	return idx
+}
+
+// ShardOf returns the globally unique ShardID owning key.
+func (t *Table) ShardOf(key base.Key) base.ShardID {
+	return t.FirstShard + base.ShardID(t.ShardIndex(key))
+}
+
+// Range returns the hash range [Lo, Hi) of shard index i (Hi==0 encodes the
+// top of the space for the last shard).
+func (t *Table) Range(i int) HashRange {
+	step := ^uint64(0)/uint64(t.NumShards) + 1
+	lo := uint64(i) * step
+	var hi uint64
+	if i < t.NumShards-1 {
+		hi = uint64(i+1) * step
+	}
+	return HashRange{Lo: lo, Hi: hi}
+}
+
+// HashRange is a half-open range of the hash space; Hi==0 means "to the top".
+type HashRange struct {
+	Lo, Hi uint64
+}
+
+// Contains reports whether h falls inside the range.
+func (r HashRange) Contains(h uint64) bool {
+	if r.Hi == 0 {
+		return h >= r.Lo
+	}
+	return h >= r.Lo && h < r.Hi
+}
+
+func (r HashRange) String() string { return fmt.Sprintf("[%#x,%#x)", r.Lo, r.Hi) }
+
+// Desc is one row of the shard map table: the placement of one shard. The
+// row is stored (encoded) as the value of key MapKey(ID) in every node's
+// shard map table and updated transactionally by T_m during ordered
+// diversion.
+type Desc struct {
+	ID    base.ShardID
+	Table base.TableID
+	Range HashRange
+	Node  base.NodeID
+}
+
+// MapKey returns the shard map table key for a shard.
+func MapKey(id base.ShardID) base.Key {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(id))
+	return base.Key(b[:])
+}
+
+// EncodeDesc serializes a descriptor for storage in the map table.
+func EncodeDesc(d Desc) base.Value {
+	buf := make([]byte, 0, 28)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(d.ID))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(d.Table))
+	buf = binary.LittleEndian.AppendUint64(buf, d.Range.Lo)
+	buf = binary.LittleEndian.AppendUint64(buf, d.Range.Hi)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(d.Node))
+	return buf
+}
+
+// DecodeDesc parses a stored descriptor.
+func DecodeDesc(v base.Value) (Desc, error) {
+	if len(v) != 28 {
+		return Desc{}, fmt.Errorf("shard: decode desc: %d bytes, want 28", len(v))
+	}
+	return Desc{
+		ID:    base.ShardID(int32(binary.LittleEndian.Uint32(v[0:]))),
+		Table: base.TableID(int32(binary.LittleEndian.Uint32(v[4:]))),
+		Range: HashRange{Lo: binary.LittleEndian.Uint64(v[8:]), Hi: binary.LittleEndian.Uint64(v[16:])},
+		Node:  base.NodeID(int32(binary.LittleEndian.Uint32(v[24:]))),
+	}, nil
+}

@@ -1,0 +1,256 @@
+package shard
+
+import (
+	"testing"
+	"testing/quick"
+
+	"remus/internal/base"
+)
+
+func testTable() *Table {
+	return &Table{ID: 1, Name: "accounts", NumShards: 8, FirstShard: 100}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	if Hash("abc") != Hash("abc") {
+		t.Error("hash not deterministic")
+	}
+	if Hash("abc") == Hash("abd") {
+		t.Error("adjacent keys collide (suspicious)")
+	}
+}
+
+func TestShardIndexInRange(t *testing.T) {
+	tbl := testTable()
+	f := func(key string) bool {
+		i := tbl.ShardIndex(base.Key(key))
+		return i >= 0 && i < tbl.NumShards
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexMatchesRange(t *testing.T) {
+	tbl := testTable()
+	f := func(key string) bool {
+		h := Hash(tbl.DistKey(base.Key(key)))
+		idx := tbl.IndexOfHash(h)
+		return tbl.Range(idx).Contains(h)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangesTileTheSpace(t *testing.T) {
+	tbl := testTable()
+	prev := HashRange{}
+	for i := 0; i < tbl.NumShards; i++ {
+		r := tbl.Range(i)
+		if i == 0 && r.Lo != 0 {
+			t.Errorf("first range starts at %#x", r.Lo)
+		}
+		if i > 0 && r.Lo != prev.Hi {
+			t.Errorf("gap between shard %d and %d: %v -> %v", i-1, i, prev, r)
+		}
+		prev = r
+	}
+	if prev.Hi != 0 {
+		t.Errorf("last range must extend to the top, got Hi=%#x", prev.Hi)
+	}
+	if !prev.Contains(^uint64(0)) {
+		t.Error("max hash not owned by the last shard")
+	}
+}
+
+func TestShardDistributionRoughlyEven(t *testing.T) {
+	tbl := testTable()
+	counts := make([]int, tbl.NumShards)
+	const n = 80000
+	for i := 0; i < n; i++ {
+		counts[tbl.ShardIndex(base.EncodeUint64Key(uint64(i)))]++
+	}
+	want := n / tbl.NumShards
+	for i, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Errorf("shard %d holds %d keys, want ~%d", i, c, want)
+		}
+	}
+}
+
+func TestDistKeyPrefix(t *testing.T) {
+	tbl := &Table{ID: 2, NumShards: 4, PrefixLen: 8}
+	k1 := base.NewKeyEncoder().Uint64(7).Uint64(1).Key()
+	k2 := base.NewKeyEncoder().Uint64(7).Uint64(999).Key()
+	if tbl.ShardOf(k1) != tbl.ShardOf(k2) {
+		t.Error("keys with the same distribution prefix must collocate")
+	}
+	// Short key: whole key is the distribution key.
+	short := base.Key("ab")
+	if got := tbl.DistKey(short); got != short {
+		t.Errorf("DistKey(short) = %q", got)
+	}
+}
+
+func TestShardOfGlobalIDs(t *testing.T) {
+	tbl := testTable()
+	id := tbl.ShardOf(base.EncodeUint64Key(42))
+	if id < tbl.FirstShard || id >= tbl.FirstShard+base.ShardID(tbl.NumShards) {
+		t.Errorf("ShardOf out of table's id range: %v", id)
+	}
+}
+
+func TestDescCodec(t *testing.T) {
+	d := Desc{ID: 7, Table: 3, Range: HashRange{Lo: 100, Hi: 200}, Node: 4}
+	got, err := DecodeDesc(EncodeDesc(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != d {
+		t.Errorf("round trip %+v -> %+v", d, got)
+	}
+	if _, err := DecodeDesc(base.Value("short")); err == nil {
+		t.Error("short desc must fail")
+	}
+}
+
+func TestDescCodecProperty(t *testing.T) {
+	f := func(id, tbl, node int32, lo, hi uint64) bool {
+		d := Desc{ID: base.ShardID(id), Table: base.TableID(tbl), Range: HashRange{Lo: lo, Hi: hi}, Node: base.NodeID(node)}
+		got, err := DecodeDesc(EncodeDesc(d))
+		return err == nil && got == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapKeyDistinct(t *testing.T) {
+	if MapKey(1) == MapKey(2) {
+		t.Error("map keys collide")
+	}
+}
+
+func TestCacheUpdateAndLookup(t *testing.T) {
+	tbl := testTable()
+	c := NewCache()
+	for i := 0; i < tbl.NumShards; i++ {
+		d := Desc{ID: tbl.FirstShard + base.ShardID(i), Table: tbl.ID, Range: tbl.Range(i), Node: base.NodeID(i % 3)}
+		if !c.Update(d, 10) {
+			t.Fatalf("initial update of shard %d rejected", i)
+		}
+	}
+	if c.Len() != tbl.NumShards {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	h := Hash(base.EncodeUint64Key(12345))
+	e, ok := c.LookupHash(tbl.ID, h)
+	if !ok {
+		t.Fatal("lookup missed")
+	}
+	if !e.Desc.Range.Contains(h) {
+		t.Errorf("entry %v does not contain %#x", e.Desc.Range, h)
+	}
+	wantIdx := tbl.IndexOfHash(h)
+	if e.Desc.ID != tbl.FirstShard+base.ShardID(wantIdx) {
+		t.Errorf("lookup returned %v, want shard index %d", e.Desc.ID, wantIdx)
+	}
+}
+
+func TestCacheVersionMonotonic(t *testing.T) {
+	tbl := testTable()
+	c := NewCache()
+	d := Desc{ID: tbl.FirstShard, Table: tbl.ID, Range: tbl.Range(0), Node: 1}
+	c.Update(d, 10)
+	stale := d
+	stale.Node = 0
+	if c.Update(stale, 5) {
+		t.Error("stale version overwrote newer cache entry")
+	}
+	e, _ := c.LookupHash(tbl.ID, 0)
+	if e.Desc.Node != 1 {
+		t.Errorf("cache regressed to node %v", e.Desc.Node)
+	}
+	newer := d
+	newer.Node = 2
+	if !c.Update(newer, 20) {
+		t.Error("newer version rejected")
+	}
+	e, _ = c.LookupHash(tbl.ID, 0)
+	if e.Desc.Node != 2 || e.Version != 20 {
+		t.Errorf("entry = %+v", e)
+	}
+}
+
+func TestCacheLookupByID(t *testing.T) {
+	tbl := testTable()
+	c := NewCache()
+	d := Desc{ID: tbl.FirstShard + 3, Table: tbl.ID, Range: tbl.Range(3), Node: 2}
+	c.Update(d, 1)
+	e, ok := c.Lookup(d.ID)
+	if !ok || e.Desc.Node != 2 {
+		t.Fatalf("Lookup = %+v, %v", e, ok)
+	}
+	if _, ok := c.Lookup(9999); ok {
+		t.Error("lookup of unknown shard succeeded")
+	}
+}
+
+func TestCacheLookupMissOnEmptyAndGaps(t *testing.T) {
+	c := NewCache()
+	if _, ok := c.LookupHash(1, 42); ok {
+		t.Error("empty cache lookup succeeded")
+	}
+	// Only a high range cached: low hashes must miss.
+	tbl := testTable()
+	d := Desc{ID: tbl.FirstShard + 7, Table: tbl.ID, Range: tbl.Range(7), Node: 0}
+	c.Update(d, 1)
+	if _, ok := c.LookupHash(tbl.ID, 1); ok {
+		t.Error("hash below all cached ranges should miss")
+	}
+}
+
+func TestReadThrough(t *testing.T) {
+	rt := NewReadThrough()
+	if rt.Active(5) {
+		t.Error("fresh state should be inactive")
+	}
+	rt.Mark(5, 6)
+	if !rt.Active(5) || !rt.Active(6) || rt.Active(7) {
+		t.Error("mark state wrong")
+	}
+	e0 := rt.Epoch()
+	rt.Clear(5, 6)
+	if rt.Active(5) || rt.Active(6) {
+		t.Error("clear did not remove shards")
+	}
+	if rt.Epoch() != e0+1 {
+		t.Errorf("epoch = %d, want %d", rt.Epoch(), e0+1)
+	}
+}
+
+func TestCacheEpoch(t *testing.T) {
+	c := NewCache()
+	if c.Epoch() != 0 {
+		t.Error("fresh cache epoch nonzero")
+	}
+	c.SetEpoch(3)
+	if c.Epoch() != 3 {
+		t.Error("SetEpoch lost")
+	}
+}
+
+func TestHashRangeContains(t *testing.T) {
+	r := HashRange{Lo: 10, Hi: 20}
+	if r.Contains(9) || !r.Contains(10) || !r.Contains(19) || r.Contains(20) {
+		t.Error("half-open range semantics broken")
+	}
+	top := HashRange{Lo: 100, Hi: 0}
+	if !top.Contains(^uint64(0)) || !top.Contains(100) || top.Contains(99) {
+		t.Error("top range semantics broken")
+	}
+	if top.String() == "" || r.String() == "" {
+		t.Error("String() empty")
+	}
+}

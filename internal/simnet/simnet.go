@@ -1,0 +1,120 @@
+// Package simnet models the cluster interconnect. Elastic nodes live in one
+// process, so "RPC" is a method call wrapped with a latency/bandwidth charge
+// through a shared Network. The charge produces the queueing and blocking
+// effects the paper's evaluation depends on (pull stalls, propagation lag,
+// GTS round trips) without real sockets; message and byte counters feed the
+// benchmark reports.
+package simnet
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config describes link characteristics. The zero value is a free, infinitely
+// fast network (useful in unit tests).
+type Config struct {
+	// Latency is the one-way delay charged per message.
+	Latency time.Duration
+	// Jitter adds a uniformly random extra delay in [0, Jitter).
+	Jitter time.Duration
+	// BandwidthMBps bounds payload transfer speed in megabytes per second;
+	// zero means unbounded.
+	BandwidthMBps float64
+}
+
+// LAN returns a config resembling the paper's 10 Gbps datacenter network,
+// scaled to the repo's millisecond-resolution experiments.
+func LAN() Config {
+	return Config{Latency: 50 * time.Microsecond, Jitter: 20 * time.Microsecond, BandwidthMBps: 1200}
+}
+
+// Network is the shared interconnect. It is safe for concurrent use.
+type Network struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	messages atomic.Uint64
+	bytes    atomic.Uint64
+}
+
+// New returns a network with the given link characteristics.
+func New(cfg Config) *Network {
+	return &Network{cfg: cfg, rng: rand.New(rand.NewSource(1))}
+}
+
+// Send charges one message of the given payload size and blocks for its
+// simulated transfer time. Delays below 100µs are waited out with a yield
+// loop: time.Sleep under load overshoots microsecond requests by an order of
+// magnitude, which would silently turn a 20µs link into a ~500µs one and
+// distort every latency-sensitive experiment.
+func (n *Network) Send(payloadBytes int) {
+	n.messages.Add(1)
+	n.bytes.Add(uint64(payloadBytes))
+	d := n.delay(payloadBytes)
+	switch {
+	case d <= 0:
+	case d < 100*time.Microsecond:
+		end := time.Now().Add(d)
+		for time.Now().Before(end) {
+			runtime.Gosched()
+		}
+	default:
+		time.Sleep(d)
+	}
+}
+
+// RoundTrip charges a request/response pair (request payload + small reply).
+func (n *Network) RoundTrip(payloadBytes int) {
+	n.Send(payloadBytes)
+	n.Send(64)
+}
+
+// Account records traffic without blocking. Pipelined streams (WAL shipping)
+// use it together with TransferTime-based backpressure: a stream pays its
+// propagation latency once, not per message, and sleeping per message would
+// serialize the sender behind the Go timer granularity.
+func (n *Network) Account(payloadBytes int) {
+	n.messages.Add(1)
+	n.bytes.Add(uint64(payloadBytes))
+}
+
+// TransferTime returns the bandwidth cost of a payload (no latency
+// component): the per-byte time a saturated pipelined stream accrues.
+func (n *Network) TransferTime(payloadBytes int) time.Duration {
+	if n.cfg.BandwidthMBps <= 0 || payloadBytes <= 0 {
+		return 0
+	}
+	return time.Duration(float64(payloadBytes) / (n.cfg.BandwidthMBps * 1e6) * float64(time.Second))
+}
+
+func (n *Network) delay(payloadBytes int) time.Duration {
+	d := n.cfg.Latency
+	if n.cfg.Jitter > 0 {
+		n.mu.Lock()
+		d += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+		n.mu.Unlock()
+	}
+	if n.cfg.BandwidthMBps > 0 && payloadBytes > 0 {
+		bytesPerSec := n.cfg.BandwidthMBps * 1e6
+		d += time.Duration(float64(payloadBytes) / bytesPerSec * float64(time.Second))
+	}
+	return d
+}
+
+// Messages reports the number of messages ever sent.
+func (n *Network) Messages() uint64 { return n.messages.Load() }
+
+// Bytes reports the total payload bytes ever sent.
+func (n *Network) Bytes() uint64 { return n.bytes.Load() }
+
+// EstimateTransfer returns the simulated time a payload of the given size
+// takes, without sending anything (used by Squall to model chunk pull I/O).
+func (n *Network) EstimateTransfer(payloadBytes int) time.Duration {
+	return n.delay(payloadBytes)
+}

@@ -1,0 +1,79 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestZeroConfigIsFree(t *testing.T) {
+	n := New(Config{})
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		n.Send(1 << 20)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("zero-config sends took %v", elapsed)
+	}
+	if n.Messages() != 1000 {
+		t.Errorf("Messages = %d", n.Messages())
+	}
+	if n.Bytes() != 1000<<20 {
+		t.Errorf("Bytes = %d", n.Bytes())
+	}
+}
+
+func TestLatencyCharged(t *testing.T) {
+	n := New(Config{Latency: 5 * time.Millisecond})
+	start := time.Now()
+	n.Send(0)
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Errorf("send returned after %v, want >= 5ms", elapsed)
+	}
+}
+
+func TestBandwidthCharged(t *testing.T) {
+	// 1 MB at 10 MB/s should take ~100ms.
+	n := New(Config{BandwidthMBps: 10})
+	start := time.Now()
+	n.Send(1e6)
+	elapsed := time.Since(start)
+	if elapsed < 80*time.Millisecond {
+		t.Errorf("1MB at 10MB/s took %v, want ~100ms", elapsed)
+	}
+}
+
+func TestEstimateTransferDoesNotSend(t *testing.T) {
+	n := New(Config{Latency: time.Millisecond, BandwidthMBps: 1})
+	d := n.EstimateTransfer(1e6)
+	if d < time.Second {
+		t.Errorf("estimate = %v, want >= 1s for 1MB at 1MB/s", d)
+	}
+	if n.Messages() != 0 || n.Bytes() != 0 {
+		t.Error("estimate must not count as traffic")
+	}
+}
+
+func TestRoundTripCountsTwoMessages(t *testing.T) {
+	n := New(Config{})
+	n.RoundTrip(100)
+	if n.Messages() != 2 {
+		t.Errorf("Messages = %d, want 2", n.Messages())
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	n := New(Config{Latency: time.Millisecond, Jitter: time.Millisecond})
+	for i := 0; i < 50; i++ {
+		d := n.EstimateTransfer(0)
+		if d < time.Millisecond || d >= 2*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [1ms, 2ms)", d)
+		}
+	}
+}
+
+func TestLANConfigSane(t *testing.T) {
+	cfg := LAN()
+	if cfg.Latency <= 0 || cfg.BandwidthMBps <= 0 {
+		t.Errorf("LAN config not usable: %+v", cfg)
+	}
+}

@@ -1,0 +1,565 @@
+// Package txn implements the per-node transaction machinery: snapshot
+// isolation transactions over MVCC stores, WAL logging of every change, the
+// 2PC participant protocol with prepare-wait timestamp ordering (§2.2), and
+// the commit gate that Remus' sync barrier and MOCC validation plug into
+// (§3.4, §3.5.2).
+package txn
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"remus/internal/base"
+	"remus/internal/clock"
+	"remus/internal/clog"
+	"remus/internal/mvcc"
+	"remus/internal/wal"
+)
+
+// State is a transaction's lifecycle position.
+type State uint8
+
+const (
+	// StateActive means the transaction is executing statements.
+	StateActive State = iota
+	// StateCommitting means the transaction entered its commit path.
+	StateCommitting
+	// StatePrepared means the 2PC prepare phase completed.
+	StatePrepared
+	// StateCommitted is terminal.
+	StateCommitted
+	// StateAborted is terminal.
+	StateAborted
+)
+
+func (s State) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateCommitting:
+		return "committing"
+	case StatePrepared:
+		return "prepared"
+	case StateCommitted:
+		return "committed"
+	case StateAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// CommitGate intercepts commits on a migration source node. Remus installs a
+// gate when the sync barrier is set (§3.4): transactions that wrote
+// migrating shards become "synchronized source transactions" — their prepare
+// record doubles as the MOCC validation record, and WaitValidation blocks
+// until the destination has replayed and prepared the shadow transaction
+// (returning an error on a WW-conflict, which aborts the source transaction).
+type CommitGate interface {
+	// NeedsValidation reports whether the committing transaction must be
+	// validated (it touched a migrating shard while in sync mode).
+	NeedsValidation(t *Txn) bool
+	// WaitValidation blocks until the destination acks the transaction's
+	// validation; a non-nil error aborts the transaction.
+	WaitValidation(t *Txn) error
+}
+
+// WriteRef records one mutation for lock release and migration bookkeeping.
+type WriteRef struct {
+	Store *mvcc.Store
+	Table base.TableID
+	Shard base.ShardID
+	Key   base.Key
+	Kind  mvcc.WriteKind
+}
+
+// Txn is one node-local transaction (a standalone transaction, or one
+// participant of a distributed transaction).
+type Txn struct {
+	m *Manager
+
+	XID      base.XID
+	GlobalID base.TxnID
+	StartTS  base.Timestamp
+
+	mu         sync.Mutex
+	state      State
+	writes     []WriteRef
+	shards     map[base.ShardID]struct{}
+	commitTS   base.Timestamp
+	firstLSN   wal.LSN       // LSN of the txn's first WAL record (0 if none)
+	cleanups   []func()      // run once at terminal state (LIFO)
+	abortCause error         // why the txn was aborted by a third party
+	done       chan struct{} // closed at terminal state
+}
+
+// AbortWith aborts the transaction recording a cause; subsequent statements
+// and commit attempts by the transaction's own session report that cause
+// (e.g. base.ErrMigrationAbort when lock-and-abort kills writers, §2.3.3).
+func (t *Txn) AbortWith(cause error) error {
+	t.mu.Lock()
+	if t.state != StateCommitted && t.state != StateAborted && t.abortCause == nil {
+		t.abortCause = cause
+	}
+	t.mu.Unlock()
+	return t.abortLocked(cause)
+}
+
+// FirstLSN returns the LSN of the transaction's first WAL record, or zero if
+// it has not logged anything. Migration uses the minimum FirstLSN over
+// active transactions to pick a propagation start position that covers every
+// change that may commit after the migration snapshot (§3.3).
+func (t *Txn) FirstLSN() wal.LSN {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.firstLSN
+}
+
+// AddCleanup registers fn to run when the transaction finishes (commit or
+// abort). Migration interceptors use it to release shard-level locks. If the
+// transaction already finished (a concurrent abort raced this registration),
+// fn runs immediately — resources acquired after the cleanup pass would
+// otherwise leak.
+func (t *Txn) AddCleanup(fn func()) {
+	t.mu.Lock()
+	if t.state == StateCommitted || t.state == StateAborted {
+		t.mu.Unlock()
+		fn()
+		return
+	}
+	t.cleanups = append(t.cleanups, fn)
+	t.mu.Unlock()
+}
+
+// Manager owns the transactions of one node.
+type Manager struct {
+	node   base.NodeID
+	clog   *clog.CLOG
+	wal    *wal.Log
+	oracle clock.Oracle
+	cfg    mvcc.Config
+
+	xidSeq atomic.Uint64
+	seqSeq atomic.Uint64
+
+	// commitMu serializes commit-path entry against gate installation so
+	// the sync barrier can capture an exact TS_unsync set (§3.4).
+	commitMu   sync.Mutex
+	gate       CommitGate
+	committing map[base.XID]*Txn
+
+	activeMu sync.Mutex
+	active   map[base.XID]*Txn
+}
+
+// NewManager wires a transaction manager over the node's CLOG, WAL and
+// timestamp oracle. It registers mvcc.FrozenXID as committed at bootstrap.
+func NewManager(node base.NodeID, cl *clog.CLOG, w *wal.Log, oracle clock.Oracle, cfg mvcc.Config) *Manager {
+	m := &Manager{
+		node:       node,
+		clog:       cl,
+		wal:        w,
+		oracle:     oracle,
+		cfg:        cfg,
+		committing: make(map[base.XID]*Txn),
+		active:     make(map[base.XID]*Txn),
+	}
+	m.xidSeq.Store(uint64(mvcc.FrozenXID))
+	cl.Begin(mvcc.FrozenXID)
+	if err := cl.SetCommitted(mvcc.FrozenXID, base.TsBootstrap); err != nil {
+		panic(err) // fresh CLOG; cannot fail
+	}
+	return m
+}
+
+// Node returns the owning node's id.
+func (m *Manager) Node() base.NodeID { return m.node }
+
+// Oracle returns the node's timestamp oracle.
+func (m *Manager) Oracle() clock.Oracle { return m.oracle }
+
+// CLOG returns the node's commit log.
+func (m *Manager) CLOG() *clog.CLOG { return m.clog }
+
+// WAL returns the node's write-ahead log.
+func (m *Manager) WAL() *wal.Log { return m.wal }
+
+// NewGlobalID allocates a cluster-unique transaction id coordinated by this
+// node.
+func (m *Manager) NewGlobalID() base.TxnID {
+	return base.MakeTxnID(m.node, m.seqSeq.Add(1))
+}
+
+// Begin starts a local transaction with the given snapshot. A zero startTS
+// asks the node's oracle for a fresh snapshot. globalID may be zero for
+// purely local transactions.
+func (m *Manager) Begin(globalID base.TxnID, startTS base.Timestamp) *Txn {
+	if startTS == base.TsZero {
+		startTS = m.oracle.StartTS()
+	} else {
+		m.oracle.Observe(startTS)
+	}
+	t := &Txn{
+		m:        m,
+		XID:      base.XID(m.xidSeq.Add(1)),
+		GlobalID: globalID,
+		StartTS:  startTS,
+		shards:   make(map[base.ShardID]struct{}),
+		done:     make(chan struct{}),
+	}
+	m.clog.Begin(t.XID)
+	m.activeMu.Lock()
+	m.active[t.XID] = t
+	m.activeMu.Unlock()
+	return t
+}
+
+// Lookup finds an active (or committing/prepared) transaction by xid.
+func (m *Manager) Lookup(xid base.XID) (*Txn, bool) {
+	m.activeMu.Lock()
+	defer m.activeMu.Unlock()
+	t, ok := m.active[xid]
+	return t, ok
+}
+
+// ActiveCount reports the number of unfinished transactions.
+func (m *Manager) ActiveCount() int {
+	m.activeMu.Lock()
+	defer m.activeMu.Unlock()
+	return len(m.active)
+}
+
+// ActiveTxns snapshots the unfinished transactions (wait-and-remaster and
+// recovery use it).
+func (m *Manager) ActiveTxns() []*Txn {
+	m.activeMu.Lock()
+	defer m.activeMu.Unlock()
+	out := make([]*Txn, 0, len(m.active))
+	for _, t := range m.active {
+		out = append(out, t)
+	}
+	return out
+}
+
+// TxnsBelow returns the unfinished transactions whose snapshots predate ts.
+// Dual execution waits for this set to drain before retiring the source
+// shard; wait-and-remaster waits for it (with ts = TsMax) before remastering.
+func (m *Manager) TxnsBelow(ts base.Timestamp) []*Txn {
+	m.activeMu.Lock()
+	defer m.activeMu.Unlock()
+	var out []*Txn
+	for _, t := range m.active {
+		if t.StartTS < ts {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// OldestActiveStartTS returns the oldest snapshot still in use (vacuum
+// horizon), or base.TsMax when the node is idle.
+func (m *Manager) OldestActiveStartTS() base.Timestamp {
+	m.activeMu.Lock()
+	defer m.activeMu.Unlock()
+	oldest := base.TsMax
+	for _, t := range m.active {
+		if t.StartTS < oldest {
+			oldest = t.StartTS
+		}
+	}
+	return oldest
+}
+
+// InstallGate installs (or, with nil, removes) the commit gate and returns
+// the transactions currently inside their commit path: the TS_unsync set of
+// §3.4, which will commit without validation and whose updates must be fully
+// propagated before dual execution starts.
+func (m *Manager) InstallGate(g CommitGate) []*Txn {
+	m.commitMu.Lock()
+	defer m.commitMu.Unlock()
+	m.gate = g
+	unsync := make([]*Txn, 0, len(m.committing))
+	for _, t := range m.committing {
+		unsync = append(unsync, t)
+	}
+	return unsync
+}
+
+// enterCommit atomically checks the gate and registers the transaction as
+// committing. It returns the gate in force for this transaction.
+func (m *Manager) enterCommit(t *Txn) CommitGate {
+	m.commitMu.Lock()
+	defer m.commitMu.Unlock()
+	m.committing[t.XID] = t
+	return m.gate
+}
+
+func (m *Manager) exitCommit(t *Txn) {
+	m.commitMu.Lock()
+	delete(m.committing, t.XID)
+	m.commitMu.Unlock()
+}
+
+func (m *Manager) finish(t *Txn) {
+	m.exitCommit(t)
+	m.activeMu.Lock()
+	delete(m.active, t.XID)
+	m.activeMu.Unlock()
+	t.mu.Lock()
+	cleanups := t.cleanups
+	t.cleanups = nil
+	t.mu.Unlock()
+	for i := len(cleanups) - 1; i >= 0; i-- {
+		cleanups[i]()
+	}
+	close(t.done)
+}
+
+// ---------------------------------------------------------------------------
+// Txn statement API.
+
+// State returns the transaction's current state.
+func (t *Txn) State() State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state
+}
+
+// Done returns a channel closed when the transaction reaches a terminal
+// state.
+func (t *Txn) Done() <-chan struct{} { return t.done }
+
+// CommitTS returns the commit timestamp (valid once committed).
+func (t *Txn) CommitTS() base.Timestamp {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.commitTS
+}
+
+// WriteCount reports the number of logged mutations.
+func (t *Txn) WriteCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.writes)
+}
+
+// TouchedShards returns the shards the transaction wrote.
+func (t *Txn) TouchedShards() []base.ShardID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]base.ShardID, 0, len(t.shards))
+	for s := range t.shards {
+		out = append(out, s)
+	}
+	return out
+}
+
+// WroteShard reports whether the transaction wrote the given shard.
+func (t *Txn) WroteShard(id base.ShardID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.shards[id]
+	return ok
+}
+
+func (t *Txn) ensureActive() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != StateActive {
+		if t.state == StateAborted && t.abortCause != nil {
+			return fmt.Errorf("%v: %w", t.XID, t.abortCause)
+		}
+		return fmt.Errorf("%v in state %v: %w", t.XID, t.state, base.ErrTxnFinished)
+	}
+	return nil
+}
+
+// Read returns the value of key in store under the transaction's snapshot.
+func (t *Txn) Read(store *mvcc.Store, key base.Key) (base.Value, error) {
+	if err := t.ensureActive(); err != nil {
+		return nil, err
+	}
+	return store.Read(key, t.StartTS, t.XID)
+}
+
+// Scan streams visible tuples of [lo, hi) in store under the snapshot.
+func (t *Txn) Scan(store *mvcc.Store, lo, hi base.Key, fn func(base.Key, base.Value) bool) error {
+	if err := t.ensureActive(); err != nil {
+		return err
+	}
+	return store.ScanRange(lo, hi, t.StartTS, t.XID, fn)
+}
+
+// Write applies a mutation to store, logs it in the WAL and tracks it for
+// lock release. On a WW-conflict the error is returned and the caller is
+// expected to Abort the transaction.
+func (t *Txn) Write(store *mvcc.Store, table base.TableID, shardID base.ShardID, kind mvcc.WriteKind, key base.Key, value base.Value) error {
+	if err := t.ensureActive(); err != nil {
+		return err
+	}
+	err := store.Write(mvcc.WriteReq{Kind: kind, Key: key, Value: value, XID: t.XID, StartTS: t.StartTS})
+	if err != nil {
+		return err
+	}
+	var recType wal.RecordType
+	switch kind {
+	case mvcc.WriteInsert:
+		recType = wal.RecInsert
+	case mvcc.WriteUpdate:
+		recType = wal.RecUpdate
+	case mvcc.WriteDelete:
+		recType = wal.RecDelete
+	case mvcc.WriteLock:
+		recType = wal.RecLock
+	}
+	lsn := t.m.wal.Append(wal.Record{
+		Type: recType, XID: t.XID, Txn: t.GlobalID,
+		Table: table, Shard: shardID, Key: key, Value: value.Clone(),
+		StartTS: t.StartTS,
+	})
+	t.mu.Lock()
+	if t.firstLSN == 0 {
+		t.firstLSN = lsn
+	}
+	t.writes = append(t.writes, WriteRef{Store: store, Table: table, Shard: shardID, Key: key, Kind: kind})
+	t.shards[shardID] = struct{}{}
+	t.mu.Unlock()
+	return nil
+}
+
+func (t *Txn) releaseLocks() {
+	seen := make(map[*mvcc.Store]struct{})
+	t.mu.Lock()
+	writes := t.writes
+	t.mu.Unlock()
+	for _, w := range writes {
+		if _, ok := seen[w.Store]; ok {
+			continue
+		}
+		seen[w.Store] = struct{}{}
+		w.Store.ReleaseLocks(t.XID)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Commit protocol (participant side).
+
+// Prepare runs the participant prepare phase: enter the commit path (passing
+// through any installed commit gate), write the prepare record — flagged as
+// a MOCC validation record when the gate demands it — mark the CLOG
+// prepared, wait for validation, and return this participant's prepare
+// timestamp. On validation failure the transaction is aborted and the error
+// returned.
+func (t *Txn) Prepare() (base.Timestamp, error) {
+	t.mu.Lock()
+	if t.state != StateActive {
+		st, cause := t.state, t.abortCause
+		t.mu.Unlock()
+		if st == StateAborted && cause != nil {
+			return 0, fmt.Errorf("prepare of %v: %w", t.XID, cause)
+		}
+		return 0, fmt.Errorf("prepare of %v in state %v: %w", t.XID, st, base.ErrTxnFinished)
+	}
+	t.state = StateCommitting
+	t.mu.Unlock()
+
+	gate := t.m.enterCommit(t)
+	validate := gate != nil && gate.NeedsValidation(t)
+
+	t.m.wal.Append(wal.Record{
+		Type: wal.RecPrepare, XID: t.XID, Txn: t.GlobalID,
+		StartTS: t.StartTS, Validation: validate,
+	})
+	if err := t.m.clog.SetPrepared(t.XID); err != nil {
+		t.abortLocked(fmt.Errorf("prepare: %w", err))
+		return 0, err
+	}
+	t.mu.Lock()
+	t.state = StatePrepared
+	t.mu.Unlock()
+
+	if validate {
+		if err := gate.WaitValidation(t); err != nil {
+			err = fmt.Errorf("mocc validation of %v: %w", t.XID, err)
+			t.abortLocked(err)
+			return 0, err
+		}
+	}
+	return t.m.oracle.PrepareTS(), nil
+}
+
+// CommitAt completes the transaction with the given commit timestamp
+// (assigned by the coordinator after all participants prepared). The commit
+// record lands in the WAL so the propagation process can ship it.
+func (t *Txn) CommitAt(ts base.Timestamp) error {
+	t.mu.Lock()
+	if t.state != StatePrepared {
+		st, cause := t.state, t.abortCause
+		t.mu.Unlock()
+		if st == StateAborted && cause != nil {
+			return fmt.Errorf("commit of %v: %w", t.XID, cause)
+		}
+		return fmt.Errorf("commit of %v in state %v: %w", t.XID, st, base.ErrTxnFinished)
+	}
+	t.state = StateCommitted
+	t.commitTS = ts
+	t.mu.Unlock()
+
+	t.m.oracle.Observe(ts)
+	if err := t.m.clog.SetCommitted(t.XID, ts); err != nil {
+		return err
+	}
+	t.m.wal.Append(wal.Record{
+		Type: wal.RecCommit, XID: t.XID, Txn: t.GlobalID,
+		StartTS: t.StartTS, CommitTS: ts,
+	})
+	t.releaseLocks()
+	t.m.finish(t)
+	return nil
+}
+
+// Commit runs the full single-participant commit: prepare (marking the CLOG
+// prepared before the commit timestamp is assigned, as §2.2 requires even
+// for single-node transactions), assign the commit timestamp, commit.
+func (t *Txn) Commit() (base.Timestamp, error) {
+	prepTS, err := t.Prepare()
+	if err != nil {
+		return 0, err
+	}
+	ts := t.m.oracle.CommitTS(prepTS)
+	if err := t.CommitAt(ts); err != nil {
+		return 0, err
+	}
+	return ts, nil
+}
+
+// Abort rolls the transaction back. Aborting a finished transaction is a
+// no-op returning base.ErrTxnFinished; aborting a prepared transaction is
+// legal (coordinator decision).
+func (t *Txn) Abort() error {
+	return t.abortLocked(nil)
+}
+
+func (t *Txn) abortLocked(cause error) error {
+	t.mu.Lock()
+	switch t.state {
+	case StateCommitted:
+		t.mu.Unlock()
+		return fmt.Errorf("abort of committed %v: %w", t.XID, base.ErrTxnFinished)
+	case StateAborted:
+		t.mu.Unlock()
+		return nil
+	}
+	t.state = StateAborted
+	t.mu.Unlock()
+
+	if err := t.m.clog.SetAborted(t.XID); err != nil {
+		return err
+	}
+	t.m.wal.Append(wal.Record{Type: wal.RecAbort, XID: t.XID, Txn: t.GlobalID, StartTS: t.StartTS})
+	t.releaseLocks()
+	t.m.finish(t)
+	_ = cause
+	return nil
+}

@@ -1,0 +1,119 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"remus/internal/base"
+)
+
+// Binary record encoding, used when update-cache queues spill to a store
+// (§3.3: transactions with large write sets spill their change records) and
+// for byte-accurate accounting of propagation traffic.
+//
+// Layout (little endian):
+//
+//	u8  type        u8 flags(bit0=validation)
+//	u64 lsn  u64 xid  u64 txn
+//	i32 table  i32 shard
+//	u64 commitTS  u64 startTS
+//	u32 keyLen  key bytes
+//	u32 valLen  value bytes
+
+const headerSize = 1 + 1 + 8 + 8 + 8 + 4 + 4 + 8 + 8
+
+// EncodedSize returns the exact encoded length of the record.
+func EncodedSize(r *Record) int {
+	return headerSize + 4 + len(r.Key) + 4 + len(r.Value)
+}
+
+// Encode appends the binary form of r to buf and returns the result.
+func Encode(buf []byte, r *Record) []byte {
+	buf = append(buf, byte(r.Type))
+	var flags byte
+	if r.Validation {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.LSN))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.XID))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Txn))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Table))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Shard))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.CommitTS))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.StartTS))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Key)))
+	buf = append(buf, r.Key...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Value)))
+	buf = append(buf, r.Value...)
+	return buf
+}
+
+// Decode parses one record from buf, returning it and the remaining bytes.
+func Decode(buf []byte) (Record, []byte, error) {
+	if len(buf) < headerSize+8 {
+		return Record{}, nil, fmt.Errorf("wal: decode: short buffer (%d bytes)", len(buf))
+	}
+	var r Record
+	r.Type = RecordType(buf[0])
+	r.Validation = buf[1]&1 != 0
+	off := 2
+	r.LSN = LSN(binary.LittleEndian.Uint64(buf[off:]))
+	off += 8
+	r.XID = base.XID(binary.LittleEndian.Uint64(buf[off:]))
+	off += 8
+	r.Txn = base.TxnID(binary.LittleEndian.Uint64(buf[off:]))
+	off += 8
+	r.Table = base.TableID(int32(binary.LittleEndian.Uint32(buf[off:])))
+	off += 4
+	r.Shard = base.ShardID(int32(binary.LittleEndian.Uint32(buf[off:])))
+	off += 4
+	r.CommitTS = base.Timestamp(binary.LittleEndian.Uint64(buf[off:]))
+	off += 8
+	r.StartTS = base.Timestamp(binary.LittleEndian.Uint64(buf[off:]))
+	off += 8
+	keyLen := int(binary.LittleEndian.Uint32(buf[off:]))
+	off += 4
+	if len(buf) < off+keyLen+4 {
+		return Record{}, nil, fmt.Errorf("wal: decode: truncated key")
+	}
+	r.Key = base.Key(buf[off : off+keyLen])
+	off += keyLen
+	valLen := int(binary.LittleEndian.Uint32(buf[off:]))
+	off += 4
+	if len(buf) < off+valLen {
+		return Record{}, nil, fmt.Errorf("wal: decode: truncated value")
+	}
+	if valLen > 0 {
+		r.Value = base.Value(append([]byte(nil), buf[off:off+valLen]...))
+	}
+	off += valLen
+	return r, buf[off:], nil
+}
+
+// EncodeBatch encodes a slice of records into one buffer.
+func EncodeBatch(recs []Record) []byte {
+	size := 0
+	for i := range recs {
+		size += EncodedSize(&recs[i])
+	}
+	buf := make([]byte, 0, size)
+	for i := range recs {
+		buf = Encode(buf, &recs[i])
+	}
+	return buf
+}
+
+// DecodeBatch decodes all records in buf.
+func DecodeBatch(buf []byte) ([]Record, error) {
+	var out []Record
+	for len(buf) > 0 {
+		rec, rest, err := Decode(buf)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+		buf = rest
+	}
+	return out, nil
+}

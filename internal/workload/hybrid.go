@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/cluster"
+)
+
+// BatchIngestConfig describes the hybrid workload A ingestion client (§4.3):
+// batch insert transactions appending tuples with monotonically increasing
+// primary keys (the COPY path), issued in a tight loop from one coordinator
+// node, with repeatable retry on migration-induced aborts.
+type BatchIngestConfig struct {
+	// Batches is the number of batch transactions (the paper issues 10).
+	Batches int
+	// RowsPerBatch is the tuple count per batch (the paper ingests one
+	// million 1 KB tuples per batch; benchmarks scale down).
+	RowsPerBatch int
+	// ValueSize is the tuple payload size.
+	ValueSize int
+	// StartKey is the first key (max loaded YCSB key + 1).
+	StartKey uint64
+	// Node is the coordinator the ingestion client connects to.
+	Node base.NodeID
+	// RowDelay throttles row generation to stretch the transaction's
+	// lifetime (modelling the paper's minutes-long batches at scale).
+	RowDelay time.Duration
+	// ChunkRows groups rows per BatchInsert call so the transaction's
+	// writes interleave with concurrent traffic (COPY streams row by row).
+	ChunkRows int
+}
+
+// BatchIngest runs the ingestion client.
+type BatchIngest struct {
+	y   *YCSB
+	cfg BatchIngestConfig
+
+	inserted atomic.Uint64
+	retries  atomic.Uint64
+}
+
+// NewBatchIngest builds the client over the loaded YCSB table.
+func NewBatchIngest(y *YCSB, cfg BatchIngestConfig) *BatchIngest {
+	if cfg.ChunkRows <= 0 {
+		cfg.ChunkRows = 256
+	}
+	if cfg.ValueSize == 0 {
+		cfg.ValueSize = y.cfg.ValueSize
+	}
+	return &BatchIngest{y: y, cfg: cfg}
+}
+
+// Inserted reports successfully committed tuples.
+func (b *BatchIngest) Inserted() uint64 { return b.inserted.Load() }
+
+// Retries reports migration-induced batch retries.
+func (b *BatchIngest) Retries() uint64 { return b.retries.Load() }
+
+// Run executes the configured batches sequentially, retrying each batch
+// until it commits (or the stopper fires). Each attempt is reported to the
+// sink with op "batch".
+func (b *BatchIngest) Run(c *cluster.Cluster, stop *Stopper, sink Sink) error {
+	s, err := c.Connect(b.cfg.Node)
+	if err != nil {
+		return err
+	}
+	r := rand.New(rand.NewSource(7))
+	next := b.cfg.StartKey
+	for batch := 0; batch < b.cfg.Batches; batch++ {
+		lo := next
+		for { // repeatable retry loop (§4.3)
+			if stop.Stopped() {
+				return nil
+			}
+			committed, err := b.runOnce(s, r, lo, stop, sink)
+			if err == nil {
+				b.inserted.Add(uint64(committed))
+				break
+			}
+			if errors.Is(err, base.ErrAborted) || errors.Is(err, base.ErrWWConflict) || errors.Is(err, base.ErrShardMoved) {
+				b.retries.Add(1)
+				continue
+			}
+			return fmt.Errorf("batch %d: %w", batch, err)
+		}
+		next = lo + uint64(b.cfg.RowsPerBatch)
+	}
+	return nil
+}
+
+// runOnce attempts one batch transaction.
+func (b *BatchIngest) runOnce(s *cluster.Session, r *rand.Rand, lo uint64, stop *Stopper, sink Sink) (int, error) {
+	start := time.Now()
+	tx, err := s.Begin()
+	if err != nil {
+		sink.Record("batch", time.Since(start), err, 0)
+		return 0, err
+	}
+	rows := make([]cluster.KV, 0, b.cfg.ChunkRows)
+	for i := 0; i < b.cfg.RowsPerBatch; i++ {
+		rows = append(rows, cluster.KV{
+			Key:   base.EncodeUint64Key(lo + uint64(i)),
+			Value: pad(r, b.cfg.ValueSize),
+		})
+		if len(rows) >= b.cfg.ChunkRows || i == b.cfg.RowsPerBatch-1 {
+			n := len(rows)
+			if err := tx.BatchInsert(b.y.Table, rows); err != nil {
+				tx.Abort()
+				sink.Record("batch", time.Since(start), err, 0)
+				return 0, err
+			}
+			// Progress stream: the paper plots ingestion throughput as a
+			// continuous tuples/s series, so each COPY flush reports its
+			// tuple count under the "ingest" class.
+			sink.Record("ingest", 0, nil, n)
+			rows = rows[:0]
+			if b.cfg.RowDelay > 0 {
+				time.Sleep(b.cfg.RowDelay)
+			}
+			if stop.Stopped() {
+				tx.Abort()
+				return 0, nil
+			}
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		sink.Record("batch", time.Since(start), err, 0)
+		return 0, err
+	}
+	sink.Record("batch", time.Since(start), nil, b.cfg.RowsPerBatch)
+	return b.cfg.RowsPerBatch, nil
+}
+
+// DupCheck is the hybrid workload B analytical query (§4.3): a full-table
+// scan verifying that no primary key is visible more than once across nodes
+// — the database-consistency check run during migrations. It returns the
+// number of duplicated keys (must be zero) and the scanned tuple count.
+func DupCheck(c *cluster.Cluster, y *YCSB, nodeID base.NodeID, sink Sink) (dups, scanned int, err error) {
+	s, err := c.Connect(nodeID)
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	tx, err := s.Begin()
+	if err != nil {
+		return 0, 0, err
+	}
+	seen := make(map[base.Key]int)
+	err = tx.ScanTable(y.Table, func(k base.Key, v base.Value) bool {
+		seen[k]++
+		scanned++
+		return true
+	})
+	if err != nil {
+		tx.Abort()
+		if sink != nil {
+			sink.Record("analytic", time.Since(start), err, 0)
+		}
+		return 0, scanned, err
+	}
+	if _, err := tx.Commit(); err != nil {
+		if sink != nil {
+			sink.Record("analytic", time.Since(start), err, 0)
+		}
+		return 0, scanned, err
+	}
+	for _, n := range seen {
+		if n > 1 {
+			dups++
+		}
+	}
+	if sink != nil {
+		sink.Record("analytic", time.Since(start), nil, 0)
+	}
+	return dups, scanned, nil
+}

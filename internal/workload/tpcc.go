@@ -1,0 +1,324 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"remus/internal/base"
+	"remus/internal/cluster"
+	"remus/internal/shard"
+)
+
+// TPCCConfig scales the TPC-C database (§4.3: 480 warehouses at paper
+// scale; every table is sharded by warehouse so that one warehouse's shards
+// collocate on one node and single-warehouse transactions stay local).
+type TPCCConfig struct {
+	// Warehouses is the warehouse count and the per-table shard count.
+	Warehouses int
+	// Districts per warehouse (TPC-C specifies 10).
+	Districts int
+	// CustomersPerDistrict (TPC-C specifies 3000; scaled down).
+	CustomersPerDistrict int
+	// Items in the catalog (TPC-C specifies 100000; scaled down). The item
+	// table is read-only; like many TPC-C implementations on sharded
+	// systems it is replicated — here it lives in the generator itself.
+	Items int
+	// InitOrdersPerDistrict seeds the order tables.
+	InitOrdersPerDistrict int
+	// RemoteTxnRatio is the fraction of NewOrder/Payment transactions that
+	// touch a second warehouse (≈10% distributed, §4.3).
+	RemoteTxnRatio float64
+	// ValuePad inflates tuple payloads toward realistic record sizes.
+	ValuePad int
+}
+
+// DefaultTPCCConfig returns a laptop-scale configuration.
+func DefaultTPCCConfig(warehouses int) TPCCConfig {
+	return TPCCConfig{
+		Warehouses:            warehouses,
+		Districts:             10,
+		CustomersPerDistrict:  30,
+		Items:                 100,
+		InitOrdersPerDistrict: 10,
+		RemoteTxnRatio:        0.10,
+		ValuePad:              64,
+	}
+}
+
+// TPCC is the loaded benchmark database.
+type TPCC struct {
+	cfg TPCCConfig
+	c   *cluster.Cluster
+
+	Warehouse *shard.Table
+	District  *shard.Table
+	Customer  *shard.Table
+	Stock     *shard.Table
+	Orders    *shard.Table
+	NewOrderT *shard.Table
+	OrderLine *shard.Table
+	History   *shard.Table
+
+	// itemPrice is the read-only, replicated item catalog.
+	itemPrice []float64
+}
+
+// Tables returns the 8 warehouse-sharded tables (the paper's "8 TPC-C
+// distributed tables", §4.6).
+func (t *TPCC) Tables() []*shard.Table {
+	return []*shard.Table{t.Warehouse, t.District, t.Customer, t.Stock,
+		t.Orders, t.NewOrderT, t.OrderLine, t.History}
+}
+
+// WarehouseShardIndex returns the shard index a warehouse hashes to (the
+// same index in every table — that is the collocation property §3.8 relies
+// on).
+func (t *TPCC) WarehouseShardIndex(w int) int {
+	return t.Warehouse.ShardIndex(wKey(uint64(w)))
+}
+
+// ShardGroup lists, for one shard index, the collocated shards of all eight
+// tables — the unit the scale-out experiment migrates together ("3
+// warehouses, a total of 24 shards given 8 TPC-C distributed tables").
+func (t *TPCC) ShardGroup(shardIdx int) []base.ShardID {
+	out := make([]base.ShardID, 0, 8)
+	for _, tbl := range t.Tables() {
+		out = append(out, tbl.FirstShard+base.ShardID(shardIdx))
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Keys. Every primary key starts with the encoded warehouse id, the tables'
+// distribution key (PrefixLen 8).
+
+func wKey(w uint64) base.Key { return base.NewKeyEncoder().Uint64(w).Key() }
+
+func dKey(w, d uint64) base.Key { return base.NewKeyEncoder().Uint64(w).Uint64(d).Key() }
+
+func cKey(w, d, c uint64) base.Key {
+	return base.NewKeyEncoder().Uint64(w).Uint64(d).Uint64(c).Key()
+}
+
+func stockKey(w, i uint64) base.Key { return base.NewKeyEncoder().Uint64(w).Uint64(i).Key() }
+
+func orderKey(w, d, o uint64) base.Key {
+	return base.NewKeyEncoder().Uint64(w).Uint64(d).Uint64(o).Key()
+}
+
+func orderLineKey(w, d, o, ol uint64) base.Key {
+	return base.NewKeyEncoder().Uint64(w).Uint64(d).Uint64(o).Uint64(ol).Key()
+}
+
+func historyKey(w, d, c, seq uint64) base.Key {
+	return base.NewKeyEncoder().Uint64(w).Uint64(d).Uint64(c).Uint64(seq).Key()
+}
+
+// prefixEnd returns the smallest key strictly greater than every key with
+// the given prefix (for prefix range scans).
+func prefixEnd(prefix base.Key) base.Key {
+	b := []byte(prefix)
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] != 0xff {
+			out := append([]byte(nil), b[:i+1]...)
+			out[i]++
+			return base.Key(out)
+		}
+	}
+	return "" // all 0xff: unbounded
+}
+
+// ---------------------------------------------------------------------------
+// Records: fixed-width numeric fields followed by padding.
+
+func putF(buf []byte, off int, v float64) { binary.LittleEndian.PutUint64(buf[off:], floatBits(v)) }
+func getF(buf []byte, off int) float64    { return floatFrom(binary.LittleEndian.Uint64(buf[off:])) }
+func putU(buf []byte, off int, v uint64)  { binary.LittleEndian.PutUint64(buf[off:], v) }
+func getU(buf []byte, off int) uint64     { return binary.LittleEndian.Uint64(buf[off:]) }
+
+func floatBits(v float64) uint64 { return uint64(int64(v * 100)) } // cents, keeps arithmetic exact
+func floatFrom(u uint64) float64 { return float64(int64(u)) / 100 }
+
+func (t *TPCC) record(fields int) []byte { return make([]byte, fields*8+t.cfg.ValuePad) }
+
+// warehouseRec: [tax, ytd]
+func (t *TPCC) warehouseRec(tax, ytd float64) base.Value {
+	b := t.record(2)
+	putF(b, 0, tax)
+	putF(b, 8, ytd)
+	return b
+}
+
+// districtRec: [tax, ytd, nextOID]
+func (t *TPCC) districtRec(tax, ytd float64, nextOID uint64) base.Value {
+	b := t.record(3)
+	putF(b, 0, tax)
+	putF(b, 8, ytd)
+	putU(b, 16, nextOID)
+	return b
+}
+
+// customerRec: [balance, ytdPayment, paymentCnt, deliveryCnt]
+func (t *TPCC) customerRec(balance, ytdPayment float64, paymentCnt, deliveryCnt uint64) base.Value {
+	b := t.record(4)
+	putF(b, 0, balance)
+	putF(b, 8, ytdPayment)
+	putU(b, 16, paymentCnt)
+	putU(b, 24, deliveryCnt)
+	return b
+}
+
+// stockRec: [qty, ytd, orderCnt, remoteCnt]
+func (t *TPCC) stockRec(qty uint64, ytd float64, orderCnt, remoteCnt uint64) base.Value {
+	b := t.record(4)
+	putU(b, 0, qty)
+	putF(b, 8, ytd)
+	putU(b, 16, orderCnt)
+	putU(b, 24, remoteCnt)
+	return b
+}
+
+// orderRec: [cID, olCnt, carrierID]
+func (t *TPCC) orderRec(cID, olCnt, carrierID uint64) base.Value {
+	b := t.record(3)
+	putU(b, 0, cID)
+	putU(b, 8, olCnt)
+	putU(b, 16, carrierID)
+	return b
+}
+
+// orderLineRec: [iID, qty, amount, supplyW]
+func (t *TPCC) orderLineRec(iID, qty uint64, amount float64, supplyW uint64) base.Value {
+	b := t.record(4)
+	putU(b, 0, iID)
+	putU(b, 8, qty)
+	putF(b, 16, amount)
+	putU(b, 24, supplyW)
+	return b
+}
+
+// historyRec: [amount]
+func (t *TPCC) historyRec(amount float64) base.Value {
+	b := t.record(1)
+	putF(b, 0, amount)
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Loader.
+
+// LoadTPCC creates and populates the TPC-C tables. placement maps shard
+// index -> node and applies identically to every table (collocation).
+func LoadTPCC(c *cluster.Cluster, cfg TPCCConfig, placement func(int) base.NodeID) (*TPCC, error) {
+	t := &TPCC{cfg: cfg, c: c}
+	mk := func(name string) (*shard.Table, error) {
+		return c.CreateTable(name, cfg.Warehouses, 8, placement)
+	}
+	var err error
+	if t.Warehouse, err = mk("warehouse"); err != nil {
+		return nil, err
+	}
+	if t.District, err = mk("district"); err != nil {
+		return nil, err
+	}
+	if t.Customer, err = mk("customer"); err != nil {
+		return nil, err
+	}
+	if t.Stock, err = mk("stock"); err != nil {
+		return nil, err
+	}
+	if t.Orders, err = mk("orders"); err != nil {
+		return nil, err
+	}
+	if t.NewOrderT, err = mk("new_order"); err != nil {
+		return nil, err
+	}
+	if t.OrderLine, err = mk("order_line"); err != nil {
+		return nil, err
+	}
+	if t.History, err = mk("history"); err != nil {
+		return nil, err
+	}
+
+	r := rand.New(rand.NewSource(4242))
+	t.itemPrice = make([]float64, cfg.Items)
+	for i := range t.itemPrice {
+		t.itemPrice[i] = 1 + float64(r.Intn(9999))/100
+	}
+
+	s, err := c.Connect(c.Nodes()[0].ID())
+	if err != nil {
+		return nil, err
+	}
+	insert := func(tbl *shard.Table, rows []cluster.KV) error {
+		for len(rows) > 0 {
+			n := len(rows)
+			if n > 2048 {
+				n = 2048
+			}
+			tx, err := s.Begin()
+			if err != nil {
+				return err
+			}
+			if err := tx.BatchInsert(tbl, rows[:n]); err != nil {
+				tx.Abort()
+				return err
+			}
+			if _, err := tx.Commit(); err != nil {
+				return err
+			}
+			rows = rows[n:]
+		}
+		return nil
+	}
+
+	var wRows, dRows, cRows, sRows, oRows, noRows, olRows []cluster.KV
+	for w := 0; w < cfg.Warehouses; w++ {
+		wu := uint64(w)
+		wRows = append(wRows, cluster.KV{Key: wKey(wu), Value: t.warehouseRec(0.05+float64(w%10)/200, 0)})
+		for i := 0; i < cfg.Items; i++ {
+			sRows = append(sRows, cluster.KV{Key: stockKey(wu, uint64(i)), Value: t.stockRec(uint64(50+r.Intn(50)), 0, 0, 0)})
+		}
+		for d := 0; d < cfg.Districts; d++ {
+			du := uint64(d)
+			nextOID := uint64(cfg.InitOrdersPerDistrict)
+			dRows = append(dRows, cluster.KV{Key: dKey(wu, du), Value: t.districtRec(0.05, 0, nextOID)})
+			for cu := 0; cu < cfg.CustomersPerDistrict; cu++ {
+				cRows = append(cRows, cluster.KV{Key: cKey(wu, du, uint64(cu)), Value: t.customerRec(-10, 10, 1, 0)})
+			}
+			for o := 0; o < cfg.InitOrdersPerDistrict; o++ {
+				ou := uint64(o)
+				cid := uint64(r.Intn(cfg.CustomersPerDistrict))
+				olCnt := uint64(5 + r.Intn(11))
+				carrier := uint64(0)
+				delivered := o < cfg.InitOrdersPerDistrict/2
+				if delivered {
+					carrier = uint64(1 + r.Intn(10))
+				} else {
+					noRows = append(noRows, cluster.KV{Key: orderKey(wu, du, ou), Value: base.Value{1}})
+				}
+				oRows = append(oRows, cluster.KV{Key: orderKey(wu, du, ou), Value: t.orderRec(cid, olCnt, carrier)})
+				for ol := uint64(0); ol < olCnt; ol++ {
+					iid := uint64(r.Intn(cfg.Items))
+					olRows = append(olRows, cluster.KV{
+						Key:   orderLineKey(wu, du, ou, ol),
+						Value: t.orderLineRec(iid, 5, t.itemPrice[iid]*5, wu),
+					})
+				}
+			}
+		}
+	}
+	for _, batch := range []struct {
+		tbl  *shard.Table
+		rows []cluster.KV
+	}{
+		{t.Warehouse, wRows}, {t.District, dRows}, {t.Customer, cRows},
+		{t.Stock, sRows}, {t.Orders, oRows}, {t.NewOrderT, noRows}, {t.OrderLine, olRows},
+	} {
+		if err := insert(batch.tbl, batch.rows); err != nil {
+			return nil, fmt.Errorf("tpcc load %s: %w", batch.tbl.Name, err)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,463 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/cluster"
+)
+
+// TPCCClient drives the transaction mix of §4.3 (45% NewOrder, 43% Payment,
+// 4% OrderStatus, 4% Delivery, 4% StockLevel — the standard mix with think
+// time eliminated) against one home warehouse.
+type TPCCClient struct {
+	t    *TPCC
+	sess *cluster.Session
+	home int
+	rng  *rng
+	hseq uint64 // history key sequence
+}
+
+// NewTPCCClient connects a terminal for the given home warehouse to nodeID.
+func (t *TPCC) NewTPCCClient(nodeID base.NodeID, home int, seed uint64) (*TPCCClient, error) {
+	s, err := t.c.Connect(nodeID)
+	if err != nil {
+		return nil, err
+	}
+	return &TPCCClient{t: t, sess: s, home: home, rng: newRNG(seed)}, nil
+}
+
+// Run loops the transaction mix until stopped.
+func (cl *TPCCClient) Run(stop *Stopper, sink Sink) {
+	for !stop.Stopped() {
+		cl.RunOne(sink)
+	}
+}
+
+// RunOne executes one transaction from the mix.
+func (cl *TPCCClient) RunOne(sink Sink) {
+	p := cl.rng.intn(100)
+	var (
+		op  string
+		err error
+	)
+	start := time.Now()
+	switch {
+	case p < 45:
+		op, err = "neworder", cl.NewOrder()
+	case p < 88:
+		op, err = "payment", cl.Payment()
+	case p < 92:
+		op, err = "orderstatus", cl.OrderStatus()
+	case p < 96:
+		op, err = "delivery", cl.Delivery()
+	default:
+		op, err = "stocklevel", cl.StockLevel()
+	}
+	sink.Record(op, time.Since(start), err, 0)
+}
+
+// remoteWarehouse picks a warehouse different from home (distributed txn).
+func (cl *TPCCClient) remoteWarehouse() uint64 {
+	if cl.t.cfg.Warehouses == 1 {
+		return uint64(cl.home)
+	}
+	for {
+		w := cl.rng.intn(cl.t.cfg.Warehouses)
+		if w != cl.home {
+			return uint64(w)
+		}
+	}
+}
+
+// NewOrder runs the TPC-C New-Order transaction: read warehouse/district,
+// advance the district's next order id, read item+stock for 5-15 lines
+// (10% of transactions source one line from a remote warehouse), insert
+// the order, its lines and the new-order entry.
+func (cl *TPCCClient) NewOrder() error {
+	t := cl.t
+	w := uint64(cl.home)
+	d := uint64(cl.rng.intn(t.cfg.Districts))
+	c := uint64(cl.rng.intn(t.cfg.CustomersPerDistrict))
+	olCnt := 5 + cl.rng.intn(11)
+	remote := cl.rng.float64() < t.cfg.RemoteTxnRatio
+
+	tx, err := cl.sess.Begin()
+	if err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		tx.Abort()
+		return err
+	}
+	if _, err := tx.Get(t.Warehouse, wKey(w)); err != nil {
+		return abort(fmt.Errorf("neworder warehouse: %w", err))
+	}
+	dv, err := tx.Get(t.District, dKey(w, d))
+	if err != nil {
+		return abort(fmt.Errorf("neworder district: %w", err))
+	}
+	dTax, dYtd, oID := getF(dv, 0), getF(dv, 8), getU(dv, 16)
+	if err := tx.Update(t.District, dKey(w, d), t.districtRec(dTax, dYtd, oID+1)); err != nil {
+		return abort(fmt.Errorf("neworder district update: %w", err))
+	}
+	if _, err := tx.Get(t.Customer, cKey(w, d, c)); err != nil {
+		return abort(fmt.Errorf("neworder customer: %w", err))
+	}
+
+	total := 0.0
+	for ol := 0; ol < olCnt; ol++ {
+		iid := uint64(cl.rng.intn(t.cfg.Items))
+		supplyW := w
+		if remote && ol == 0 {
+			supplyW = cl.remoteWarehouse()
+		}
+		sv, err := tx.Get(t.Stock, stockKey(supplyW, iid))
+		if err != nil {
+			return abort(fmt.Errorf("neworder stock: %w", err))
+		}
+		qty, ytd, ocnt, rcnt := getU(sv, 0), getF(sv, 8), getU(sv, 16), getU(sv, 24)
+		orderQty := uint64(1 + cl.rng.intn(10))
+		if qty >= orderQty+10 {
+			qty -= orderQty
+		} else {
+			qty = qty - orderQty + 91
+		}
+		if supplyW != w {
+			rcnt++
+		}
+		if err := tx.Update(t.Stock, stockKey(supplyW, iid),
+			t.stockRec(qty, ytd+float64(orderQty), ocnt+1, rcnt)); err != nil {
+			return abort(fmt.Errorf("neworder stock update: %w", err))
+		}
+		amount := t.itemPrice[iid] * float64(orderQty)
+		total += amount
+		if err := tx.Insert(t.OrderLine, orderLineKey(w, d, oID, uint64(ol)),
+			t.orderLineRec(iid, orderQty, amount, supplyW)); err != nil {
+			return abort(fmt.Errorf("neworder orderline: %w", err))
+		}
+	}
+	if err := tx.Insert(t.Orders, orderKey(w, d, oID), t.orderRec(c, uint64(olCnt), 0)); err != nil {
+		return abort(fmt.Errorf("neworder order: %w", err))
+	}
+	if err := tx.Insert(t.NewOrderT, orderKey(w, d, oID), base.Value{1}); err != nil {
+		return abort(fmt.Errorf("neworder new_order: %w", err))
+	}
+	_ = total
+	if _, err := tx.Commit(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Payment runs the TPC-C Payment transaction: update warehouse and district
+// YTD, update the customer's balance (15% of payments are for a customer of
+// a remote warehouse — a distributed transaction), insert a history row.
+func (cl *TPCCClient) Payment() error {
+	t := cl.t
+	w := uint64(cl.home)
+	d := uint64(cl.rng.intn(t.cfg.Districts))
+	cw, cd := w, d
+	if cl.rng.float64() < 0.15 && t.cfg.Warehouses > 1 {
+		cw = cl.remoteWarehouse()
+		cd = uint64(cl.rng.intn(t.cfg.Districts))
+	}
+	c := uint64(cl.rng.intn(t.cfg.CustomersPerDistrict))
+	amount := 1 + float64(cl.rng.intn(499900))/100
+
+	tx, err := cl.sess.Begin()
+	if err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		tx.Abort()
+		return err
+	}
+	wv, err := tx.Get(t.Warehouse, wKey(w))
+	if err != nil {
+		return abort(fmt.Errorf("payment warehouse: %w", err))
+	}
+	if err := tx.Update(t.Warehouse, wKey(w), t.warehouseRec(getF(wv, 0), getF(wv, 8)+amount)); err != nil {
+		return abort(fmt.Errorf("payment warehouse update: %w", err))
+	}
+	dv, err := tx.Get(t.District, dKey(w, d))
+	if err != nil {
+		return abort(fmt.Errorf("payment district: %w", err))
+	}
+	if err := tx.Update(t.District, dKey(w, d), t.districtRec(getF(dv, 0), getF(dv, 8)+amount, getU(dv, 16))); err != nil {
+		return abort(fmt.Errorf("payment district update: %w", err))
+	}
+	cv, err := tx.Get(t.Customer, cKey(cw, cd, c))
+	if err != nil {
+		return abort(fmt.Errorf("payment customer: %w", err))
+	}
+	if err := tx.Update(t.Customer, cKey(cw, cd, c),
+		t.customerRec(getF(cv, 0)-amount, getF(cv, 8)+amount, getU(cv, 16)+1, getU(cv, 24))); err != nil {
+		return abort(fmt.Errorf("payment customer update: %w", err))
+	}
+	cl.hseq++
+	if err := tx.Insert(t.History, historyKey(cw, cd, c, uint64(cl.rng.next())), t.historyRec(amount)); err != nil {
+		return abort(fmt.Errorf("payment history: %w", err))
+	}
+	if _, err := tx.Commit(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// OrderStatus reads a customer's balance and their most recent order with
+// its lines (read-only).
+func (cl *TPCCClient) OrderStatus() error {
+	t := cl.t
+	w := uint64(cl.home)
+	d := uint64(cl.rng.intn(t.cfg.Districts))
+	c := uint64(cl.rng.intn(t.cfg.CustomersPerDistrict))
+
+	tx, err := cl.sess.Begin()
+	if err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		tx.Abort()
+		return err
+	}
+	if _, err := tx.Get(t.Customer, cKey(w, d, c)); err != nil {
+		return abort(fmt.Errorf("orderstatus customer: %w", err))
+	}
+	// Find the customer's most recent order by scanning the district's
+	// orders.
+	var lastOID uint64
+	found := false
+	lo := dKey(w, d)
+	if err := tx.ScanRange(t.Orders, lo, prefixEnd(lo), func(k base.Key, v base.Value) bool {
+		if getU(v, 0) == c {
+			dec := base.NewKeyDecoder(k)
+			dec.Uint64()
+			dec.Uint64()
+			o, _ := dec.Uint64()
+			lastOID, found = o, true
+		}
+		return true
+	}); err != nil {
+		return abort(fmt.Errorf("orderstatus orders: %w", err))
+	}
+	if found {
+		olo := orderKey(w, d, lastOID)
+		if err := tx.ScanRange(t.OrderLine, olo, prefixEnd(olo), func(base.Key, base.Value) bool { return true }); err != nil {
+			return abort(fmt.Errorf("orderstatus orderlines: %w", err))
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Delivery delivers the oldest undelivered order of each district: remove
+// its new-order entry, stamp a carrier on the order, sum its lines into the
+// customer's balance.
+func (cl *TPCCClient) Delivery() error {
+	t := cl.t
+	w := uint64(cl.home)
+	carrier := uint64(1 + cl.rng.intn(10))
+
+	tx, err := cl.sess.Begin()
+	if err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		tx.Abort()
+		return err
+	}
+	for d := 0; d < t.cfg.Districts; d++ {
+		du := uint64(d)
+		// Oldest new-order entry of the district.
+		var noKey base.Key
+		lo := dKey(w, du)
+		if err := tx.ScanRange(t.NewOrderT, lo, prefixEnd(lo), func(k base.Key, v base.Value) bool {
+			noKey = k
+			return false // first = oldest (key order)
+		}); err != nil {
+			return abort(fmt.Errorf("delivery new_order scan: %w", err))
+		}
+		if noKey == "" {
+			continue // district fully delivered
+		}
+		dec := base.NewKeyDecoder(noKey)
+		dec.Uint64()
+		dec.Uint64()
+		oID, _ := dec.Uint64()
+		if err := tx.Delete(t.NewOrderT, noKey); err != nil {
+			return abort(fmt.Errorf("delivery new_order delete: %w", err))
+		}
+		ov, err := tx.Get(t.Orders, orderKey(w, du, oID))
+		if err != nil {
+			return abort(fmt.Errorf("delivery order: %w", err))
+		}
+		cID, olCnt := getU(ov, 0), getU(ov, 8)
+		if err := tx.Update(t.Orders, orderKey(w, du, oID), t.orderRec(cID, olCnt, carrier)); err != nil {
+			return abort(fmt.Errorf("delivery order update: %w", err))
+		}
+		total := 0.0
+		olo := orderKey(w, du, oID)
+		if err := tx.ScanRange(t.OrderLine, olo, prefixEnd(olo), func(k base.Key, v base.Value) bool {
+			total += getF(v, 16)
+			return true
+		}); err != nil {
+			return abort(fmt.Errorf("delivery orderlines: %w", err))
+		}
+		cv, err := tx.Get(t.Customer, cKey(w, du, cID))
+		if err != nil {
+			return abort(fmt.Errorf("delivery customer: %w", err))
+		}
+		if err := tx.Update(t.Customer, cKey(w, du, cID),
+			t.customerRec(getF(cv, 0)+total, getF(cv, 8), getU(cv, 16), getU(cv, 24)+1)); err != nil {
+			return abort(fmt.Errorf("delivery customer update: %w", err))
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// StockLevel counts recently sold items whose stock fell below a threshold
+// (read-only).
+func (cl *TPCCClient) StockLevel() error {
+	t := cl.t
+	w := uint64(cl.home)
+	d := uint64(cl.rng.intn(t.cfg.Districts))
+	threshold := uint64(10 + cl.rng.intn(11))
+
+	tx, err := cl.sess.Begin()
+	if err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		tx.Abort()
+		return err
+	}
+	dv, err := tx.Get(t.District, dKey(w, d))
+	if err != nil {
+		return abort(fmt.Errorf("stocklevel district: %w", err))
+	}
+	nextOID := getU(dv, 16)
+	loOID := uint64(0)
+	if nextOID > 20 {
+		loOID = nextOID - 20
+	}
+	items := map[uint64]bool{}
+	if err := tx.ScanRange(t.OrderLine, orderLineKey(w, d, loOID, 0), prefixEnd(dKey(w, d)),
+		func(k base.Key, v base.Value) bool {
+			items[getU(v, 0)] = true
+			return true
+		}); err != nil {
+		return abort(fmt.Errorf("stocklevel orderlines: %w", err))
+	}
+	low := 0
+	for iid := range items {
+		sv, err := tx.Get(t.Stock, stockKey(w, iid))
+		if err != nil {
+			return abort(fmt.Errorf("stocklevel stock: %w", err))
+		}
+		if getU(sv, 0) < threshold {
+			low++
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// RunTPCCClients starts one terminal per warehouse (§4.3: "the same number
+// of clients as warehouses"), each connected to the node currently owning
+// its home warehouse.
+func (t *TPCC) RunTPCCClients(stop *Stopper, sink Sink) (*sync.WaitGroup, error) {
+	var wg sync.WaitGroup
+	for w := 0; w < t.cfg.Warehouses; w++ {
+		idx := t.WarehouseShardIndex(w)
+		owner, err := t.c.OwnerOf(t.Warehouse.FirstShard + base.ShardID(idx))
+		if err != nil {
+			stop.Stop()
+			return nil, err
+		}
+		cl, err := t.NewTPCCClient(owner, w, uint64(w)+77)
+		if err != nil {
+			stop.Stop()
+			return nil, err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl.Run(stop, sink)
+		}()
+	}
+	return &wg, nil
+}
+
+// ConsistencyCheck validates TPC-C invariants after migrations: every
+// new_order entry has an order row, and district next_o_id bounds the
+// orders present. Returns an error describing the first violation.
+func (t *TPCC) ConsistencyCheck(nodeID base.NodeID) error {
+	s, err := t.c.Connect(nodeID)
+	if err != nil {
+		return err
+	}
+	tx, err := s.Begin()
+	if err != nil {
+		return err
+	}
+	defer tx.Abort()
+	for w := 0; w < t.cfg.Warehouses; w++ {
+		for d := 0; d < t.cfg.Districts; d++ {
+			wu, du := uint64(w), uint64(d)
+			dv, err := tx.Get(t.District, dKey(wu, du))
+			if err != nil {
+				return fmt.Errorf("district (%d,%d): %w", w, d, err)
+			}
+			nextOID := getU(dv, 16)
+			maxSeen := uint64(0)
+			lo := dKey(wu, du)
+			if err := tx.ScanRange(t.Orders, lo, prefixEnd(lo), func(k base.Key, v base.Value) bool {
+				dec := base.NewKeyDecoder(k)
+				dec.Uint64()
+				dec.Uint64()
+				o, _ := dec.Uint64()
+				if o > maxSeen {
+					maxSeen = o
+				}
+				return true
+			}); err != nil {
+				return err
+			}
+			if maxSeen >= nextOID {
+				return fmt.Errorf("district (%d,%d): order %d >= next_o_id %d", w, d, maxSeen, nextOID)
+			}
+			// Every new_order entry must have an order row.
+			var bad error
+			if err := tx.ScanRange(t.NewOrderT, lo, prefixEnd(lo), func(k base.Key, v base.Value) bool {
+				if _, err := tx.Get(t.Orders, k); err != nil {
+					bad = fmt.Errorf("new_order %x without order: %w", k, err)
+					return false
+				}
+				return true
+			}); err != nil {
+				return err
+			}
+			if bad != nil {
+				return bad
+			}
+		}
+	}
+	return nil
+}
+
+// IsRetryable classifies workload errors that clients simply retry.
+func IsRetryable(err error) bool {
+	return errors.Is(err, base.ErrWWConflict) || errors.Is(err, base.ErrAborted) ||
+		errors.Is(err, base.ErrShardMoved)
+}

@@ -1,0 +1,163 @@
+// Package workload implements the paper's benchmark drivers (§4.3): YCSB
+// with uniform and skewed access, TPC-C with warehouse-collocated shards,
+// and the hybrid workloads — batch COPY-style ingestion (hybrid A) and the
+// analytical duplicate-key check (hybrid B).
+package workload
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"remus/internal/base"
+)
+
+// Sink receives per-transaction outcomes from workload clients. Benchmarks
+// implement it to build throughput time series and latency/abort breakdowns.
+type Sink interface {
+	// Record reports one finished transaction attempt. op identifies the
+	// transaction class ("ycsb", "batch", "analytic", "neworder", ...);
+	// tuples is the number of tuples written (batch ingestion throughput
+	// is measured in tuples/s, Table 2).
+	Record(op string, latency time.Duration, err error, tuples int)
+}
+
+// CountingSink is a simple Sink for tests: commits/aborts per class.
+type CountingSink struct {
+	mu      sync.Mutex
+	Commits map[string]int
+	Aborts  map[string]int
+	// MigrationAborts counts aborts caused by a migration.
+	MigrationAborts int
+	// Tuples accumulates committed tuples per class.
+	Tuples map[string]int
+	// Errors keeps the last few distinct unexpected errors.
+	Errors []error
+}
+
+// NewCountingSink returns an empty sink.
+func NewCountingSink() *CountingSink {
+	return &CountingSink{Commits: map[string]int{}, Aborts: map[string]int{}, Tuples: map[string]int{}}
+}
+
+// Record implements Sink.
+func (s *CountingSink) Record(op string, latency time.Duration, err error, tuples int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err == nil {
+		s.Commits[op]++
+		s.Tuples[op] += tuples
+		return
+	}
+	s.Aborts[op]++
+	if errors.Is(err, base.ErrMigrationAbort) {
+		s.MigrationAborts++
+	} else if !errors.Is(err, base.ErrWWConflict) && !errors.Is(err, base.ErrAborted) && len(s.Errors) < 8 {
+		s.Errors = append(s.Errors, err)
+	}
+}
+
+// TotalCommits sums commits across classes.
+func (s *CountingSink) TotalCommits() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, c := range s.Commits {
+		n += c
+	}
+	return n
+}
+
+// rng is a small, fast, per-client PRNG (splitmix-ish) safe to seed cheaply.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed*2654435761 + 1} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// zipf generates Zipfian-distributed ranks in [0, n) with parameter theta,
+// using the Gray et al. method (as in YCSB's generator).
+type zipf struct {
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+}
+
+func newZipf(n int, theta float64) *zipf {
+	z := &zipf{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - pow(2.0/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+func zeta(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1.0 / pow(float64(i), theta)
+	}
+	return sum
+}
+
+func pow(x, y float64) float64 { return math.Pow(x, y) }
+
+func (z *zipf) rank(r *rng) int {
+	u := r.float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+pow(0.5, z.theta) {
+		return 1
+	}
+	return int(float64(z.n) * pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// Stopper signals workload clients to stop.
+type Stopper struct {
+	ch     chan struct{}
+	closed atomic.Bool
+}
+
+// NewStopper returns a fresh stopper.
+func NewStopper() *Stopper { return &Stopper{ch: make(chan struct{})} }
+
+// Stop signals all clients; idempotent.
+func (s *Stopper) Stop() {
+	if s.closed.CompareAndSwap(false, true) {
+		close(s.ch)
+	}
+}
+
+// C returns the stop channel.
+func (s *Stopper) C() <-chan struct{} { return s.ch }
+
+// Stopped reports whether Stop was called.
+func (s *Stopper) Stopped() bool { return s.closed.Load() }
+
+// pad builds a deterministic filler payload of the given size.
+func pad(r *rand.Rand, size int) base.Value {
+	if size <= 0 {
+		size = 8
+	}
+	v := make(base.Value, size)
+	for i := range v {
+		v[i] = byte('a' + (i+r.Intn(16))%26)
+	}
+	return v
+}

@@ -1,0 +1,323 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/cluster"
+)
+
+func newTestCluster(t *testing.T, nodes int) *cluster.Cluster {
+	t.Helper()
+	return cluster.New(cluster.Config{Nodes: nodes})
+}
+
+func TestZipfSkewed(t *testing.T) {
+	z := newZipf(100, 0.99)
+	r := newRNG(1)
+	counts := make([]int, 100)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		rank := z.rank(r)
+		if rank < 0 || rank >= 100 {
+			t.Fatalf("rank %d out of range", rank)
+		}
+		counts[rank]++
+	}
+	if counts[0] < n/10 {
+		t.Errorf("rank 0 got %d/%d draws; zipf not skewed", counts[0], n)
+	}
+	tail := 0
+	for _, c := range counts[50:] {
+		tail += c
+	}
+	if tail > n/5 {
+		t.Errorf("tail half got %d/%d draws; too flat", tail, n)
+	}
+}
+
+func TestRNGUniformish(t *testing.T) {
+	r := newRNG(9)
+	buckets := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		buckets[r.intn(10)]++
+	}
+	for i, b := range buckets {
+		if b < 700 || b > 1300 {
+			t.Errorf("bucket %d = %d, want ~1000", i, b)
+		}
+	}
+	f := r.float64()
+	if f < 0 || f >= 1 {
+		t.Errorf("float64 = %v", f)
+	}
+}
+
+func TestCountingSink(t *testing.T) {
+	s := NewCountingSink()
+	s.Record("ycsb", time.Millisecond, nil, 1)
+	s.Record("ycsb", time.Millisecond, base.ErrMigrationAbort, 0)
+	s.Record("ycsb", time.Millisecond, base.ErrWWConflict, 0)
+	s.Record("ycsb", time.Millisecond, errors.New("weird"), 0)
+	if s.TotalCommits() != 1 || s.Aborts["ycsb"] != 3 {
+		t.Fatalf("commits=%d aborts=%d", s.TotalCommits(), s.Aborts["ycsb"])
+	}
+	if s.MigrationAborts != 1 {
+		t.Fatalf("migration aborts = %d", s.MigrationAborts)
+	}
+	if len(s.Errors) != 1 {
+		t.Fatalf("unexpected errors = %v", s.Errors)
+	}
+	if s.Tuples["ycsb"] != 1 {
+		t.Fatalf("tuples = %d", s.Tuples["ycsb"])
+	}
+}
+
+func TestStopper(t *testing.T) {
+	s := NewStopper()
+	if s.Stopped() {
+		t.Fatal("fresh stopper stopped")
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	if !s.Stopped() {
+		t.Fatal("not stopped")
+	}
+	select {
+	case <-s.C():
+	default:
+		t.Fatal("channel not closed")
+	}
+}
+
+func TestYCSBLoadAndRun(t *testing.T) {
+	c := newTestCluster(t, 3)
+	y, err := LoadYCSB(c, "accounts", 6, nil, YCSBConfig{Records: 600, ValueSize: 32}, base.NoNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.MaxKey() != 599 {
+		t.Fatalf("MaxKey = %d", y.MaxKey())
+	}
+	total := 0
+	for _, ks := range y.keysByShard {
+		total += len(ks)
+	}
+	if total != 600 {
+		t.Fatalf("keysByShard holds %d keys", total)
+	}
+
+	sink := NewCountingSink()
+	stop := NewStopper()
+	wg, err := y.RunClients(c, 4, stop, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	stop.Stop()
+	wg.Wait()
+	if sink.TotalCommits() == 0 {
+		t.Fatal("no YCSB commits")
+	}
+	if len(sink.Errors) != 0 {
+		t.Fatalf("unexpected errors: %v", sink.Errors)
+	}
+}
+
+func TestYCSBSkewTargetsHotShards(t *testing.T) {
+	c := newTestCluster(t, 3)
+	cfg := YCSBConfig{Records: 900, ValueSize: 16, SkewShards: 3, ZipfTheta: 0.99}
+	y, err := LoadYCSB(c, "accounts", 9, nil, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(y.hotOrder) != 9 {
+		t.Fatalf("hotOrder = %v", y.hotOrder)
+	}
+	// The first hotOrder entries must live on node 1.
+	hotOnNode1 := 0
+	for _, idx := range y.hotOrder[:3] {
+		id := y.Table.FirstShard + base.ShardID(idx)
+		owner, _ := c.OwnerOf(id)
+		if owner == 1 {
+			hotOnNode1++
+		}
+	}
+	if hotOnNode1 != 3 {
+		t.Fatalf("only %d of the first 3 hot shards on node1", hotOnNode1)
+	}
+	// Sampled keys concentrate on the hot shards.
+	cl, err := y.NewClient(c, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotShards := map[int]bool{y.hotOrder[0]: true, y.hotOrder[1]: true, y.hotOrder[2]: true}
+	hot := 0
+	const draws = 5000
+	for i := 0; i < draws; i++ {
+		key := cl.pickKey()
+		if hotShards[y.Table.ShardIndex(base.EncodeUint64Key(key))] {
+			hot++
+		}
+	}
+	if hot < draws*5/10 {
+		t.Errorf("only %d/%d draws hit hot shards", hot, draws)
+	}
+}
+
+func TestBatchIngest(t *testing.T) {
+	c := newTestCluster(t, 2)
+	y, err := LoadYCSB(c, "accounts", 4, nil, YCSBConfig{Records: 100, ValueSize: 16}, base.NoNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := NewCountingSink()
+	stop := NewStopper()
+	b := NewBatchIngest(y, BatchIngestConfig{
+		Batches: 3, RowsPerBatch: 200, ValueSize: 16,
+		StartKey: y.MaxKey() + 1, Node: 1,
+	})
+	if err := b.Run(c, stop, sink); err != nil {
+		t.Fatal(err)
+	}
+	if b.Inserted() != 600 {
+		t.Fatalf("inserted = %d, want 600", b.Inserted())
+	}
+	if sink.Commits["batch"] != 3 {
+		t.Fatalf("batch commits = %d", sink.Commits["batch"])
+	}
+	// All ingested keys visible.
+	dups, scanned, err := DupCheck(c, y, 2, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dups != 0 {
+		t.Fatalf("dup keys = %d", dups)
+	}
+	if scanned != 700 {
+		t.Fatalf("scanned = %d, want 700", scanned)
+	}
+	if sink.Commits["analytic"] != 1 {
+		t.Fatal("analytic commit not recorded")
+	}
+}
+
+func TestTPCCLoadAndMix(t *testing.T) {
+	c := newTestCluster(t, 2)
+	cfg := DefaultTPCCConfig(4)
+	cfg.CustomersPerDistrict = 10
+	cfg.Items = 50
+	cfg.InitOrdersPerDistrict = 6
+	tp, err := LoadTPCC(c, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tp.Tables()) != 8 {
+		t.Fatalf("tables = %d", len(tp.Tables()))
+	}
+	// Collocation: for each warehouse, every table's shard lives on one node.
+	for w := 0; w < cfg.Warehouses; w++ {
+		idx := tp.WarehouseShardIndex(w)
+		group := tp.ShardGroup(idx)
+		if len(group) != 8 {
+			t.Fatalf("group = %v", group)
+		}
+		var owner base.NodeID = base.NoNode
+		for _, id := range group {
+			o, err := c.OwnerOf(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if owner == base.NoNode {
+				owner = o
+			} else if o != owner {
+				t.Fatalf("warehouse %d group spans %v and %v", w, owner, o)
+			}
+		}
+	}
+	if err := tp.ConsistencyCheck(1); err != nil {
+		t.Fatalf("fresh load inconsistent: %v", err)
+	}
+
+	sink := NewCountingSink()
+	stop := NewStopper()
+	wg, err := tp.RunTPCCClients(stop, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	stop.Stop()
+	wg.Wait()
+	if sink.TotalCommits() == 0 {
+		t.Fatal("no TPC-C commits")
+	}
+	if len(sink.Errors) != 0 {
+		t.Fatalf("unexpected errors: %v", sink.Errors)
+	}
+	if sink.Commits["neworder"] == 0 || sink.Commits["payment"] == 0 {
+		t.Fatalf("mix missing classes: %+v", sink.Commits)
+	}
+	if err := tp.ConsistencyCheck(2); err != nil {
+		t.Fatalf("post-run inconsistent: %v", err)
+	}
+}
+
+func TestTPCCEachTxnType(t *testing.T) {
+	c := newTestCluster(t, 2)
+	cfg := DefaultTPCCConfig(2)
+	cfg.CustomersPerDistrict = 5
+	cfg.Items = 20
+	cfg.Districts = 3
+	cfg.InitOrdersPerDistrict = 4
+	tp, err := LoadTPCC(c, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := tp.NewTPCCClient(1, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := cl.NewOrder(); err != nil && !IsRetryable(err) {
+			t.Fatalf("NewOrder: %v", err)
+		}
+		if err := cl.Payment(); err != nil && !IsRetryable(err) {
+			t.Fatalf("Payment: %v", err)
+		}
+		if err := cl.OrderStatus(); err != nil && !IsRetryable(err) {
+			t.Fatalf("OrderStatus: %v", err)
+		}
+		if err := cl.Delivery(); err != nil && !IsRetryable(err) {
+			t.Fatalf("Delivery: %v", err)
+		}
+		if err := cl.StockLevel(); err != nil && !IsRetryable(err) {
+			t.Fatalf("StockLevel: %v", err)
+		}
+	}
+	if err := tp.ConsistencyCheck(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixEnd(t *testing.T) {
+	if prefixEnd(base.Key("ab")) != base.Key("ac") {
+		t.Error("simple prefix")
+	}
+	if prefixEnd(base.Key("a\xff")) != base.Key("b") {
+		t.Error("carry")
+	}
+	if prefixEnd(base.Key("\xff\xff")) != base.Key("") {
+		t.Error("all-ff must be unbounded")
+	}
+}
+
+func TestMoneyEncoding(t *testing.T) {
+	if floatFrom(floatBits(12.34)) != 12.34 {
+		t.Error("cents round trip")
+	}
+	if floatFrom(floatBits(-5.5)) != -5.5 {
+		t.Error("negative cents round trip")
+	}
+}

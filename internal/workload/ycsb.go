@@ -1,0 +1,227 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/cluster"
+	"remus/internal/shard"
+)
+
+// YCSBConfig describes the YCSB database and access pattern of §4.3: tuples
+// with uint64 primary keys and fixed-size payloads, a 50/50 read/update mix
+// in multi-statement interactive mode (each statement wrapped in its own
+// BEGIN/COMMIT), uniform or skewed access.
+type YCSBConfig struct {
+	// Records is the number of tuples (the paper loads 100 M; benchmarks
+	// scale down).
+	Records int
+	// ValueSize is the tuple payload size (the paper uses ~1 KB).
+	ValueSize int
+	// ReadRatio is the fraction of reads (0.5 in the paper).
+	ReadRatio float64
+	// SkewShards, when non-zero, skews accesses so that this many shards
+	// receive the bulk of the load (the load-balancing experiment generates
+	// 50 hotspot shards on one node, §4.5). Zero means uniform access.
+	SkewShards int
+	// ZipfTheta is the skew parameter for SkewShards mode (default 0.99).
+	ZipfTheta float64
+}
+
+// YCSB is a loaded YCSB table: the key population and its shard layout.
+type YCSB struct {
+	cfg   YCSBConfig
+	Table *shard.Table
+
+	// keysByShard maps shard index -> the keys living there, enabling
+	// shard-targeted (skewed) key selection.
+	keysByShard [][]uint64
+	// hotOrder lists shard indexes from hottest to coldest in skewed mode.
+	hotOrder []int
+}
+
+// LoadYCSB creates and populates the YCSB table. shards is the total shard
+// count; placement maps shard index -> node (nil round-robins); hotNode, if
+// valid, makes the skewed hotOrder prefer shards on that node.
+func LoadYCSB(c *cluster.Cluster, name string, shards int, placement func(int) base.NodeID, cfg YCSBConfig, hotNode base.NodeID) (*YCSB, error) {
+	if cfg.ReadRatio == 0 {
+		cfg.ReadRatio = 0.5
+	}
+	if cfg.ZipfTheta == 0 {
+		cfg.ZipfTheta = 0.99
+	}
+	tbl, err := c.CreateTable(name, shards, 0, placement)
+	if err != nil {
+		return nil, err
+	}
+	y := &YCSB{cfg: cfg, Table: tbl, keysByShard: make([][]uint64, shards)}
+
+	r := rand.New(rand.NewSource(42))
+	rows := make([]cluster.KV, 0, 1024)
+	s, err := c.Connect(c.Nodes()[0].ID())
+	if err != nil {
+		return nil, err
+	}
+	flush := func() error {
+		if len(rows) == 0 {
+			return nil
+		}
+		tx, err := s.Begin()
+		if err != nil {
+			return err
+		}
+		if err := tx.BatchInsert(tbl, rows); err != nil {
+			tx.Abort()
+			return err
+		}
+		if _, err := tx.Commit(); err != nil {
+			return err
+		}
+		rows = rows[:0]
+		return nil
+	}
+	for i := 0; i < cfg.Records; i++ {
+		key := uint64(i)
+		idx := tbl.ShardIndex(base.EncodeUint64Key(key))
+		y.keysByShard[idx] = append(y.keysByShard[idx], key)
+		rows = append(rows, cluster.KV{Key: base.EncodeUint64Key(key), Value: pad(r, cfg.ValueSize)})
+		if len(rows) >= 2048 {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+
+	// Hot order: shards on hotNode first (hottest), then the rest.
+	if cfg.SkewShards > 0 {
+		var hot, cold []int
+		for i := 0; i < shards; i++ {
+			id := tbl.FirstShard + base.ShardID(i)
+			owner, err := c.OwnerOf(id)
+			if err == nil && owner == hotNode {
+				hot = append(hot, i)
+			} else {
+				cold = append(cold, i)
+			}
+		}
+		y.hotOrder = append(hot, cold...)
+	}
+	return y, nil
+}
+
+// KeysInShard returns the loaded keys living in the given shard index (the
+// high-contention experiment targets a single hot shard, §4.8).
+func (y *YCSB) KeysInShard(idx int) []uint64 {
+	return append([]uint64(nil), y.keysByShard[idx]...)
+}
+
+// MaxKey returns the largest loaded key (batch ingestion appends after it).
+func (y *YCSB) MaxKey() uint64 {
+	if y.cfg.Records == 0 {
+		return 0
+	}
+	return uint64(y.cfg.Records - 1)
+}
+
+// Client runs the interactive YCSB loop from one session.
+type Client struct {
+	y    *YCSB
+	sess *cluster.Session
+	rng  *rng
+	zipf *zipf
+	r    *rand.Rand
+}
+
+// NewClient connects a YCSB client to the given node.
+func (y *YCSB) NewClient(c *cluster.Cluster, nodeID base.NodeID, seed uint64) (*Client, error) {
+	s, err := c.Connect(nodeID)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Client{y: y, sess: s, rng: newRNG(seed), r: rand.New(rand.NewSource(int64(seed)))}
+	if y.cfg.SkewShards > 0 {
+		cl.zipf = newZipf(y.cfg.SkewShards, y.cfg.ZipfTheta)
+	}
+	return cl, nil
+}
+
+// pickKey selects the next key: uniform, or zipfian over the hot shards.
+func (cl *Client) pickKey() uint64 {
+	y := cl.y
+	if cl.zipf == nil || len(y.hotOrder) == 0 {
+		return uint64(cl.rng.intn(y.cfg.Records))
+	}
+	// Zipf rank over the hottest SkewShards shards, uniform key inside.
+	rank := cl.zipf.rank(cl.rng)
+	if rank >= len(y.hotOrder) {
+		rank = len(y.hotOrder) - 1
+	}
+	keys := y.keysByShard[y.hotOrder[rank]]
+	for len(keys) == 0 { // hash holes: walk to the next populated shard
+		rank = (rank + 1) % len(y.hotOrder)
+		keys = y.keysByShard[y.hotOrder[rank]]
+	}
+	return keys[cl.rng.intn(len(keys))]
+}
+
+// Run executes the interactive loop until stopped: each statement is its own
+// transaction (BEGIN; read|update; COMMIT), as in §4.3.
+func (cl *Client) Run(stop *Stopper, sink Sink) {
+	for !stop.Stopped() {
+		cl.RunOne(sink)
+	}
+}
+
+// RunOne executes a single YCSB transaction and reports it to the sink.
+func (cl *Client) RunOne(sink Sink) {
+	key := base.EncodeUint64Key(cl.pickKey())
+	start := time.Now()
+	tx, err := cl.sess.Begin()
+	if err != nil {
+		sink.Record("ycsb", time.Since(start), err, 0)
+		return
+	}
+	isRead := cl.rng.float64() < cl.y.cfg.ReadRatio
+	if isRead {
+		_, err = tx.Get(cl.y.Table, key)
+	} else {
+		err = tx.Update(cl.y.Table, key, pad(cl.r, cl.y.cfg.ValueSize))
+	}
+	if err != nil {
+		tx.Abort()
+		sink.Record("ycsb", time.Since(start), err, 0)
+		return
+	}
+	_, err = tx.Commit()
+	tuples := 0
+	if !isRead && err == nil {
+		tuples = 1
+	}
+	sink.Record("ycsb", time.Since(start), err, tuples)
+}
+
+// RunClients starts n clients spread round-robin over the cluster's nodes
+// and returns a WaitGroup that drains when the stopper fires.
+func (y *YCSB) RunClients(c *cluster.Cluster, n int, stop *Stopper, sink Sink) (*sync.WaitGroup, error) {
+	nodes := c.Nodes()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		cl, err := y.NewClient(c, nodes[i%len(nodes)].ID(), uint64(i)+1)
+		if err != nil {
+			stop.Stop()
+			return nil, fmt.Errorf("ycsb client %d: %w", i, err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl.Run(stop, sink)
+		}()
+	}
+	return &wg, nil
+}
