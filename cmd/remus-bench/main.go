@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"remus/internal/bench"
+	"remus/internal/obs"
 	"remus/internal/simnet"
 )
 
@@ -26,9 +27,10 @@ func main() {
 	approach := flag.String("approach", "", "restrict to one approach: remus|lockabort|remaster|squall")
 	scale := flag.String("scale", "small", "small|large")
 	series := flag.Bool("series", true, "print throughput time series for figure experiments")
+	trace := flag.String("trace", "", "append the observability event stream of each figure run as JSONL to this file and print per-phase breakdowns")
 	flag.Parse()
 
-	r := &runner{scale: *scale, series: *series}
+	r := &runner{scale: *scale, series: *series, tracePath: *trace}
 	if *approach != "" {
 		r.only = bench.Approach(*approach)
 	}
@@ -46,9 +48,10 @@ func main() {
 }
 
 type runner struct {
-	scale  string
-	series bool
-	only   bench.Approach
+	scale     string
+	series    bool
+	only      bench.Approach
+	tracePath string
 }
 
 func (r *runner) approaches(all []bench.Approach) []bench.Approach {
@@ -56,6 +59,51 @@ func (r *runner) approaches(all []bench.Approach) []bench.Approach {
 		return []bench.Approach{r.only}
 	}
 	return all
+}
+
+// trace returns a fresh per-run Trace when -trace is set (nil otherwise), so
+// breakdowns from different approaches never merge. The label lands in the
+// JSONL stream as a mark event separating the runs.
+func (r *runner) trace(label string) *obs.Trace {
+	if r.tracePath == "" {
+		return nil
+	}
+	tr := obs.NewTrace()
+	tr.Mark(label)
+	return tr
+}
+
+// rec adapts a possibly-nil *obs.Trace to the Recorder config fields (a nil
+// concrete pointer must become a nil interface, not a non-nil one).
+func rec(tr *obs.Trace) obs.Recorder {
+	if tr == nil {
+		return nil
+	}
+	return tr
+}
+
+// finishTrace prints the run's per-phase breakdown and appends its event
+// stream to the -trace file.
+func (r *runner) finishTrace(tr *obs.Trace, label string) error {
+	if tr == nil {
+		return nil
+	}
+	if bd := tr.Breakdown(); len(bd) > 0 {
+		fmt.Printf("\n--- %s: per-phase breakdown ---\n", label)
+		fmt.Print(bench.FormatPhaseBreakdown(bd))
+	}
+	if dropped := tr.Dropped(); dropped > 0 {
+		fmt.Printf("(trace buffer overflow: %d events dropped)\n", dropped)
+	}
+	f, err := os.OpenFile(r.tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("trace file: %w", err)
+	}
+	defer f.Close()
+	if err := tr.WriteJSONL(f); err != nil {
+		return fmt.Errorf("trace write: %w", err)
+	}
+	return nil
 }
 
 func (r *runner) scaleConsolidation(cfg bench.ConsolidationConfig) bench.ConsolidationConfig {
@@ -78,6 +126,8 @@ func (r *runner) run(exp string) error {
 		var rows []bench.Table1Row
 		for _, ap := range r.approaches(bench.Approaches) {
 			cfg := r.scaleConsolidation(bench.DefaultConsolidationConfig(ap, 'A'))
+			tr := r.trace(fmt.Sprintf("exp=%s approach=%v", exp, ap))
+			cfg.Recorder = rec(tr)
 			res, err := bench.RunConsolidation(cfg)
 			if err != nil {
 				return err
@@ -91,6 +141,9 @@ func (r *runner) run(exp string) error {
 			fmt.Printf("%v: migration=%v dups=%d migAborts=%d batchAbortRatio=%.0f%%\n",
 				ap, res.MigrationDuration.Round(time.Millisecond), res.DupKeys,
 				res.MigrationAbortTotal, 100*res.BatchAbortRatio)
+			if err := r.finishTrace(tr, fmt.Sprintf("%s/%v", exp, ap)); err != nil {
+				return err
+			}
 		}
 		if exp == "table2" {
 			fmt.Println("\nTable 2 — batch insert under hybrid workload A:")
@@ -105,6 +158,8 @@ func (r *runner) run(exp string) error {
 		for _, ap := range r.approaches(bench.Approaches) {
 			cfg := r.scaleConsolidation(bench.DefaultConsolidationConfig(ap, 'B'))
 			cfg.GroupSize = 4
+			tr := r.trace(fmt.Sprintf("exp=fig7 approach=%v", ap))
+			cfg.Recorder = rec(tr)
 			res, err := bench.RunConsolidation(cfg)
 			if err != nil {
 				return err
@@ -116,11 +171,16 @@ func (r *runner) run(exp string) error {
 			fmt.Printf("%v: migration=%v dups=%d migAborts=%d maxZeroRun=%v\n",
 				ap, res.MigrationDuration.Round(time.Millisecond), res.DupKeys,
 				res.MigrationAbortTotal, res.YCSBDuring.MaxZeroRun)
+			if err := r.finishTrace(tr, fmt.Sprintf("fig7/%v", ap)); err != nil {
+				return err
+			}
 		}
 
 	case "fig8":
 		for _, ap := range r.approaches(bench.Approaches) {
 			cfg := bench.DefaultLoadBalanceConfig(ap)
+			tr := r.trace(fmt.Sprintf("exp=fig8 approach=%v", ap))
+			cfg.Recorder = rec(tr)
 			res, err := bench.RunLoadBalance(cfg)
 			if err != nil {
 				return err
@@ -132,6 +192,9 @@ func (r *runner) run(exp string) error {
 			fmt.Printf("%v: before=%.0f/s during=%.0f/s after=%.0f/s migAborts=%d ww=%d\n",
 				ap, res.Before.Throughput, res.During.Throughput, res.After.Throughput,
 				res.MigrationAborts, res.WWConflicts)
+			if err := r.finishTrace(tr, fmt.Sprintf("fig8/%v", ap)); err != nil {
+				return err
+			}
 		}
 
 	case "fig9":
@@ -139,6 +202,8 @@ func (r *runner) run(exp string) error {
 		// partitioning support).
 		for _, ap := range r.approaches([]bench.Approach{bench.Remus, bench.LockAbort, bench.Remaster}) {
 			cfg := bench.DefaultScaleOutConfig(ap)
+			tr := r.trace(fmt.Sprintf("exp=fig9 approach=%v", ap))
+			cfg.Recorder = rec(tr)
 			res, err := bench.RunScaleOut(cfg)
 			if err != nil {
 				return err
@@ -150,10 +215,16 @@ func (r *runner) run(exp string) error {
 			fmt.Printf("%v: before=%.0f/s during=%.0f/s after=%.0f/s migAborts=%d consistent=%v\n",
 				ap, res.Before.Throughput, res.During.Throughput, res.After.Throughput,
 				res.MigrationAborts, res.Consistent)
+			if err := r.finishTrace(tr, fmt.Sprintf("fig9/%v", ap)); err != nil {
+				return err
+			}
 		}
 
 	case "fig10":
-		res, err := bench.RunContention(bench.DefaultContentionConfig())
+		cfg := bench.DefaultContentionConfig()
+		tr := r.trace("exp=fig10 approach=remus")
+		cfg.Recorder = rec(tr)
+		res, err := bench.RunContention(cfg)
 		if err != nil {
 			return err
 		}
@@ -167,6 +238,9 @@ func (r *runner) run(exp string) error {
 			res.SourceCPUPeakPct, res.DestCPUPeakPct)
 		fmt.Printf("ww-conflicts: clients=%d mocc(shadow-vs-dest)=%d maxChain=%d\n",
 			res.ClientWWConflicts, res.MOCCConflicts, res.MaxChainLen)
+		if err := r.finishTrace(tr, "fig10/remus"); err != nil {
+			return err
+		}
 
 	case "table3":
 		rows, err := bench.RunTable3(bench.DefaultTable3Config())

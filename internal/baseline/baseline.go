@@ -24,6 +24,7 @@ import (
 	"remus/internal/base"
 	"remus/internal/cluster"
 	"remus/internal/node"
+	"remus/internal/obs"
 	"remus/internal/repl"
 )
 
@@ -38,11 +39,24 @@ type Options struct {
 	BatchBytes int
 	// PhaseTimeout bounds catch-up and transfer waits.
 	PhaseTimeout time.Duration
+	// Recorder, if non-nil, receives phase transitions, block events and
+	// kill counters.
+	Recorder obs.Recorder
 }
 
 // DefaultOptions mirrors core.DefaultOptions.
 func DefaultOptions() Options {
 	return Options{Workers: 18, CatchUpThreshold: 32, BatchBytes: 256 << 10, PhaseTimeout: 60 * time.Second}
+}
+
+// phase emits a phase-transition event when a recorder is installed.
+func (o *Options) phase(name, from string, n *node.Node) {
+	if o.Recorder != nil {
+		o.Recorder.Event(obs.Event{
+			Kind: obs.EvPhase, Phase: name, From: from,
+			GTS: n.Oracle().Now(), Node: n.ID(),
+		})
+	}
 }
 
 func (o *Options) fill() {
@@ -127,6 +141,7 @@ func startPush(c *cluster.Cluster, shards []base.ShardID, dstID base.NodeID, opt
 		st.set[id] = true
 	}
 
+	opts.phase("snapshot-copy", "planned", src)
 	releaseTmpHold := src.AcquireWALHold(1) // pin until the propagator holds
 	defer releaseTmpHold()
 	startLSN := src.WAL().FlushLSN() + 1
@@ -150,7 +165,7 @@ func startPush(c *cluster.Cluster, shards []base.ShardID, dstID base.NodeID, opt
 		wg.Add(1)
 		go func(id base.ShardID) {
 			defer wg.Done()
-			stats, err := repl.CopySnapshot(src, dst, id, snapTS, opts.BatchBytes)
+			stats, err := repl.CopySnapshot(src, dst, id, snapTS, opts.BatchBytes, opts.Recorder)
 			mu.Lock()
 			report.SnapshotTuples += stats.Tuples
 			if err != nil && copyErr == nil {
@@ -164,9 +179,11 @@ func startPush(c *cluster.Cluster, shards []base.ShardID, dstID base.NodeID, opt
 		return nil, copyErr
 	}
 
-	st.rep = repl.NewReplayer(dst, opts.Workers, nil)
+	opts.phase("async-propagation", "snapshot-copy", src)
+	st.rep = repl.NewReplayer(dst, opts.Workers, nil, opts.Recorder)
 	st.prop = repl.StartPropagator(src, st.rep, repl.PropagatorConfig{
 		Shards: st.set, SnapTS: snapTS, StartLSN: startLSN,
+		Recorder: opts.Recorder,
 	})
 	if err := st.prop.WaitCaughtUp(opts.CatchUpThreshold, opts.PhaseTimeout); err != nil {
 		st.stop()

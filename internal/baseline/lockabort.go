@@ -7,6 +7,7 @@ import (
 	"remus/internal/base"
 	"remus/internal/cluster"
 	"remus/internal/node"
+	"remus/internal/obs"
 	"remus/internal/txn"
 )
 
@@ -38,6 +39,7 @@ func (la *LockAndAbort) Migrate(shards []base.ShardID, dstID base.NodeID) (*Repo
 	}
 
 	// -------------------- ownership transfer --------------------
+	la.opts.phase("ownership-transfer", "async-propagation", st.src)
 	transferStart := time.Now()
 	transferDone := make(chan struct{})
 	// Shard write lock: new writers of migrating shards block until the
@@ -47,9 +49,18 @@ func (la *LockAndAbort) Migrate(shards []base.ShardID, dstID base.NodeID) (*Repo
 		if !write || !st.set[shardID] {
 			return nil
 		}
+		blockStart := time.Now()
 		select {
 		case <-transferDone:
 		case <-time.After(la.opts.PhaseTimeout):
+		}
+		if r := la.opts.Recorder; r != nil {
+			wait := time.Since(blockStart)
+			r.Observe(obs.HistBlockWait, uint64(wait))
+			r.Event(obs.Event{
+				Kind: obs.EvBlock, XID: t.XID, Txn: t.GlobalID, Shard: shardID,
+				Cause: obs.CauseLockWait, Dur: wait,
+			})
 		}
 		return fmt.Errorf("write to locked %v during ownership transfer: %w", shardID, base.ErrMigrationAbort)
 	}
@@ -68,6 +79,9 @@ func (la *LockAndAbort) Migrate(shards []base.ShardID, dstID base.NodeID) (*Repo
 		}
 	}
 	report.AbortedTxns = len(killed)
+	if r := la.opts.Recorder; r != nil {
+		r.Add(obs.CtrBaselineKills, uint64(len(killed)))
+	}
 	if err := waitTxns(killed, la.opts.PhaseTimeout); err != nil {
 		st.src.RemoveHook(handle)
 		close(transferDone)

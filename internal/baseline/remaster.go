@@ -7,6 +7,7 @@ import (
 	"remus/internal/base"
 	"remus/internal/cluster"
 	"remus/internal/node"
+	"remus/internal/obs"
 	"remus/internal/txn"
 )
 
@@ -40,6 +41,7 @@ func (wr *WaitAndRemaster) Migrate(shards []base.ShardID, dstID base.NodeID) (*R
 	}
 
 	// -------------------- ownership transfer --------------------
+	wr.opts.phase("ownership-transfer", "async-propagation", st.src)
 	transferStart := time.Now()
 	transferDone := make(chan struct{})
 
@@ -58,9 +60,18 @@ func (wr *WaitAndRemaster) Migrate(shards []base.ShardID, dstID base.NodeID) (*R
 		if !st.set[shardID] || allow[t.XID] {
 			return nil
 		}
+		blockStart := time.Now()
 		select {
 		case <-transferDone:
 		case <-time.After(wr.opts.PhaseTimeout):
+		}
+		if r := wr.opts.Recorder; r != nil {
+			wait := time.Since(blockStart)
+			r.Observe(obs.HistBlockWait, uint64(wait))
+			r.Event(obs.Event{
+				Kind: obs.EvBlock, XID: t.XID, Txn: t.GlobalID, Shard: shardID,
+				Cause: obs.CauseRouteSuspend, Dur: wait,
+			})
 		}
 		return fmt.Errorf("routing of %v suspended for remastering: %w", shardID, base.ErrShardMoved)
 	}

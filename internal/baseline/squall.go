@@ -10,6 +10,7 @@ import (
 	"remus/internal/base"
 	"remus/internal/cluster"
 	"remus/internal/node"
+	"remus/internal/obs"
 	"remus/internal/txn"
 )
 
@@ -23,6 +24,8 @@ type SquallOptions struct {
 	BackgroundWorkers int
 	// Timeout bounds the whole migration.
 	Timeout time.Duration
+	// Recorder, if non-nil, receives pull stalls and kill counters.
+	Recorder obs.Recorder
 }
 
 // DefaultSquallOptions mirrors the paper's configuration at laptop scale.
@@ -127,6 +130,12 @@ func (sq *Squall) Migrate(shards []base.ShardID, dstID base.NodeID) (*Report, er
 		return report, fmt.Errorf("squall: bad endpoints %v -> %v", srcID, dstID)
 	}
 	report.Source = srcID
+	if r := sq.opts.Recorder; r != nil {
+		r.Event(obs.Event{
+			Kind: obs.EvPhase, Phase: "chunk-pull", From: "planned",
+			GTS: src.Oracle().Now(), Node: src.ID(),
+		})
+	}
 
 	// Build the chunk tables by splitting each shard's current key space
 	// into ~ChunkBytes ranges.
@@ -171,6 +180,9 @@ func (sq *Squall) Migrate(shards []base.ShardID, dstID base.NodeID) (*Report, er
 		}
 		if migrated {
 			sq.aborted.Add(1)
+			if r := sq.opts.Recorder; r != nil {
+				r.Add(obs.CtrBaselineKills, 1)
+			}
 			return fmt.Errorf("%v accessed a migrated chunk on the source: %w", shardID, base.ErrMigrationAbort)
 		}
 		return nil
@@ -301,6 +313,7 @@ func (sq *Squall) pull(src, dst *node.Node, shardID base.ShardID, c *chunk, reac
 	if c.done.Load() {
 		return nil
 	}
+	pullStart := time.Now()
 	releaseSrc, err := sq.cc.lockShard(src.ID(), shardID)
 	if err != nil {
 		return err
@@ -335,5 +348,18 @@ func (sq *Squall) pull(src, dst *node.Node, shardID base.ShardID, c *chunk, reac
 	}
 	dst.Counters.ReplayOps.Add(uint64(len(batch)))
 	c.done.Store(true)
+	if r := sq.opts.Recorder; r != nil {
+		r.Add(obs.CtrChunkPulls, 1)
+		if reactive {
+			// A reactive pull stalls the triggering transaction for the
+			// whole transfer.
+			wait := time.Since(pullStart)
+			r.Observe(obs.HistBlockWait, uint64(wait))
+			r.Event(obs.Event{
+				Kind: obs.EvBlock, Shard: shardID, Node: dst.ID(),
+				Cause: obs.CauseChunkPull, Dur: wait,
+			})
+		}
+	}
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"remus/internal/cluster"
 	"remus/internal/core"
 	"remus/internal/mvcc"
+	"remus/internal/obs"
 	"remus/internal/simnet"
 )
 
@@ -41,6 +42,9 @@ type EnvConfig struct {
 	// unlimited), modelling CPU saturation: load balancing and scale-out
 	// only pay off when the hot node is capacity-bound.
 	NodeOpsLimit int
+	// Recorder, if non-nil, observes the whole run: cluster hot paths, the
+	// migration controller and the interconnect.
+	Recorder obs.Recorder
 }
 
 // Env couples a cluster with one migration approach.
@@ -71,13 +75,15 @@ func NewEnv(approach Approach, cfg EnvConfig) *Env {
 		store.LockTimeout = cfg.LockWait
 		store.PrepareWaitTimeout = cfg.LockWait
 	}
-	c := cluster.New(cluster.Config{Nodes: cfg.Nodes, Net: cfg.Net, Scheme: cfg.Scheme, Store: store})
+	c := cluster.New(cluster.Config{Nodes: cfg.Nodes, Net: cfg.Net, Scheme: cfg.Scheme, Store: store, Recorder: cfg.Recorder})
 	e := &Env{Approach: approach, C: c, nodeOps: cfg.NodeOpsLimit}
 	e.ApplyNodeLimits()
 	opts := core.DefaultOptions()
 	opts.Workers = cfg.Workers
+	opts.Recorder = cfg.Recorder
 	bopts := baseline.DefaultOptions()
 	bopts.Workers = cfg.Workers
+	bopts.Recorder = cfg.Recorder
 	switch approach {
 	case Remus:
 		e.remus = core.NewController(c, opts)
@@ -88,7 +94,9 @@ func NewEnv(approach Approach, cfg EnvConfig) *Env {
 	case SquallA:
 		e.CC = baseline.NewShardLockCC(30 * time.Second)
 		e.CC.Install(c)
-		e.squall = baseline.NewSquall(c, e.CC, baseline.DefaultSquallOptions())
+		sqOpts := baseline.DefaultSquallOptions()
+		sqOpts.Recorder = cfg.Recorder
+		e.squall = baseline.NewSquall(c, e.CC, sqOpts)
 	default:
 		panic(fmt.Sprintf("bench: unknown approach %q", approach))
 	}

@@ -5,6 +5,15 @@ import (
 	"time"
 )
 
+// skipIfShort skips the multi-hundred-millisecond cluster experiments under
+// `go test -short` (the race CI job runs short mode; the plain job runs all).
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping cluster experiment in -short mode")
+	}
+}
+
 // tinyConsolidation shrinks the experiment for CI-speed smoke tests.
 func tinyConsolidation(ap Approach, hybrid byte) ConsolidationConfig {
 	cfg := DefaultConsolidationConfig(ap, hybrid)
@@ -39,6 +48,7 @@ func checkConsolidation(t *testing.T, r *ConsolidationResult, err error) {
 }
 
 func TestConsolidationHybridARemus(t *testing.T) {
+	skipIfShort(t)
 	r, err := RunConsolidation(tinyConsolidation(Remus, 'A'))
 	checkConsolidation(t, r, err)
 	if r.MigrationAbortTotal != 0 {
@@ -50,6 +60,7 @@ func TestConsolidationHybridARemus(t *testing.T) {
 }
 
 func TestConsolidationHybridALockAbort(t *testing.T) {
+	skipIfShort(t)
 	r, err := RunConsolidation(tinyConsolidation(LockAbort, 'A'))
 	checkConsolidation(t, r, err)
 	// lock-and-abort must abort batch transactions (the Table 2 headline).
@@ -59,6 +70,7 @@ func TestConsolidationHybridALockAbort(t *testing.T) {
 }
 
 func TestConsolidationHybridARemaster(t *testing.T) {
+	skipIfShort(t)
 	r, err := RunConsolidation(tinyConsolidation(Remaster, 'A'))
 	checkConsolidation(t, r, err)
 	if r.MigrationAbortTotal != 0 {
@@ -67,11 +79,13 @@ func TestConsolidationHybridARemaster(t *testing.T) {
 }
 
 func TestConsolidationHybridASquall(t *testing.T) {
+	skipIfShort(t)
 	r, err := RunConsolidation(tinyConsolidation(SquallA, 'A'))
 	checkConsolidation(t, r, err)
 }
 
 func TestConsolidationHybridBRemus(t *testing.T) {
+	skipIfShort(t)
 	cfg := tinyConsolidation(Remus, 'B')
 	cfg.GroupSize = 4
 	r, err := RunConsolidation(cfg)
@@ -82,6 +96,7 @@ func TestConsolidationHybridBRemus(t *testing.T) {
 }
 
 func TestConsolidationHybridBRemaster(t *testing.T) {
+	skipIfShort(t)
 	cfg := tinyConsolidation(Remaster, 'B')
 	cfg.GroupSize = 4
 	r, err := RunConsolidation(cfg)
@@ -89,6 +104,7 @@ func TestConsolidationHybridBRemaster(t *testing.T) {
 }
 
 func TestConsolidationHybridBSquall(t *testing.T) {
+	skipIfShort(t)
 	cfg := tinyConsolidation(SquallA, 'B')
 	cfg.GroupSize = 4
 	r, err := RunConsolidation(cfg)
@@ -96,6 +112,7 @@ func TestConsolidationHybridBSquall(t *testing.T) {
 }
 
 func TestLoadBalanceRemusAndSquall(t *testing.T) {
+	skipIfShort(t)
 	for _, ap := range []Approach{Remus, SquallA} {
 		cfg := DefaultLoadBalanceConfig(ap)
 		cfg.Nodes = 3
@@ -121,6 +138,7 @@ func TestLoadBalanceRemusAndSquall(t *testing.T) {
 }
 
 func TestScaleOutRemus(t *testing.T) {
+	skipIfShort(t)
 	cfg := DefaultScaleOutConfig(Remus)
 	cfg.Nodes = 2
 	cfg.WarehousesPerNode = 2
@@ -145,6 +163,7 @@ func TestScaleOutRemus(t *testing.T) {
 }
 
 func TestScaleOutLockAbortAndRemaster(t *testing.T) {
+	skipIfShort(t)
 	for _, ap := range []Approach{LockAbort, Remaster} {
 		cfg := DefaultScaleOutConfig(ap)
 		cfg.Nodes = 2
@@ -165,6 +184,7 @@ func TestScaleOutLockAbortAndRemaster(t *testing.T) {
 }
 
 func TestContention(t *testing.T) {
+	skipIfShort(t)
 	cfg := DefaultContentionConfig()
 	cfg.Clients = 8
 	cfg.Warmup = 200 * time.Millisecond

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"remus/internal/base"
+	"remus/internal/obs"
 	"remus/internal/simnet"
 	"remus/internal/workload"
 )
@@ -36,6 +37,8 @@ type ConsolidationConfig struct {
 	Tail      time.Duration
 	Interval  time.Duration // series bucket width
 	Net       simnet.Config
+	// Recorder, if non-nil, traces the run (phase transitions, counters).
+	Recorder obs.Recorder
 }
 
 // DefaultConsolidationConfig returns a laptop-scale configuration that
@@ -79,7 +82,7 @@ type ConsolidationResult struct {
 
 // RunConsolidation executes one consolidation experiment.
 func RunConsolidation(cfg ConsolidationConfig) (*ConsolidationResult, error) {
-	env := NewEnv(cfg.Approach, EnvConfig{Nodes: cfg.Nodes, Net: cfg.Net})
+	env := NewEnv(cfg.Approach, EnvConfig{Nodes: cfg.Nodes, Net: cfg.Net, Recorder: cfg.Recorder})
 	defer env.Close()
 	c := env.C
 

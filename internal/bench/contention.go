@@ -8,6 +8,7 @@ import (
 	"remus/internal/base"
 	"remus/internal/cluster"
 	"remus/internal/core"
+	"remus/internal/obs"
 	"remus/internal/simnet"
 	"remus/internal/workload"
 )
@@ -29,6 +30,8 @@ type ContentionConfig struct {
 	Interval     time.Duration
 	VacuumPeriod time.Duration
 	Net          simnet.Config
+	// Recorder, if non-nil, traces the run (phase transitions, counters).
+	Recorder obs.Recorder
 }
 
 // DefaultContentionConfig returns a laptop-scale configuration.
@@ -69,7 +72,7 @@ type ContentionResult struct {
 
 // RunContention executes the §4.8 experiment with Remus.
 func RunContention(cfg ContentionConfig) (*ContentionResult, error) {
-	env := NewEnv(Remus, EnvConfig{Nodes: cfg.Nodes, Net: cfg.Net})
+	env := NewEnv(Remus, EnvConfig{Nodes: cfg.Nodes, Net: cfg.Net, Recorder: cfg.Recorder})
 	defer env.Close()
 	c := env.C
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"remus/internal/base"
+	"remus/internal/obs"
 	"remus/internal/simnet"
 	"remus/internal/workload"
 )
@@ -30,6 +31,8 @@ type LoadBalanceConfig struct {
 	Tail     time.Duration
 	Interval time.Duration
 	Net      simnet.Config
+	// Recorder, if non-nil, traces the run (phase transitions, counters).
+	Recorder obs.Recorder
 }
 
 // DefaultLoadBalanceConfig returns a laptop-scale configuration.
@@ -59,7 +62,7 @@ type LoadBalanceResult struct {
 
 // RunLoadBalance executes one load-balancing experiment.
 func RunLoadBalance(cfg LoadBalanceConfig) (*LoadBalanceResult, error) {
-	env := NewEnv(cfg.Approach, EnvConfig{Nodes: cfg.Nodes, Net: cfg.Net, NodeOpsLimit: cfg.NodeOpsLimit})
+	env := NewEnv(cfg.Approach, EnvConfig{Nodes: cfg.Nodes, Net: cfg.Net, NodeOpsLimit: cfg.NodeOpsLimit, Recorder: cfg.Recorder})
 	defer env.Close()
 	c := env.C
 

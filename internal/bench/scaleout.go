@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"remus/internal/base"
+	"remus/internal/obs"
 	"remus/internal/simnet"
 	"remus/internal/workload"
 )
@@ -30,6 +31,8 @@ type ScaleOutConfig struct {
 	Tail     time.Duration
 	Interval time.Duration
 	Net      simnet.Config
+	// Recorder, if non-nil, traces the run (phase transitions, counters).
+	Recorder obs.Recorder
 }
 
 // DefaultScaleOutConfig returns a laptop-scale configuration.
@@ -73,7 +76,7 @@ func tpccWindow(m *Metrics, from, to time.Duration) Window {
 
 // RunScaleOut executes one scale-out experiment.
 func RunScaleOut(cfg ScaleOutConfig) (*ScaleOutResult, error) {
-	env := NewEnv(cfg.Approach, EnvConfig{Nodes: cfg.Nodes, Net: cfg.Net, NodeOpsLimit: cfg.NodeOpsLimit})
+	env := NewEnv(cfg.Approach, EnvConfig{Nodes: cfg.Nodes, Net: cfg.Net, NodeOpsLimit: cfg.NodeOpsLimit, Recorder: cfg.Recorder})
 	defer env.Close()
 	c := env.C
 

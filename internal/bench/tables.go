@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"remus/internal/obs"
 )
 
 // Table1Row is one measured row of the Table 1 comparison matrix: instead of
@@ -176,6 +178,28 @@ func aggregateLatency(m *Metrics, from, to time.Duration) time.Duration {
 		return 0
 	}
 	return sum / time.Duration(commits)
+}
+
+// FormatPhaseBreakdown renders the per-phase breakdown collected by an
+// obs.Trace: time in phase, foreground commits/aborts attributed to it, the
+// abort causes, and block-wait quantiles. Empty when no phases were recorded
+// (e.g. the recorder was disabled).
+func FormatPhaseBreakdown(stats []obs.PhaseStats) string {
+	if len(stats) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-18s %10s %8s %8s %9s %8s %8s %12s %12s\n",
+		"Phase", "Time", "Commits", "Aborts", "MigAborts", "WWConf", "Blocks", "BlockP95", "BlockMax")
+	for _, ps := range stats {
+		fmt.Fprintf(&sb, "%-18s %10s %8d %8d %9d %8d %8d %12s %12s\n",
+			ps.Phase, ps.Total.Round(100*time.Microsecond),
+			ps.Commits, ps.Aborts, ps.MigrationAborts, ps.WWConflicts,
+			ps.Blocks,
+			ps.BlockP95.Round(10*time.Microsecond),
+			ps.BlockMax.Round(10*time.Microsecond))
+	}
+	return sb.String()
 }
 
 // FormatTable3 renders the latency table.

@@ -14,6 +14,7 @@ import (
 	"remus/internal/clock"
 	"remus/internal/mvcc"
 	"remus/internal/node"
+	"remus/internal/obs"
 	"remus/internal/shard"
 	"remus/internal/simnet"
 )
@@ -40,6 +41,9 @@ type Config struct {
 	Skew func(i int) time.Duration
 	// Store tunes MVCC stores; zero value uses mvcc.DefaultConfig.
 	Store mvcc.Config
+	// Recorder, if non-nil, is installed on the interconnect and on every
+	// node's transaction manager (including nodes added later by AddNode).
+	Recorder obs.Recorder
 }
 
 // Cluster is the whole database.
@@ -79,6 +83,9 @@ func New(cfg Config) *Cluster {
 		nextTable: 1,
 		nextShard: 1,
 	}
+	if cfg.Recorder != nil {
+		c.net.SetRecorder(cfg.Recorder)
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		c.AddNode()
 	}
@@ -107,6 +114,9 @@ func (c *Cluster) AddNode() *node.Node {
 		oracle = clock.NewHLC(c.src, skew)
 	}
 	n := node.New(id, c.net, oracle, c.cfg.Store)
+	if c.cfg.Recorder != nil {
+		n.SetRecorder(c.cfg.Recorder)
+	}
 	c.nodes[id] = n
 	c.nodeIDs = append(c.nodeIDs, id)
 	var donor *node.Node

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"remus/internal/base"
+	"remus/internal/obs"
 	"remus/internal/txn"
 )
 
@@ -24,6 +25,7 @@ import (
 type moccGate struct {
 	shards  map[base.ShardID]bool
 	timeout time.Duration
+	rec     obs.Recorder
 
 	mu      sync.Mutex
 	waiting map[base.XID]chan error
@@ -34,10 +36,11 @@ type moccGate struct {
 
 var _ txn.CommitGate = (*moccGate)(nil)
 
-func newMOCCGate(shards []base.ShardID, timeout time.Duration) *moccGate {
+func newMOCCGate(shards []base.ShardID, timeout time.Duration, rec obs.Recorder) *moccGate {
 	g := &moccGate{
 		shards:  make(map[base.ShardID]bool, len(shards)),
 		timeout: timeout,
+		rec:     rec,
 		waiting: make(map[base.XID]chan error),
 		early:   make(map[base.XID]error),
 	}
@@ -60,6 +63,19 @@ func (g *moccGate) NeedsValidation(t *txn.Txn) bool {
 // WaitValidation implements txn.CommitGate: park until the destination's
 // verdict arrives through the sink.
 func (g *moccGate) WaitValidation(t *txn.Txn) error {
+	var waitStart time.Time
+	if g.rec != nil {
+		g.rec.Add(obs.CtrValidations, 1)
+		waitStart = time.Now()
+		defer func() {
+			wait := time.Since(waitStart)
+			g.rec.Observe(obs.HistValidationWait, uint64(wait))
+			g.rec.Event(obs.Event{
+				Kind: obs.EvBlock, XID: t.XID, Txn: t.GlobalID,
+				Cause: obs.CauseValidation, Dur: wait,
+			})
+		}()
+	}
 	g.mu.Lock()
 	g.validations++
 	if err, ok := g.early[t.XID]; ok {
@@ -84,6 +100,9 @@ func (g *moccGate) WaitValidation(t *txn.Txn) error {
 		g.mu.Lock()
 		delete(g.waiting, t.XID)
 		g.mu.Unlock()
+		if g.rec != nil {
+			g.rec.Add(obs.CtrValidationTimeouts, 1)
+		}
 		return fmt.Errorf("validation of %v: %w", t.XID, base.ErrTimeout)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"remus/internal/base"
 	"remus/internal/cluster"
 	"remus/internal/node"
+	"remus/internal/obs"
 	"remus/internal/repl"
 	"remus/internal/shard"
 	"remus/internal/txn"
@@ -102,6 +103,9 @@ type Options struct {
 	// Failpoint, if non-nil, is invoked at the named stages; returning an
 	// error stops the driver there (crash injection).
 	Failpoint func(stage string) error
+	// Recorder, if non-nil, receives phase transitions (with GTS
+	// timestamps), validation waits and migration counters.
+	Recorder obs.Recorder
 }
 
 // DefaultOptions mirrors the paper's setup at laptop scale.
@@ -243,7 +247,15 @@ func (ct *Controller) Migrate(shards []base.ShardID, dstID base.NodeID) (*Report
 // Phase returns the migration's current phase.
 func (m *Migration) Phase() Phase { return Phase(m.phase.Load()) }
 
-func (m *Migration) setPhase(p Phase) { m.phase.Store(int32(p)) }
+func (m *Migration) setPhase(p Phase) {
+	prev := Phase(m.phase.Swap(int32(p)))
+	if r := m.opts.Recorder; r != nil {
+		r.Event(obs.Event{
+			Kind: obs.EvPhase, Phase: p.String(), From: prev.String(),
+			GTS: m.src.Oracle().Now(), Node: m.src.ID(),
+		})
+	}
+}
 
 // Report returns the (possibly partial) migration report.
 func (m *Migration) Report() Report { return m.report }
@@ -301,7 +313,7 @@ func (m *Migration) Run() (*Report, error) {
 		wg.Add(1)
 		go func(id base.ShardID) {
 			defer wg.Done()
-			stats, err := repl.CopySnapshot(m.src, m.dst, id, snapTS, m.opts.BatchBytes)
+			stats, err := repl.CopySnapshot(m.src, m.dst, id, snapTS, m.opts.BatchBytes, m.opts.Recorder)
 			copyMu.Lock()
 			defer copyMu.Unlock()
 			m.report.Snapshot.Tuples += stats.Tuples
@@ -329,14 +341,15 @@ func (m *Migration) Run() (*Report, error) {
 	for _, id := range m.shards {
 		shardSet[id] = true
 	}
-	m.gate = newMOCCGate(m.shards, m.opts.ValidationTimeout)
-	m.rep = repl.NewReplayer(m.dst, m.opts.Workers, m.gate.sink)
+	m.gate = newMOCCGate(m.shards, m.opts.ValidationTimeout, m.opts.Recorder)
+	m.rep = repl.NewReplayer(m.dst, m.opts.Workers, m.gate.sink, m.opts.Recorder)
 	m.prop = repl.StartPropagator(m.src, m.rep, repl.PropagatorConfig{
 		Shards:         shardSet,
 		SnapTS:         snapTS,
 		StartLSN:       startLSN,
 		SpillThreshold: m.opts.SpillThreshold,
 		SpillDir:       m.opts.SpillDir,
+		Recorder:       m.opts.Recorder,
 	})
 	releaseTmpHold() // the propagator now holds its own pin
 	if err := m.prop.WaitCaughtUp(m.opts.CatchUpThreshold, m.opts.PhaseTimeout); err != nil {
@@ -356,6 +369,9 @@ func (m *Migration) Run() (*Report, error) {
 	phaseStart = time.Now()
 	unsync := m.src.Manager().InstallGate(m.gate)
 	m.report.UnsyncTxns = len(unsync)
+	if r := m.opts.Recorder; r != nil {
+		r.Add(obs.CtrUnsyncTxns, uint64(len(unsync)))
+	}
 	if err := waitTxns(unsync, m.opts.PhaseTimeout); err != nil {
 		m.setPhase(PhaseFailed)
 		return &m.report, fmt.Errorf("core: TS_unsync drain: %w", err)
@@ -440,6 +456,9 @@ func (m *Migration) finishDual(ctsTm base.Timestamp) error {
 			continue
 		}
 		m.report.DrainedTxns += len(drain)
+		if r := m.opts.Recorder; r != nil {
+			r.Add(obs.CtrDrainedTxns, uint64(len(drain)))
+		}
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
 			return fmt.Errorf("core: dual-execution drain: %w", base.ErrTimeout)

@@ -16,6 +16,7 @@ import (
 	"remus/internal/clock"
 	"remus/internal/clog"
 	"remus/internal/mvcc"
+	"remus/internal/obs"
 	"remus/internal/shard"
 	"remus/internal/simnet"
 	"remus/internal/txn"
@@ -184,6 +185,10 @@ func (n *Node) ID() base.NodeID { return n.id }
 
 // Manager returns the node's transaction manager.
 func (n *Node) Manager() *txn.Manager { return n.mgr }
+
+// SetRecorder installs (or, with nil, removes) the observability recorder on
+// the node's transaction manager.
+func (n *Node) SetRecorder(r obs.Recorder) { n.mgr.SetRecorder(r) }
 
 // Oracle returns the node's timestamp oracle.
 func (n *Node) Oracle() clock.Oracle { return n.oracle }

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+const (
+	// histSubBits is the number of significant mantissa bits per octave.
+	histSubBits = 3
+	histSub     = 1 << histSubBits
+	// histBuckets bounds the bucket array: values 0..15 get exact buckets,
+	// then 8 log-linear buckets per octave up to ~2^49 (≈6.5 days in
+	// nanoseconds); anything larger clamps into the last bucket.
+	histBuckets = 46*histSub + 2*histSub
+)
+
+// Histogram is a bounded log-linear histogram in the HDR style: 3
+// significant bits per sample, giving quantile upper bounds within 12.5%
+// relative error across the full uint64 range. All operations are
+// allocation-free and safe for concurrent use; Quantile/Mean read racily
+// against in-flight Observe calls, which is fine for monitoring.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+}
+
+// bucketIndex maps a value to its bucket: exact below 2*histSub, then
+// log-linear with histSub sub-buckets per octave.
+func bucketIndex(v uint64) int {
+	if v < 2*histSub {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 - histSubBits
+	idx := (exp+1)*histSub + int(v>>uint(exp)) - histSub
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketUpper returns the largest value mapping to bucket i.
+func bucketUpper(i int) uint64 {
+	if i < 2*histSub {
+		return uint64(i)
+	}
+	exp := i/histSub - 1
+	mant := uint64(i%histSub + histSub)
+	return (mant+1)<<uint(exp) - 1
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Max returns the largest sample (exact, not bucketed).
+func (h *Histogram) Max() uint64 { return h.max.Load() }
+
+// Mean returns the arithmetic mean of the samples (0 when empty).
+func (h *Histogram) Mean() float64 {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(c)
+}
+
+// Quantile returns an upper bound of the q-quantile (q in [0,1]): the upper
+// edge of the bucket holding the ceil(q*count)-th smallest sample, within
+// 12.5% of the true value. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) uint64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	target := uint64(q*float64(total) + 0.5)
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= target {
+			u := bucketUpper(i)
+			if m := h.max.Load(); u > m {
+				return m // last occupied bucket: the max is exact
+			}
+			return u
+		}
+	}
+	return h.max.Load()
+}

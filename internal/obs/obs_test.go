@@ -1,0 +1,320 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"remus/internal/base"
+)
+
+func TestHistogramBucketsContiguous(t *testing.T) {
+	// Every value maps into a bucket whose bounds contain it, and bucket
+	// upper bounds are monotonically increasing.
+	prev := uint64(0)
+	for i := 0; i < histBuckets; i++ {
+		u := bucketUpper(i)
+		if i > 0 && u <= prev {
+			t.Fatalf("bucket %d upper %d <= previous %d", i, u, prev)
+		}
+		prev = u
+	}
+	for _, v := range []uint64{0, 1, 7, 15, 16, 17, 100, 1023, 1024, 1 << 20, 1<<40 + 12345, 1 << 62} {
+		i := bucketIndex(v)
+		if u := bucketUpper(i); v > u && i != histBuckets-1 {
+			t.Errorf("value %d lands in bucket %d with upper %d", v, i, u)
+		}
+		if i > 0 && i != histBuckets-1 {
+			if lo := bucketUpper(i - 1); v <= lo {
+				t.Errorf("value %d lands in bucket %d but fits bucket %d (upper %d)", v, i, i-1, lo)
+			}
+		}
+	}
+}
+
+func TestHistogramQuantileCorrectness(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(42))
+	samples := make([]uint64, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		// Log-uniform over ~6 decades, the shape of latency data.
+		v := uint64(1) << uint(rng.Intn(30))
+		v += uint64(rng.Int63n(int64(v)))
+		samples = append(samples, v)
+		h.Observe(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	if h.Count() != 10000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 1.0} {
+		got := h.Quantile(q)
+		idx := int(q*float64(len(samples))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		exact := samples[idx]
+		// The bucket upper bound is >= the true quantile and within 12.5%.
+		if got < exact {
+			t.Errorf("q%.2f = %d below exact %d", q, got, exact)
+		}
+		if float64(got) > float64(exact)*1.125+1 {
+			t.Errorf("q%.2f = %d exceeds exact %d by more than 12.5%%", q, got, exact)
+		}
+	}
+	if h.Max() != samples[len(samples)-1] {
+		t.Errorf("max = %d, want %d", h.Max(), samples[len(samples)-1])
+	}
+	if m := h.Mean(); m <= 0 {
+		t.Errorf("mean = %v", m)
+	}
+}
+
+func TestHistogramSmallExact(t *testing.T) {
+	var h Histogram
+	for v := uint64(0); v < 16; v++ {
+		h.Observe(v)
+	}
+	// Small values have exact buckets: quantiles are exact.
+	if got := h.Quantile(0.5); got != 7 && got != 8 {
+		t.Errorf("p50 of 0..15 = %d", got)
+	}
+	if got := h.Quantile(1); got != 15 {
+		t.Errorf("p100 of 0..15 = %d", got)
+	}
+}
+
+func TestNopRecorderAddsNothing(t *testing.T) {
+	// Nop must swallow everything without panicking or retaining state.
+	Nop.Event(Event{Kind: EvAbort, Cause: CauseWWConflict})
+	Nop.Add(CtrCommits, 3)
+	Nop.Observe(HistCommitLatency, 12345)
+
+	// A trace that observed nothing reports nothing; wiring Nop instead of
+	// a Trace therefore produces zero events end to end.
+	tr := NewTrace()
+	if n := tr.EventCount(); n != 0 {
+		t.Fatalf("fresh trace has %d events", n)
+	}
+	if got := tr.Counter(CtrCommits); got != 0 {
+		t.Fatalf("fresh trace counter = %d", got)
+	}
+	if b := tr.Breakdown(); len(b) != 0 {
+		t.Fatalf("fresh trace breakdown = %v", b)
+	}
+
+	// The disabled paths must not allocate: the nil-check contract.
+	var holder Holder
+	if r := holder.Load(); r != nil {
+		t.Fatal("empty holder returned a recorder")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if r := holder.Load(); r != nil {
+			r.Add(CtrCommits, 1)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("disabled hot path allocates %v/op", allocs)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		Nop.Add(CtrCommits, 1)
+		Nop.Observe(HistCommitLatency, 1)
+	})
+	if allocs != 0 {
+		t.Errorf("Nop counters allocate %v/op", allocs)
+	}
+}
+
+func TestTraceConcurrentRecording(t *testing.T) {
+	// Hammer every Recorder entry point from many goroutines while phases
+	// transition; run under -race in CI. Totals must balance.
+	tr := NewTraceSized(1 << 12)
+	const workers = 8
+	const perWorker = 2000
+	phases := []string{"snapshot-copy", "async-propagation", "mode-change", "dual-execution"}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				switch i % 4 {
+				case 0:
+					tr.Add(CtrCommits, 1)
+				case 1:
+					tr.Event(Event{Kind: EvAbort, XID: base.XID(i), Cause: CauseWWConflict})
+					tr.Add(CtrAborts, 1)
+				case 2:
+					tr.Observe(HistValidationWait, uint64(i))
+				case 3:
+					tr.Event(Event{Kind: EvBlock, XID: base.XID(i), Cause: CauseValidation, Dur: time.Duration(i)})
+				}
+				if i%500 == 0 {
+					tr.Event(Event{Kind: EvPhase, Phase: phases[(w+i/500)%len(phases)], GTS: base.Timestamp(i)})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := tr.Counter(CtrCommits); got != workers*perWorker/4 {
+		t.Errorf("commits = %d, want %d", got, workers*perWorker/4)
+	}
+	if got := tr.Counter(CtrAborts); got != workers*perWorker/4 {
+		t.Errorf("aborts = %d, want %d", got, workers*perWorker/4)
+	}
+	if got := tr.Histogram(HistValidationWait).Count(); got != workers*perWorker/4 {
+		t.Errorf("observations = %d, want %d", got, workers*perWorker/4)
+	}
+	// The bounded buffer kept at most its cap and counted the overflow.
+	kept, dropped := tr.EventCount(), tr.Dropped()
+	recorded := uint64(workers * perWorker / 2) // aborts + blocks
+	if uint64(kept)+dropped < recorded {
+		t.Errorf("events kept=%d dropped=%d < recorded %d", kept, dropped, recorded)
+	}
+	if kept > 1<<12 {
+		t.Errorf("buffer overran its bound: %d", kept)
+	}
+	// Every abort/divergence was attributed to some phase.
+	var aborts uint64
+	for _, ps := range tr.Breakdown() {
+		aborts += ps.Aborts
+	}
+	if aborts == 0 {
+		t.Error("no aborts attributed to any phase")
+	}
+}
+
+func TestBreakdownAttribution(t *testing.T) {
+	tr := NewTrace()
+	tr.Event(Event{Kind: EvPhase, Phase: "snapshot-copy", From: "planned", GTS: 100})
+	tr.Add(CtrCommits, 5)
+	tr.Event(Event{Kind: EvAbort, XID: 1, Cause: CauseWWConflict})
+	time.Sleep(2 * time.Millisecond)
+	tr.Event(Event{Kind: EvPhase, Phase: "dual-execution", From: "snapshot-copy", GTS: 200})
+	tr.Add(CtrCommits, 2)
+	tr.Event(Event{Kind: EvAbort, XID: 2, Cause: CauseMigration})
+	tr.Event(Event{Kind: EvBlock, XID: 3, Cause: CauseValidation, Dur: 40 * time.Microsecond})
+
+	bd := tr.Breakdown()
+	if len(bd) != 2 {
+		t.Fatalf("breakdown has %d phases: %+v", len(bd), bd)
+	}
+	snap, dual := bd[0], bd[1]
+	if snap.Phase != "snapshot-copy" || dual.Phase != "dual-execution" {
+		t.Fatalf("phase order wrong: %q, %q", snap.Phase, dual.Phase)
+	}
+	if snap.EnterGTS != 100 || dual.EnterGTS != 200 {
+		t.Errorf("enter GTS = %d, %d", snap.EnterGTS, dual.EnterGTS)
+	}
+	if snap.Commits != 5 || snap.Aborts != 1 || snap.WWConflicts != 1 || snap.MigrationAborts != 0 {
+		t.Errorf("snapshot stats = %+v", snap)
+	}
+	if snap.Total < 2*time.Millisecond {
+		t.Errorf("snapshot phase time = %v, want >= 2ms", snap.Total)
+	}
+	if dual.Commits != 2 || dual.Aborts != 1 || dual.MigrationAborts != 1 {
+		t.Errorf("dual stats = %+v", dual)
+	}
+	if dual.Blocks != 1 || dual.BlockP99 < 35*time.Microsecond {
+		t.Errorf("dual blocks = %d p99 = %v", dual.Blocks, dual.BlockP99)
+	}
+	if dual.Enters != 1 || snap.Enters != 1 {
+		t.Errorf("enters = %d, %d", snap.Enters, dual.Enters)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := NewTrace()
+	tr.Event(Event{Kind: EvPhase, Phase: "snapshot-copy", From: "planned", GTS: 42, Node: 1})
+	tr.Event(Event{Kind: EvAbort, XID: 7, Txn: 9, Shard: 3, Cause: CauseMigration})
+	tr.Mark("hello")
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if lines[0]["kind"] != "phase" || lines[0]["phase"] != "snapshot-copy" || lines[0]["gts"] != float64(42) {
+		t.Errorf("phase line = %v", lines[0])
+	}
+	if lines[1]["kind"] != "abort" || lines[1]["cause"] != CauseMigration || lines[1]["xid"] != float64(7) {
+		t.Errorf("abort line = %v", lines[1])
+	}
+	// Abort inherited the current phase.
+	if lines[1]["phase"] != "snapshot-copy" {
+		t.Errorf("abort not attributed to phase: %v", lines[1])
+	}
+	if lines[2]["kind"] != "mark" || lines[2]["note"] != "hello" {
+		t.Errorf("mark line = %v", lines[2])
+	}
+}
+
+func TestClassifyAbort(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, CauseOther},
+		{base.ErrMigrationAbort, CauseMigration},
+		{fmt.Errorf("wrapped: %w", base.ErrWWConflict), CauseWWConflict},
+		{base.ErrTimeout, CauseTimeout},
+		{base.ErrShardMoved, CauseShardMoved},
+		{fmt.Errorf("mystery"), CauseOther},
+	}
+	for _, c := range cases {
+		if got := ClassifyAbort(c.err); got != c.want {
+			t.Errorf("ClassifyAbort(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+// BenchmarkDisabledHotPath measures the cost instrumented code pays when no
+// recorder is installed: one atomic load and a nil-check.
+func BenchmarkDisabledHotPath(b *testing.B) {
+	var h Holder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if r := h.Load(); r != nil {
+			r.Add(CtrCommits, 1)
+		}
+	}
+}
+
+// BenchmarkEnabledCounter measures the enabled counter path.
+func BenchmarkEnabledCounter(b *testing.B) {
+	var h Holder
+	h.Store(NewTrace())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if r := h.Load(); r != nil {
+			r.Add(CtrCommits, 1)
+		}
+	}
+}
+
+// BenchmarkHistogramObserve measures the enabled histogram path.
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i))
+	}
+}

@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"remus/internal/base"
+)
+
+// DefaultMaxEvents bounds a Trace's event buffer; events past the bound are
+// counted in Dropped instead of growing memory without limit.
+const DefaultMaxEvents = 1 << 16
+
+// PhaseStats is one row of the per-phase breakdown: time spent in the phase,
+// how often it was entered (multi-step migrations re-enter phases), the GTS
+// timestamp of the first entry, and the commit/abort/block activity
+// attributed to the phase while it was in force.
+type PhaseStats struct {
+	Phase    string
+	Enters   int
+	Total    time.Duration
+	EnterGTS base.Timestamp
+
+	Commits         uint64
+	Aborts          uint64
+	MigrationAborts uint64
+	WWConflicts     uint64
+
+	Blocks                       uint64
+	BlockP50, BlockP95, BlockP99 time.Duration
+	BlockMax                     time.Duration
+}
+
+// phaseAgg accumulates one phase's activity. Counter fields are lock-free
+// (hot paths); entry bookkeeping is guarded by Trace.mu (transitions are
+// rare).
+type phaseAgg struct {
+	name     string
+	enterGTS base.Timestamp
+
+	enters      atomic.Uint64
+	commits     atomic.Uint64
+	aborts      atomic.Uint64
+	migAborts   atomic.Uint64
+	wwConflicts atomic.Uint64
+	blocks      atomic.Uint64
+	blockHist   Histogram
+
+	// guarded by Trace.mu
+	total     time.Duration
+	enteredAt time.Duration
+	active    bool
+}
+
+// Trace is the collecting Recorder: a bounded event buffer, the counter
+// array, the histogram set, and per-phase aggregates derived from EvPhase
+// transitions. One Trace may span several migrations (a scale-out run's
+// steps); phases merge by name.
+type Trace struct {
+	epoch    time.Time
+	seq      atomic.Uint64
+	dropped  atomic.Uint64
+	counters [NumCounters]atomic.Uint64
+	hists    [NumHists]Histogram
+
+	cur atomic.Pointer[phaseAgg] // phase currently in force (nil before any)
+
+	mu     sync.Mutex
+	events []Event
+	max    int
+	phases []*phaseAgg // in order of first entry
+	byName map[string]*phaseAgg
+}
+
+var _ Recorder = (*Trace)(nil)
+
+// NewTrace returns a Trace bounded at DefaultMaxEvents events.
+func NewTrace() *Trace { return NewTraceSized(DefaultMaxEvents) }
+
+// NewTraceSized returns a Trace bounded at maxEvents events (0 keeps no
+// events: counters, histograms and phase aggregates still collect).
+func NewTraceSized(maxEvents int) *Trace {
+	return &Trace{
+		epoch:  time.Now(),
+		max:    maxEvents,
+		byName: make(map[string]*phaseAgg),
+	}
+}
+
+// Epoch returns the trace's time origin (Event.At offsets are relative to
+// it).
+func (t *Trace) Epoch() time.Time { return t.epoch }
+
+// Event implements Recorder. The event is stamped with a sequence number and
+// epoch offset; events without an explicit Phase are attributed to the phase
+// currently in force.
+func (t *Trace) Event(e Event) {
+	e.Seq = t.seq.Add(1)
+	if e.At == 0 {
+		e.At = time.Since(t.epoch)
+	}
+	if e.Phase == "" {
+		if agg := t.cur.Load(); agg != nil {
+			e.Phase = agg.name
+		}
+	}
+	switch e.Kind {
+	case EvPhase:
+		t.enterPhase(e)
+	case EvBlock:
+		if agg := t.aggFor(e.Phase); agg != nil {
+			agg.blocks.Add(1)
+			agg.blockHist.Observe(uint64(e.Dur))
+		}
+	case EvAbort, EvDivergence:
+		if agg := t.aggFor(e.Phase); agg != nil {
+			agg.aborts.Add(1)
+			switch e.Cause {
+			case CauseMigration:
+				agg.migAborts.Add(1)
+			case CauseWWConflict:
+				agg.wwConflicts.Add(1)
+			}
+		}
+	}
+	t.mu.Lock()
+	if len(t.events) < t.max {
+		t.events = append(t.events, e)
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Unlock()
+	t.dropped.Add(1)
+}
+
+// Add implements Recorder. Commits are additionally attributed to the phase
+// in force, so the breakdown can show per-phase foreground progress.
+func (t *Trace) Add(c Counter, delta uint64) {
+	if c >= NumCounters {
+		return
+	}
+	t.counters[c].Add(delta)
+	if c == CtrCommits {
+		if agg := t.cur.Load(); agg != nil {
+			agg.commits.Add(delta)
+		}
+	}
+}
+
+// Observe implements Recorder.
+func (t *Trace) Observe(h Hist, v uint64) {
+	if h >= NumHists {
+		return
+	}
+	t.hists[h].Observe(v)
+}
+
+// Mark records a freeform timeline annotation.
+func (t *Trace) Mark(note string) { t.Event(Event{Kind: EvMark, Note: note}) }
+
+// enterPhase closes the phase in force and opens e.Phase.
+func (t *Trace) enterPhase(e Event) {
+	t.mu.Lock()
+	if cur := t.cur.Load(); cur != nil && cur.active {
+		cur.total += e.At - cur.enteredAt
+		cur.active = false
+	}
+	agg := t.byName[e.Phase]
+	if agg == nil {
+		agg = &phaseAgg{name: e.Phase, enterGTS: e.GTS}
+		t.byName[e.Phase] = agg
+		t.phases = append(t.phases, agg)
+	}
+	agg.enters.Add(1)
+	agg.enteredAt = e.At
+	agg.active = true
+	t.cur.Store(agg)
+	t.mu.Unlock()
+}
+
+// aggFor resolves a phase aggregate by name, creating it on first use (a
+// block in a phase no transition announced, e.g. a Squall pull stall with no
+// phase machine running).
+func (t *Trace) aggFor(name string) *phaseAgg {
+	if agg := t.cur.Load(); agg != nil && (name == "" || agg.name == name) {
+		return agg
+	}
+	if name == "" {
+		return nil
+	}
+	t.mu.Lock()
+	agg := t.byName[name]
+	if agg == nil {
+		agg = &phaseAgg{name: name}
+		t.byName[name] = agg
+		t.phases = append(t.phases, agg)
+	}
+	t.mu.Unlock()
+	return agg
+}
+
+// Counter returns a counter's current value.
+func (t *Trace) Counter(c Counter) uint64 {
+	if c >= NumCounters {
+		return 0
+	}
+	return t.counters[c].Load()
+}
+
+// Histogram returns the named histogram (shared, live; read-only use).
+func (t *Trace) Histogram(h Hist) *Histogram {
+	if h >= NumHists {
+		return nil
+	}
+	return &t.hists[h]
+}
+
+// Events returns a copy of the recorded events in order.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// EventCount returns the number of buffered events.
+func (t *Trace) EventCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns the number of events discarded over the buffer bound.
+func (t *Trace) Dropped() uint64 { return t.dropped.Load() }
+
+// Breakdown returns per-phase statistics in order of first entry. The phase
+// still in force (if any) is credited with time up to now.
+func (t *Trace) Breakdown() []PhaseStats {
+	now := time.Since(t.epoch)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]PhaseStats, 0, len(t.phases))
+	for _, agg := range t.phases {
+		total := agg.total
+		if agg.active {
+			total += now - agg.enteredAt
+		}
+		out = append(out, PhaseStats{
+			Phase:           agg.name,
+			Enters:          int(agg.enters.Load()),
+			Total:           total,
+			EnterGTS:        agg.enterGTS,
+			Commits:         agg.commits.Load(),
+			Aborts:          agg.aborts.Load(),
+			MigrationAborts: agg.migAborts.Load(),
+			WWConflicts:     agg.wwConflicts.Load(),
+			Blocks:          agg.blocks.Load(),
+			BlockP50:        time.Duration(agg.blockHist.Quantile(0.50)),
+			BlockP95:        time.Duration(agg.blockHist.Quantile(0.95)),
+			BlockP99:        time.Duration(agg.blockHist.Quantile(0.99)),
+			BlockMax:        time.Duration(agg.blockHist.Max()),
+		})
+	}
+	return out
+}
+
+// eventJSON is the JSONL wire form of an Event (zero fields omitted).
+type eventJSON struct {
+	Seq   uint64 `json:"seq"`
+	TUs   int64  `json:"t_us"`
+	Kind  string `json:"kind"`
+	Phase string `json:"phase,omitempty"`
+	From  string `json:"from,omitempty"`
+	GTS   uint64 `json:"gts,omitempty"`
+	XID   uint64 `json:"xid,omitempty"`
+	Txn   uint64 `json:"txn,omitempty"`
+	Shard int32  `json:"shard,omitempty"`
+	Node  int32  `json:"node,omitempty"`
+	Cause string `json:"cause,omitempty"`
+	DurUs int64  `json:"dur_us,omitempty"`
+	Note  string `json:"note,omitempty"`
+}
+
+// WriteJSONL streams the buffered events to w, one JSON object per line.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	events := t.Events()
+	enc := json.NewEncoder(w)
+	for _, e := range events {
+		if err := enc.Encode(eventJSON{
+			Seq:   e.Seq,
+			TUs:   e.At.Microseconds(),
+			Kind:  e.Kind.String(),
+			Phase: e.Phase,
+			From:  e.From,
+			GTS:   uint64(e.GTS),
+			XID:   uint64(e.XID),
+			Txn:   uint64(e.Txn),
+			Shard: int32(e.Shard),
+			Node:  int32(e.Node),
+			Cause: e.Cause,
+			DurUs: e.Dur.Microseconds(),
+			Note:  e.Note,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -8,6 +8,7 @@ import (
 
 	"remus/internal/base"
 	"remus/internal/node"
+	"remus/internal/obs"
 	"remus/internal/wal"
 )
 
@@ -26,6 +27,9 @@ type PropagatorConfig struct {
 	SpillThreshold int
 	// SpillDir is the directory for spill files ("" = os.TempDir).
 	SpillDir string
+	// Recorder, if non-nil, receives shipping counters and catch-up lag
+	// samples.
+	Recorder obs.Recorder
 }
 
 // Propagator is the send process of §3.3: it tails the source WAL, builds an
@@ -149,6 +153,9 @@ func (p *Propagator) WaitCaughtUp(threshold uint64, timeout time.Duration) error
 				rate = 0.7*rate + 0.3*inst
 			}
 			lastConsumed, lastAt = cur, now
+			if r := p.cfg.Recorder; r != nil {
+				r.Observe(obs.HistCatchupLag, lag)
+			}
 		}
 		if rate > 0 && float64(lag) <= rate*0.15 {
 			return nil
@@ -233,10 +240,16 @@ func (p *Propagator) handle(rec wal.Record) {
 		}
 		hadSpill := q.spill != nil
 		err := q.add(rec, p.cfg.SpillThreshold, p.cfg.SpillDir)
-		if !hadSpill && q.spill != nil {
+		spilled := !hadSpill && q.spill != nil
+		if spilled {
 			p.spilledTxns.Add(1)
 		}
 		p.mu.Unlock()
+		if spilled {
+			if r := p.cfg.Recorder; r != nil {
+				r.Add(obs.CtrSpilledTxns, 1)
+			}
+		}
 		if err != nil {
 			p.fail(err)
 		}
@@ -275,6 +288,9 @@ func (p *Propagator) handle(rec wal.Record) {
 		}
 		if rec.CommitTS <= p.cfg.SnapTS {
 			p.droppedTxns.Add(1)
+			if r := p.cfg.Recorder; r != nil {
+				r.Add(obs.CtrDroppedTxns, 1)
+			}
 			return // covered by the snapshot copy
 		}
 		p.ship(len(records), bytes)
@@ -323,6 +339,10 @@ func (p *Propagator) takeQueue(xid base.XID) ([]wal.Record, int, bool) {
 func (p *Propagator) ship(records, bytes int) {
 	p.shippedTxns.Add(1)
 	p.shippedRecords.Add(uint64(records))
+	if r := p.cfg.Recorder; r != nil {
+		r.Add(obs.CtrShippedTxns, 1)
+		r.Add(obs.CtrShippedRecords, uint64(records))
+	}
 	net := p.src.Net()
 	net.Account(bytes + 64)
 	p.streamDebt += net.TransferTime(bytes + 64)

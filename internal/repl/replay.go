@@ -13,6 +13,7 @@ import (
 	"remus/internal/base"
 	"remus/internal/mvcc"
 	"remus/internal/node"
+	"remus/internal/obs"
 	"remus/internal/txn"
 	"remus/internal/wal"
 )
@@ -68,6 +69,7 @@ type shadowState struct {
 type Replayer struct {
 	dst     *node.Node
 	workers int
+	rec     obs.Recorder
 
 	tasks chan *task
 
@@ -91,14 +93,16 @@ type Replayer struct {
 	wg sync.WaitGroup
 }
 
-// NewReplayer starts a replay pool of the given parallelism on dst.
-func NewReplayer(dst *node.Node, workers int, sink func(base.XID, error)) *Replayer {
+// NewReplayer starts a replay pool of the given parallelism on dst. rec may
+// be nil (observability disabled).
+func NewReplayer(dst *node.Node, workers int, sink func(base.XID, error), rec obs.Recorder) *Replayer {
 	if workers <= 0 {
 		workers = 1
 	}
 	r := &Replayer{
 		dst:      dst,
 		workers:  workers,
+		rec:      rec,
 		tasks:    make(chan *task, 4096),
 		lastByKy: make(map[depKey]*task),
 		shadows:  make(map[base.XID]*shadowState),
@@ -267,6 +271,9 @@ func (r *Replayer) applyRecords(shadow *txn.Txn, records []wal.Record) error {
 			return err
 		}
 		r.applied.Add(1)
+		if r.rec != nil {
+			r.rec.Add(obs.CtrReplayApplied, 1)
+		}
 	}
 	return nil
 }
@@ -296,6 +303,13 @@ func (r *Replayer) runValidate(t *task) error {
 	if err := r.applyRecords(shadow, t.records); err != nil {
 		_ = shadow.Abort()
 		r.conflicts.Add(1)
+		if r.rec != nil {
+			r.rec.Add(obs.CtrReplayConflicts, 1)
+			r.rec.Event(obs.Event{
+				Kind: obs.EvDivergence, XID: t.xid, Txn: t.globalID,
+				Node: r.dst.ID(), Cause: obs.CauseWWConflict,
+			})
+		}
 		return fmt.Errorf("repl: validate %v: %w", t.xid, err)
 	}
 	if _, err := shadow.Prepare(); err != nil {
@@ -329,6 +343,12 @@ func (r *Replayer) shadowFor(xid base.XID) (*shadowState, bool) {
 func (r *Replayer) runCommitShadow(t *task) error {
 	s, ok := r.takeShadow(t.xid)
 	if !ok {
+		if r.rec != nil {
+			r.rec.Event(obs.Event{
+				Kind: obs.EvDivergence, XID: t.xid, Node: r.dst.ID(),
+				Cause: obs.CauseOther, Note: "commit of unknown shadow",
+			})
+		}
 		return fmt.Errorf("repl: commit of unknown shadow for %v", t.xid)
 	}
 	return s.txn.CommitAt(t.commitTS)
@@ -338,6 +358,12 @@ func (r *Replayer) runAbortShadow(t *task) error {
 	s, ok := r.takeShadow(t.xid)
 	if !ok {
 		return nil // validation failed; nothing prepared
+	}
+	if r.rec != nil {
+		r.rec.Event(obs.Event{
+			Kind: obs.EvDivergence, XID: t.xid, Node: r.dst.ID(),
+			Cause: obs.CauseMigration, Note: "prepared shadow rolled back",
+		})
 	}
 	return s.txn.Abort()
 }

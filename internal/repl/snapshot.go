@@ -5,6 +5,7 @@ import (
 
 	"remus/internal/base"
 	"remus/internal/node"
+	"remus/internal/obs"
 )
 
 // SnapshotStats reports one snapshot copy.
@@ -17,8 +18,9 @@ type SnapshotStats struct {
 // (§3.2): scan the versions committed at or before snapTS and install them
 // on the destination with the reserved minimal commit timestamp, batching
 // batchBytes per network send. The scan and installation stream tuple by
-// tuple; no extra copy of the shard is materialized.
-func CopySnapshot(src, dst *node.Node, shardID base.ShardID, snapTS base.Timestamp, batchBytes int) (SnapshotStats, error) {
+// tuple; no extra copy of the shard is materialized. rec may be nil
+// (observability disabled).
+func CopySnapshot(src, dst *node.Node, shardID base.ShardID, snapTS base.Timestamp, batchBytes int, rec obs.Recorder) (SnapshotStats, error) {
 	if batchBytes <= 0 {
 		batchBytes = 256 << 10
 	}
@@ -65,5 +67,9 @@ func CopySnapshot(src, dst *node.Node, shardID base.ShardID, snapTS base.Timesta
 		return stats, fmt.Errorf("repl: snapshot scan of %v: %w", shardID, err)
 	}
 	flush()
+	if rec != nil {
+		rec.Add(obs.CtrSnapshotTuples, uint64(stats.Tuples))
+		rec.Add(obs.CtrSnapshotBytes, uint64(stats.Bytes))
+	}
 	return stats, nil
 }

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"remus/internal/obs"
 )
 
 // Config describes link characteristics. The zero value is a free, infinitely
@@ -41,11 +43,27 @@ type Network struct {
 
 	messages atomic.Uint64
 	bytes    atomic.Uint64
+
+	rec obs.Holder
 }
 
 // New returns a network with the given link characteristics.
 func New(cfg Config) *Network {
 	return &Network{cfg: cfg, rng: rand.New(rand.NewSource(1))}
+}
+
+// SetRecorder installs (or, with nil, removes) the observability recorder on
+// the live interconnect.
+func (n *Network) SetRecorder(r obs.Recorder) { n.rec.Store(r) }
+
+// account feeds the shared counters and, when installed, the recorder.
+func (n *Network) account(payloadBytes int) {
+	n.messages.Add(1)
+	n.bytes.Add(uint64(payloadBytes))
+	if r := n.rec.Load(); r != nil {
+		r.Add(obs.CtrNetMessages, 1)
+		r.Add(obs.CtrNetBytes, uint64(payloadBytes))
+	}
 }
 
 // Send charges one message of the given payload size and blocks for its
@@ -54,8 +72,7 @@ func New(cfg Config) *Network {
 // magnitude, which would silently turn a 20µs link into a ~500µs one and
 // distort every latency-sensitive experiment.
 func (n *Network) Send(payloadBytes int) {
-	n.messages.Add(1)
-	n.bytes.Add(uint64(payloadBytes))
+	n.account(payloadBytes)
 	d := n.delay(payloadBytes)
 	switch {
 	case d <= 0:
@@ -80,8 +97,7 @@ func (n *Network) RoundTrip(payloadBytes int) {
 // propagation latency once, not per message, and sleeping per message would
 // serialize the sender behind the Go timer granularity.
 func (n *Network) Account(payloadBytes int) {
-	n.messages.Add(1)
-	n.bytes.Add(uint64(payloadBytes))
+	n.account(payloadBytes)
 }
 
 // TransferTime returns the bandwidth cost of a payload (no latency

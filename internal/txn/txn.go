@@ -9,11 +9,13 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"remus/internal/base"
 	"remus/internal/clock"
 	"remus/internal/clog"
 	"remus/internal/mvcc"
+	"remus/internal/obs"
 	"remus/internal/wal"
 )
 
@@ -83,6 +85,8 @@ type Txn struct {
 	GlobalID base.TxnID
 	StartTS  base.Timestamp
 
+	wallStart time.Time // set only while a recorder is installed
+
 	mu         sync.Mutex
 	state      State
 	writes     []WriteRef
@@ -143,6 +147,8 @@ type Manager struct {
 	xidSeq atomic.Uint64
 	seqSeq atomic.Uint64
 
+	rec obs.Holder
+
 	// commitMu serializes commit-path entry against gate installation so
 	// the sync barrier can capture an exact TS_unsync set (§3.4).
 	commitMu   sync.Mutex
@@ -176,6 +182,14 @@ func NewManager(node base.NodeID, cl *clog.CLOG, w *wal.Log, oracle clock.Oracle
 // Node returns the owning node's id.
 func (m *Manager) Node() base.NodeID { return m.node }
 
+// SetRecorder installs (or, with nil, removes) the observability recorder.
+// Safe to call on a live manager; in-flight transactions pick it up on their
+// next instrumented step.
+func (m *Manager) SetRecorder(r obs.Recorder) { m.rec.Store(r) }
+
+// Recorder returns the installed recorder, or nil when disabled.
+func (m *Manager) Recorder() obs.Recorder { return m.rec.Load() }
+
 // Oracle returns the node's timestamp oracle.
 func (m *Manager) Oracle() clock.Oracle { return m.oracle }
 
@@ -207,6 +221,9 @@ func (m *Manager) Begin(globalID base.TxnID, startTS base.Timestamp) *Txn {
 		StartTS:  startTS,
 		shards:   make(map[base.ShardID]struct{}),
 		done:     make(chan struct{}),
+	}
+	if m.rec.Load() != nil {
+		t.wallStart = time.Now()
 	}
 	m.clog.Begin(t.XID)
 	m.activeMu.Lock()
@@ -516,6 +533,12 @@ func (t *Txn) CommitAt(ts base.Timestamp) error {
 	})
 	t.releaseLocks()
 	t.m.finish(t)
+	if r := t.m.rec.Load(); r != nil {
+		r.Add(obs.CtrCommits, 1)
+		if !t.wallStart.IsZero() {
+			r.Observe(obs.HistCommitLatency, uint64(time.Since(t.wallStart)))
+		}
+	}
 	return nil
 }
 
@@ -560,6 +583,19 @@ func (t *Txn) abortLocked(cause error) error {
 	t.m.wal.Append(wal.Record{Type: wal.RecAbort, XID: t.XID, Txn: t.GlobalID, StartTS: t.StartTS})
 	t.releaseLocks()
 	t.m.finish(t)
-	_ = cause
+	if r := t.m.rec.Load(); r != nil {
+		tag := obs.ClassifyAbort(cause)
+		r.Add(obs.CtrAborts, 1)
+		switch tag {
+		case obs.CauseMigration:
+			r.Add(obs.CtrMigrationAborts, 1)
+		case obs.CauseWWConflict:
+			r.Add(obs.CtrWWConflicts, 1)
+		}
+		r.Event(obs.Event{
+			Kind: obs.EvAbort, XID: t.XID, Txn: t.GlobalID,
+			Node: t.m.node, Cause: tag,
+		})
+	}
 	return nil
 }
