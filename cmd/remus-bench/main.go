@@ -23,11 +23,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig6|fig7|fig8|fig9|fig10|table1|table2|table3|all")
+	exp := flag.String("exp", "all", "experiment: fig6|fig7|fig8|fig9|fig10|table1|table2|table3|autobalance|all")
 	approach := flag.String("approach", "", "restrict to one approach: remus|lockabort|remaster|squall")
 	scale := flag.String("scale", "small", "small|large")
 	series := flag.Bool("series", true, "print throughput time series for figure experiments")
 	trace := flag.String("trace", "", "append the observability event stream of each figure run as JSONL to this file and print per-phase breakdowns")
+	autobalance := flag.Bool("autobalance", false, "run the skew-rebalance scenario: none vs hand-placed vs planner-driven migration (shorthand for -exp autobalance)")
 	flag.Parse()
 
 	r := &runner{scale: *scale, series: *series, tracePath: *trace}
@@ -36,8 +37,10 @@ func main() {
 	}
 
 	exps := []string{*exp}
-	if *exp == "all" {
-		exps = []string{"fig6", "fig7", "fig8", "fig9", "fig10", "table1", "table2", "table3", "ablation"}
+	if *autobalance {
+		exps = []string{"autobalance"}
+	} else if *exp == "all" {
+		exps = []string{"fig6", "fig7", "fig8", "fig9", "fig10", "table1", "table2", "table3", "ablation", "autobalance"}
 	}
 	for _, e := range exps {
 		if err := r.run(e); err != nil {
@@ -240,6 +243,47 @@ func (r *runner) run(exp string) error {
 			res.ClientWWConflicts, res.MOCCConflicts, res.MaxChainLen)
 		if err := r.finishTrace(tr, "fig10/remus"); err != nil {
 			return err
+		}
+
+	case "autobalance":
+		// The planner's acceptance run: none (capacity-bound lower bound) vs
+		// manual (§4.5 oracle striping) vs planner (autonomous rebalance loop).
+		var manual, auto *bench.AutoBalanceResult
+		for _, mode := range bench.AutoBalanceModes {
+			cfg := bench.DefaultAutoBalanceConfig(mode)
+			if r.scale == "large" {
+				cfg.Records *= 8
+				cfg.Clients *= 3
+				cfg.Warmup *= 2
+				cfg.Settle *= 2
+				cfg.Tail *= 4
+			}
+			tr := r.trace(fmt.Sprintf("exp=autobalance mode=%v", mode))
+			cfg.Recorder = rec(tr)
+			res, err := bench.RunAutoBalance(cfg)
+			if err != nil {
+				return err
+			}
+			if r.series {
+				fmt.Printf("\n--- %v: skewed YCSB throughput around the rebalance window ---\n", mode)
+				fmt.Print(res.Metrics.RenderSeries("ycsb"))
+			}
+			fmt.Printf("%v: before=%.0f/s after=%.0f/s avgLat=%v moved=%d moves=%d osc=%d migAborts=%d dups=%d\n",
+				mode, res.Before.Throughput, res.After.Throughput, res.After.AvgLatency.Round(time.Microsecond),
+				res.MovedOffHot, res.Moves, res.Oscillations, res.MigrationAborts, res.DupKeys)
+			switch mode {
+			case bench.BalanceManual:
+				manual = res
+			case bench.BalancePlanner:
+				auto = res
+			}
+			if err := r.finishTrace(tr, fmt.Sprintf("autobalance/%v", mode)); err != nil {
+				return err
+			}
+		}
+		if manual != nil && auto != nil && manual.After.Throughput > 0 {
+			fmt.Printf("\nplanner vs hand-placed layout: %.0f%% of manual steady-state throughput (acceptance bar: 90%%)\n",
+				100*auto.After.Throughput/manual.After.Throughput)
 		}
 
 	case "table3":

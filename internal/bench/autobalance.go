@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/obs"
+	"remus/internal/planner"
+	"remus/internal/simnet"
+	"remus/internal/workload"
+)
+
+// AutoBalanceMode selects who fixes the skew in the autobalance scenario.
+type AutoBalanceMode string
+
+const (
+	// BalanceNone leaves the hot node capacity-bound: the lower bound.
+	BalanceNone AutoBalanceMode = "none"
+	// BalanceManual replays §4.5's hand-written striped migration: the
+	// operator knows exactly which shards are hot and where they should go.
+	// This is the oracle layout the planner is measured against.
+	BalanceManual AutoBalanceMode = "manual"
+	// BalancePlanner runs the autonomous planner loop: collector + policies +
+	// executor discover and disperse the hotspot with no shard list given.
+	BalancePlanner AutoBalanceMode = "planner"
+)
+
+// AutoBalanceModes lists the modes for comparison sweeps.
+var AutoBalanceModes = []AutoBalanceMode{BalanceNone, BalanceManual, BalancePlanner}
+
+// AutoBalanceConfig scales the skew-rebalance scenario: a Zipf-skewed YCSB
+// workload concentrates on one node's shards; the selected mode rebalances
+// (or doesn't), and steady-state throughput afterwards is compared.
+type AutoBalanceConfig struct {
+	Mode AutoBalanceMode
+	// NodeOpsLimit models per-node CPU capacity (statements/s); rebalancing
+	// only pays off when the hot node is capacity-bound.
+	NodeOpsLimit int
+
+	Nodes         int
+	ShardsPerNode int // shards on the hot node (the skew targets)
+	Records       int
+	ValueSize     int
+	Clients       int
+	GroupSize     int     // manual mode: shards per migration step
+	MoveFraction  float64 // manual mode: fraction of hot shards moved
+	ZipfTheta     float64
+
+	// Warmup runs the workload before anyone intervenes; Settle is the
+	// rebalance window (the planner loop runs during it); Tail is the
+	// steady-state measurement window after the rebalance.
+	Warmup   time.Duration
+	Settle   time.Duration
+	Tail     time.Duration
+	Interval time.Duration
+
+	// Planner-mode knobs (zero = planner defaults scaled to the run).
+	PlanInterval time.Duration
+	Cooldown     time.Duration
+	HalfLife     time.Duration
+
+	Net simnet.Config
+	// Recorder, if non-nil, traces the run including every planner decision.
+	Recorder obs.Recorder
+}
+
+// DefaultAutoBalanceConfig returns a laptop-scale configuration.
+func DefaultAutoBalanceConfig(mode AutoBalanceMode) AutoBalanceConfig {
+	return AutoBalanceConfig{
+		Mode:  mode,
+		Nodes: 4, ShardsPerNode: 8, Records: 2400, ValueSize: 64, Clients: 48,
+		GroupSize: 4, MoveFraction: 0.75, ZipfTheta: 0.99,
+		NodeOpsLimit: 8000,
+		Warmup:       300 * time.Millisecond,
+		Settle:       900 * time.Millisecond,
+		Tail:         400 * time.Millisecond,
+		Interval:     50 * time.Millisecond,
+		PlanInterval: 60 * time.Millisecond,
+		Cooldown:     240 * time.Millisecond,
+		HalfLife:     150 * time.Millisecond,
+		Net:          simnet.Config{Latency: 20 * time.Microsecond, BandwidthMBps: 25},
+	}
+}
+
+// AutoBalanceResult compares the modes: steady-state throughput after the
+// rebalance window, plus the planner's decision audit.
+type AutoBalanceResult struct {
+	Mode    AutoBalanceMode
+	Metrics *Metrics
+
+	// Before is the loaded-but-unbalanced window, After the steady state
+	// after the rebalance window closed.
+	Before, After Window
+	// MovedOffHot counts shards that left the initially hot node.
+	MovedOffHot int
+	// Moves / Oscillations audit the planner run (zero in other modes).
+	Moves        int
+	Oscillations int
+	// MigrationAborts counts workload aborts caused by migrations across the
+	// whole run; DupKeys is the §4 invariant check (must be zero).
+	MigrationAborts int
+	DupKeys         int
+	Errors          []error
+}
+
+// RunAutoBalance executes the skew-rebalance scenario in one mode. All modes
+// migrate with the Remus controller; only the decision source differs.
+func RunAutoBalance(cfg AutoBalanceConfig) (*AutoBalanceResult, error) {
+	env := NewEnv(Remus, EnvConfig{Nodes: cfg.Nodes, Net: cfg.Net, NodeOpsLimit: cfg.NodeOpsLimit, Recorder: cfg.Recorder})
+	defer env.Close()
+	c := env.C
+
+	hot := c.Nodes()[0].ID()
+	totalShards := cfg.Nodes * cfg.ShardsPerNode
+	y, err := workload.LoadYCSB(c, "accounts", totalShards, nil, workload.YCSBConfig{
+		Records: cfg.Records, ValueSize: cfg.ValueSize,
+		SkewShards: cfg.ShardsPerNode, ZipfTheta: cfg.ZipfTheta,
+	}, hot)
+	if err != nil {
+		return nil, err
+	}
+	hotBefore := len(c.ShardsOn(hot))
+
+	metrics := NewMetrics(cfg.Interval)
+	stop := workload.NewStopper()
+	wg, err := y.RunClients(c, cfg.Clients, stop, metrics)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		stop.Stop()
+		wg.Wait()
+	}()
+	time.Sleep(cfg.Warmup)
+
+	res := &AutoBalanceResult{Mode: cfg.Mode, Metrics: metrics}
+	metrics.MarkNow("rebalance-start")
+	rebStart := time.Since(metrics.Start())
+
+	switch cfg.Mode {
+	case BalanceNone:
+		time.Sleep(cfg.Settle)
+
+	case BalanceManual:
+		// The §4.5 oracle: stripe the hottest shards across the other nodes.
+		shards := c.ShardsOn(hot)
+		moveCount := int(float64(len(shards)) * cfg.MoveFraction)
+		others := make([]base.NodeID, 0, cfg.Nodes-1)
+		for _, n := range c.Nodes() {
+			if n.ID() != hot {
+				others = append(others, n.ID())
+			}
+		}
+		striped := make([]base.ShardID, 0, moveCount)
+		for off := 0; off < len(others); off++ {
+			for i := off; i < moveCount; i += len(others) {
+				striped = append(striped, shards[i])
+			}
+		}
+		copy(shards[:moveCount], striped)
+		for i, g := 0, 0; i < moveCount; i, g = i+cfg.GroupSize, g+1 {
+			end := i + cfg.GroupSize
+			if end > moveCount {
+				end = moveCount
+			}
+			if err := env.Migrate(shards[i:end], others[g%len(others)]); err != nil {
+				return nil, fmt.Errorf("autobalance manual step %d: %w", g, err)
+			}
+		}
+		// Spend the rest of the settle window at the new layout.
+		if spent := time.Since(metrics.Start()) - rebStart; spent < cfg.Settle {
+			time.Sleep(cfg.Settle - spent)
+		}
+
+	case BalancePlanner:
+		col := planner.NewCollector(c, cfg.HalfLife)
+		bal := planner.DefaultGreedyBalancer()
+		bal.GroupSize = cfg.GroupSize
+		split := planner.DefaultHotspotSplitter()
+		split.GroupSize = cfg.GroupSize
+		exec := planner.NewExecutor(col, planner.MigratorFunc(env.Migrate), planner.Config{
+			Interval: cfg.PlanInterval,
+			Cooldown: cfg.Cooldown,
+			Policies: []planner.Policy{bal, split},
+			Recorder: cfg.Recorder,
+		})
+		exec.Start()
+		time.Sleep(cfg.Settle)
+		exec.Stop()
+		for _, m := range exec.History() {
+			if m.Err == nil {
+				res.Moves++
+			}
+		}
+		res.Oscillations = exec.Oscillations()
+
+	default:
+		return nil, fmt.Errorf("autobalance: unknown mode %q", cfg.Mode)
+	}
+
+	metrics.MarkNow("rebalance-end")
+	rebEnd := time.Since(metrics.Start())
+	time.Sleep(cfg.Tail)
+	stop.Stop()
+	wg.Wait()
+
+	res.Before = metrics.WindowStats("ycsb", rebStart/2, rebStart)
+	res.After = metrics.WindowStats("ycsb", rebEnd, rebEnd+cfg.Tail-cfg.Interval)
+	res.MovedOffHot = hotBefore - len(c.ShardsOn(hot))
+	for _, cell := range metrics.Series("ycsb") {
+		res.MigrationAborts += cell.MigrationAborts
+	}
+	cold := c.Nodes()[cfg.Nodes-1].ID()
+	dups, _, err := workload.DupCheck(c, y, cold, nil)
+	if err != nil {
+		return nil, fmt.Errorf("final dup check: %w", err)
+	}
+	res.DupKeys = dups
+	res.Errors = metrics.Errors()
+	return res, nil
+}

@@ -293,7 +293,10 @@ func (c *Cluster) OwnerOf(id base.ShardID) (base.NodeID, error) {
 	return d.Node, nil
 }
 
-// ShardsOn lists the shard ids whose current placement is the given node.
+// ShardsOn lists the shard ids whose current placement is the given node, in
+// ascending shard order. The order is guaranteed deterministic (and asserted
+// by tests): the planner ranks and groups these lists, so a map-iteration
+// order here would make rebalancing decisions unreproducible across runs.
 func (c *Cluster) ShardsOn(nodeID base.NodeID) []base.ShardID {
 	var out []base.ShardID
 	for _, t := range c.Tables() {
@@ -305,5 +308,66 @@ func (c *Cluster) ShardsOn(nodeID base.NodeID) []base.ShardID {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Live load views (planner input).
+
+// ShardLoadEntry is one (node, shard) copy's cumulative access counts. During
+// a migration's dual-execution window a shard appears twice — once per copy;
+// consumers difference per (node, shard) pair so counts are never conflated
+// across copies.
+type ShardLoadEntry struct {
+	Shard base.ShardID
+	Table base.TableID
+	Node  base.NodeID
+	Phase node.Phase
+	Load  shard.LoadSnapshot
+}
+
+// ShardLoads returns the cumulative access counters of every shard copy in
+// the cluster, ordered by (shard, node). This is the live per-shard load
+// view the planner's stats collector samples.
+func (c *Cluster) ShardLoads() []ShardLoadEntry {
+	var out []ShardLoadEntry
+	for _, n := range c.Nodes() {
+		for _, e := range n.ShardLoads() {
+			out = append(out, ShardLoadEntry{
+				Shard: e.Shard, Table: e.Table, Node: n.ID(), Phase: e.Phase, Load: e.Load,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Shard != out[j].Shard {
+			return out[i].Shard < out[j].Shard
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// NodeLoad aggregates the cumulative access counts of one node's live shard
+// copies.
+type NodeLoad struct {
+	Node   base.NodeID
+	Shards int
+	Load   shard.LoadSnapshot
+}
+
+// NodeLoads returns per-node cumulative load, ordered by node id — the live
+// per-node view behind `remus-bench -autobalance` reporting and the planner's
+// imbalance checks.
+func (c *Cluster) NodeLoads() []NodeLoad {
+	nodes := c.Nodes()
+	out := make([]NodeLoad, 0, len(nodes))
+	for _, n := range nodes {
+		nl := NodeLoad{Node: n.ID()}
+		for _, e := range n.ShardLoads() {
+			nl.Shards++
+			nl.Load = nl.Load.Add(e.Load)
+		}
+		out = append(out, nl)
+	}
 	return out
 }

@@ -16,6 +16,21 @@ import (
 // failpoints, §3.7); the push baselines and administrative tools use this
 // helper.
 func (c *Cluster) MoveShardMap(coord *node.Node, shards []base.ShardID, newOwner base.NodeID) (base.Timestamp, error) {
+	if len(shards) == 0 {
+		return 0, fmt.Errorf("cluster: move: empty shard group")
+	}
+	if c.Node(newOwner) == nil {
+		return 0, fmt.Errorf("cluster: move to unknown %v", newOwner)
+	}
+	for _, id := range shards {
+		owner, err := c.OwnerOf(id)
+		if err != nil {
+			return 0, err
+		}
+		if owner == newOwner {
+			return 0, fmt.Errorf("cluster: move %v: already owned by %v", id, newOwner)
+		}
+	}
 	nodes := c.Nodes()
 	gid := coord.Manager().NewGlobalID()
 	startTS := coord.Oracle().StartTS()

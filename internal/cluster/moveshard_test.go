@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"remus/internal/base"
+)
+
+// TestShardsOnDeterministic pins the ordering guarantee the planner depends
+// on: repeated calls return identical ascending shard lists, as do the
+// node-level views.
+func TestShardsOnDeterministic(t *testing.T) {
+	c := newCluster(t, 3, DTS)
+	mustTable(t, c, "a", 7)
+	mustTable(t, c, "b", 5)
+	for _, n := range c.Nodes() {
+		ref := c.ShardsOn(n.ID())
+		for i := 1; i < len(ref); i++ {
+			if ref[i] <= ref[i-1] {
+				t.Fatalf("%v: shard list not ascending: %v", n.ID(), ref)
+			}
+		}
+		for rep := 0; rep < 5; rep++ {
+			got := c.ShardsOn(n.ID())
+			if len(got) != len(ref) {
+				t.Fatalf("%v: lengths differ: %v vs %v", n.ID(), got, ref)
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("%v: order changed across calls: %v vs %v", n.ID(), got, ref)
+				}
+			}
+		}
+		// The node-local views share the guarantee.
+		ids := n.Shards()
+		for i := 1; i < len(ids); i++ {
+			if ids[i] <= ids[i-1] {
+				t.Fatalf("%v: Node.Shards not ascending: %v", n.ID(), ids)
+			}
+		}
+		loads := n.ShardLoads()
+		for i := 1; i < len(loads); i++ {
+			if loads[i].Shard <= loads[i-1].Shard {
+				t.Fatalf("%v: Node.ShardLoads not ascending", n.ID())
+			}
+		}
+	}
+	// The cluster-wide load view is (shard, node)-ordered.
+	entries := c.ShardLoads()
+	for i := 1; i < len(entries); i++ {
+		a, b := entries[i-1], entries[i]
+		if b.Shard < a.Shard || (b.Shard == a.Shard && b.Node <= a.Node) {
+			t.Fatalf("ShardLoads out of order at %d: %+v then %+v", i, a, b)
+		}
+	}
+}
+
+func TestMoveShardMapRejectsBadArgs(t *testing.T) {
+	c := newCluster(t, 3, DTS)
+	tbl := mustTable(t, c, "kv", 3)
+	id := tbl.FirstShard
+	owner, err := c.OwnerOf(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := c.Nodes()[0]
+
+	// Empty shard group.
+	if _, err := c.MoveShardMap(coord, nil, owner+1); err == nil {
+		t.Error("empty group accepted")
+	}
+	// Unknown destination node.
+	if _, err := c.MoveShardMap(coord, []base.ShardID{id}, base.NodeID(99)); err == nil ||
+		!strings.Contains(err.Error(), "unknown") {
+		t.Errorf("unknown destination: err = %v", err)
+	}
+	// Move to the current owner is a planner/operator bug, not a no-op.
+	if _, err := c.MoveShardMap(coord, []base.ShardID{id}, owner); err == nil ||
+		!strings.Contains(err.Error(), "already owned") {
+		t.Errorf("move to current owner: err = %v", err)
+	}
+	// A group with one unknown member is rejected whole.
+	var target base.NodeID = 1
+	if owner == 1 {
+		target = 2
+	}
+	if _, err := c.MoveShardMap(coord, []base.ShardID{id, 9999}, target); err == nil {
+		t.Error("group with unknown member accepted")
+	}
+	// Nothing committed: owner is unchanged.
+	if now, _ := c.OwnerOf(id); now != owner {
+		t.Fatalf("owner changed to %v by rejected moves", now)
+	}
+}
+
+// TestMoveShardMapConcurrentChange pins first-updater-wins on the map table:
+// a move that raced with a committed concurrent map change must fail, not
+// silently overwrite it.
+func TestMoveShardMapConcurrentChange(t *testing.T) {
+	c := newCluster(t, 3, DTS)
+	tbl := mustTable(t, c, "kv", 3)
+	id := tbl.FirstShard
+	owner, err := c.OwnerOf(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two distinct valid destinations.
+	var dsts []base.NodeID
+	for _, n := range c.Nodes() {
+		if n.ID() != owner {
+			dsts = append(dsts, n.ID())
+		}
+	}
+	coord := c.Nodes()[0]
+
+	// Hold the map row of the first node (the one MoveShardMap writes first)
+	// with an uncommitted transaction, so the move blocks on the row lock.
+	first := c.Nodes()[0]
+	d, _, err := first.ReadMapRow(base.TsMax, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Node = dsts[0]
+	hold := first.Manager().Begin(first.Manager().NewGlobalID(), coord.Oracle().StartTS())
+	if err := first.WriteMapRow(hold, d); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var moveErr error
+	go func() {
+		defer wg.Done()
+		_, moveErr = c.MoveShardMap(coord, []base.ShardID{id}, dsts[1])
+	}()
+	// Let the move reach the lock wait, then commit the held change.
+	time.Sleep(50 * time.Millisecond)
+	prep, err := hold.Prepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hold.CommitAt(coord.Oracle().CommitTS(prep)); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	if moveErr == nil {
+		t.Fatal("racing move succeeded over a committed concurrent map change")
+	}
+	if !errors.Is(moveErr, base.ErrWWConflict) && !errors.Is(moveErr, base.ErrTimeout) {
+		t.Fatalf("racing move failed with %v, want ww-conflict (or lock timeout)", moveErr)
+	}
+	// The committed change won; the loser altered nothing.
+	if now, _ := c.OwnerOf(id); now != dsts[0] {
+		t.Fatalf("owner = %v, want the committed change %v", now, dsts[0])
+	}
+}

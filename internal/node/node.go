@@ -80,6 +80,7 @@ type shardState struct {
 	table    base.TableID
 	phase    Phase
 	divertTS base.Timestamp // PhaseSource: T_m's commit timestamp
+	load     shard.LoadCounter
 }
 
 // Counters are the node's work-unit counters, the CPU-usage proxy of the
@@ -277,7 +278,9 @@ func (n *Node) Store(id base.ShardID) (*mvcc.Store, bool) {
 	return nil, false
 }
 
-// Shards lists the shard ids present on this node (any phase).
+// Shards lists the shard ids present on this node (any phase) in ascending
+// order. The deterministic order keeps planner decisions and tests
+// reproducible across runs (map iteration order is randomized).
 func (n *Node) Shards() []base.ShardID {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
@@ -285,6 +288,30 @@ func (n *Node) Shards() []base.ShardID {
 	for id := range n.shards {
 		out = append(out, id)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ShardLoadEntry reports one local shard's cumulative access counts.
+type ShardLoadEntry struct {
+	Shard base.ShardID
+	Table base.TableID
+	Phase Phase
+	Load  shard.LoadSnapshot
+}
+
+// ShardLoads returns the cumulative access counters of every local shard in
+// ascending shard order — the node-level half of the cluster's live load
+// view. Counters restart from zero when a shard copy is dropped and later
+// re-created (consumers difference snapshots with clamping).
+func (n *Node) ShardLoads() []ShardLoadEntry {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]ShardLoadEntry, 0, len(n.shards))
+	for id, st := range n.shards {
+		out = append(out, ShardLoadEntry{Shard: id, Table: st.table, Phase: st.phase, Load: st.load.Snapshot()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Shard < out[j].Shard })
 	return out
 }
 
@@ -373,8 +400,10 @@ func (n *Node) checkUp() error {
 // ---------------------------------------------------------------------------
 // Statement execution (user path).
 
-// access resolves the store for a user statement, enforcing shard phases.
-func (n *Node) access(startTS base.Timestamp, shardID base.ShardID) (*mvcc.Store, error) {
+// access resolves the shard state for a user statement, enforcing shard
+// phases. The returned state is used only for its store and load counter,
+// both safe to touch after the lock is released.
+func (n *Node) access(startTS base.Timestamp, shardID base.ShardID) (*shardState, error) {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	st, ok := n.shards[shardID]
@@ -383,13 +412,13 @@ func (n *Node) access(startTS base.Timestamp, shardID base.ShardID) (*mvcc.Store
 	}
 	switch st.phase {
 	case PhaseOwned, PhaseDestActive:
-		return st.store, nil
+		return st, nil
 	case PhaseSource:
 		if st.divertTS != 0 && startTS >= st.divertTS {
 			return nil, fmt.Errorf("%v diverted at %v, txn snapshot %v: %w",
 				shardID, st.divertTS, startTS, base.ErrShardMoved)
 		}
-		return st.store, nil
+		return st, nil
 	case PhaseDest:
 		return nil, fmt.Errorf("%v still migrating to %v: %w", shardID, n.id, base.ErrShardMoved)
 	}
@@ -402,7 +431,7 @@ func (n *Node) Get(t *txn.Txn, shardID base.ShardID, key base.Key) (base.Value, 
 		return nil, err
 	}
 	n.throttleWait()
-	store, err := n.access(t.StartTS, shardID)
+	st, err := n.access(t.StartTS, shardID)
 	if err != nil {
 		return nil, err
 	}
@@ -410,7 +439,8 @@ func (n *Node) Get(t *txn.Txn, shardID base.ShardID, key base.Key) (base.Value, 
 		return nil, err
 	}
 	n.Counters.ForegroundOps.Add(1)
-	return t.Read(store, key)
+	st.load.TouchRead(uint64(t.GlobalID))
+	return t.Read(st.store, key)
 }
 
 // Write executes a mutation for a participant transaction.
@@ -419,7 +449,7 @@ func (n *Node) Write(t *txn.Txn, shardID base.ShardID, kind mvcc.WriteKind, key 
 		return err
 	}
 	n.throttleWait()
-	store, err := n.access(t.StartTS, shardID)
+	st, err := n.access(t.StartTS, shardID)
 	if err != nil {
 		return err
 	}
@@ -428,7 +458,8 @@ func (n *Node) Write(t *txn.Txn, shardID base.ShardID, kind mvcc.WriteKind, key 
 	}
 	table, _ := n.TableOf(shardID)
 	n.Counters.ForegroundOps.Add(1)
-	return t.Write(store, table, shardID, kind, key, value)
+	st.load.TouchWrite(uint64(t.GlobalID))
+	return t.Write(st.store, table, shardID, kind, key, value)
 }
 
 // Scan executes a range scan over one shard.
@@ -437,7 +468,7 @@ func (n *Node) Scan(t *txn.Txn, shardID base.ShardID, lo, hi base.Key, fn func(b
 		return err
 	}
 	n.throttleWait()
-	store, err := n.access(t.StartTS, shardID)
+	st, err := n.access(t.StartTS, shardID)
 	if err != nil {
 		return err
 	}
@@ -445,7 +476,8 @@ func (n *Node) Scan(t *txn.Txn, shardID base.ShardID, lo, hi base.Key, fn func(b
 		return err
 	}
 	n.Counters.ForegroundOps.Add(1)
-	return t.Scan(store, lo, hi, fn)
+	st.load.TouchRead(uint64(t.GlobalID))
+	return t.Scan(st.store, lo, hi, fn)
 }
 
 // ApplyWrite executes a mutation on a shard regardless of its phase. The

@@ -318,3 +318,34 @@ func BenchmarkHistogramObserve(b *testing.B) {
 		h.Observe(uint64(i))
 	}
 }
+
+func TestCounterAndKindNamesComplete(t *testing.T) {
+	// Every counter and histogram must have a snake_case name; a missing
+	// entry in counterNames silently renders as "counter(n)" in tables and
+	// JSONL streams.
+	for c := Counter(0); c < NumCounters; c++ {
+		if counterNames[c] == "" {
+			t.Errorf("counter %d has no name", c)
+		}
+	}
+	for h := Hist(0); h < NumHists; h++ {
+		if histNames[h] == "" {
+			t.Errorf("histogram %d has no name", h)
+		}
+	}
+	for _, k := range []EventKind{EvPhase, EvBlock, EvAbort, EvDivergence, EvMark, EvPlan} {
+		if s := k.String(); len(s) == 0 || s[0] == 'k' { // "kind(n)" fallback
+			t.Errorf("event kind %d renders as %q", k, s)
+		}
+	}
+	// Planner counters are addressable through the Recorder interface.
+	tr := NewTrace()
+	tr.Add(CtrPlannerPlans, 2)
+	tr.Add(CtrPlannerMoves, 1)
+	tr.Add(CtrPlannerSkips, 3)
+	tr.Add(CtrPlannerBackoffs, 1)
+	if tr.Counter(CtrPlannerPlans) != 2 || tr.Counter(CtrPlannerMoves) != 1 ||
+		tr.Counter(CtrPlannerSkips) != 3 || tr.Counter(CtrPlannerBackoffs) != 1 {
+		t.Fatal("planner counters did not accumulate")
+	}
+}

@@ -1,0 +1,373 @@
+package planner
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/obs"
+)
+
+// LoadSource supplies cluster load snapshots to the executor. Collector is
+// the production implementation; tests substitute synthetic snapshots.
+type LoadSource interface {
+	Sample() ClusterLoad
+}
+
+// Migrator executes one shard-group migration. core.Controller satisfies it
+// through MigratorFunc; the bench harness adapts its per-approach Env the
+// same way.
+type Migrator interface {
+	Migrate(shards []base.ShardID, dst base.NodeID) error
+}
+
+// MigratorFunc adapts a function to Migrator.
+type MigratorFunc func(shards []base.ShardID, dst base.NodeID) error
+
+// Migrate implements Migrator.
+func (f MigratorFunc) Migrate(shards []base.ShardID, dst base.NodeID) error { return f(shards, dst) }
+
+// Config tunes the executor's rebalance loop.
+type Config struct {
+	// Interval is the planning tick (default 250ms).
+	Interval time.Duration
+	// Cooldown is the per-shard quiet period after a move: a shard that just
+	// migrated is not moved again until the window passes and the EWMA has
+	// re-converged on its new placement (default 4× Interval). It is the
+	// executor's half of the anti-oscillation contract (the policies'
+	// watermark band is the other half).
+	Cooldown time.Duration
+	// Concurrency caps simultaneously dispatched migrations (default 1; the
+	// Remus controller serializes internally anyway, so higher values only
+	// pipeline queueing).
+	Concurrency int
+	// MoveTimeout bounds one migration; a move still running past it is
+	// counted as failed and triggers backoff (default 30s).
+	MoveTimeout time.Duration
+	// Backoff is the initial pause after a failed move, doubling per
+	// consecutive failure up to MaxBackoff (defaults 500ms / 8s).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// MaxMovesPerCycle caps executed moves per planning tick (default 4).
+	MaxMovesPerCycle int
+	// Policies run in order; their plans are concatenated and ranked by
+	// Gain. Default: GreedyBalancer then HotspotSplitter.
+	Policies []Policy
+	// Recorder, if non-nil, receives EvPlan decision events and the
+	// planner_* counters.
+	Recorder obs.Recorder
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 250 * time.Millisecond
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 4 * cfg.Interval
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	if cfg.MoveTimeout <= 0 {
+		cfg.MoveTimeout = 30 * time.Second
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 500 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 8 * time.Second
+	}
+	if cfg.MaxMovesPerCycle <= 0 {
+		cfg.MaxMovesPerCycle = 4
+	}
+	if len(cfg.Policies) == 0 {
+		cfg.Policies = []Policy{DefaultGreedyBalancer(), DefaultHotspotSplitter()}
+	}
+	return cfg
+}
+
+// ExecutedMove is one completed (or failed) planner-driven migration, kept
+// for the oscillation audit and the bench report.
+type ExecutedMove struct {
+	At     time.Time
+	Plan   MovePlan
+	Err    error
+	TimedO bool
+}
+
+// Executor is the background rebalance loop: sample → plan → filter
+// (hysteresis) → execute. Start launches the loop; RunOnce drives a single
+// cycle synchronously (tests, and the bench scenario's deterministic mode).
+type Executor struct {
+	col LoadSource
+	mig Migrator
+	cfg Config
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+
+	mu           sync.Mutex
+	lastMove     map[base.ShardID]moveRecord
+	history      []ExecutedMove
+	backoffUntil time.Time
+	backoff      time.Duration
+}
+
+type moveRecord struct {
+	at       time.Time
+	from, to base.NodeID
+}
+
+// NewExecutor builds an executor over a load source and a migrator.
+func NewExecutor(col LoadSource, mig Migrator, cfg Config) *Executor {
+	return &Executor{
+		col:      col,
+		mig:      mig,
+		cfg:      cfg.withDefaults(),
+		stopCh:   make(chan struct{}),
+		lastMove: make(map[base.ShardID]moveRecord),
+	}
+}
+
+// Start launches the rebalance loop in a goroutine.
+func (e *Executor) Start() {
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		ticker := time.NewTicker(e.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-e.stopCh:
+				return
+			case <-ticker.C:
+				e.RunOnce()
+			}
+		}
+	}()
+}
+
+// Stop terminates the loop and waits for the current cycle to finish.
+// In-flight migrations run to completion (they cannot be cancelled safely).
+func (e *Executor) Stop() {
+	e.stopOnce.Do(func() { close(e.stopCh) })
+	e.wg.Wait()
+}
+
+// History returns the executed moves in order.
+func (e *Executor) History() []ExecutedMove {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]ExecutedMove(nil), e.history...)
+}
+
+// Oscillations counts executed move pairs that returned a shard to a node it
+// previously left — zero on a healthy run (the acceptance gate of the skew
+// rebalance scenario).
+func (e *Executor) Oscillations() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	type hop struct {
+		shard    base.ShardID
+		from, to base.NodeID
+	}
+	seen := make(map[hop]bool)
+	count := 0
+	for _, m := range e.history {
+		if m.Err != nil {
+			continue
+		}
+		for _, id := range m.Plan.Shards {
+			if seen[hop{id, m.Plan.Dst, m.Plan.Src}] {
+				count++ // this move reverses an earlier one
+			}
+			seen[hop{id, m.Plan.Src, m.Plan.Dst}] = true
+		}
+	}
+	return count
+}
+
+// RunOnce executes one plan/execute cycle and returns the number of
+// successfully executed moves.
+func (e *Executor) RunOnce() int {
+	e.mu.Lock()
+	inBackoff := time.Now().Before(e.backoffUntil)
+	e.mu.Unlock()
+
+	load := e.col.Sample() // keep the EWMA warm even while backing off
+	if inBackoff {
+		return 0
+	}
+
+	var plans []MovePlan
+	for _, p := range e.cfg.Policies {
+		plans = append(plans, p.Plan(load)...)
+	}
+	if len(plans) == 0 {
+		return 0
+	}
+	e.count(obs.CtrPlannerPlans, uint64(len(plans)))
+	for _, p := range plans {
+		e.event(p, obs.CausePlanProposed, "")
+	}
+	// Highest expected gain first (stable: policy order breaks ties).
+	sortStableByGain(plans)
+
+	now := time.Now()
+	runnable := plans[:0]
+	for _, p := range plans {
+		if reason := e.vet(p, now); reason != "" {
+			e.count(obs.CtrPlannerSkips, 1)
+			e.event(p, obs.CausePlanSkipped, reason)
+			continue
+		}
+		runnable = append(runnable, p)
+		if len(runnable) >= e.cfg.MaxMovesPerCycle {
+			break
+		}
+	}
+	if len(runnable) == 0 {
+		return 0
+	}
+	// Mark cooldown up front so overlapping policies cannot double-plan the
+	// same shard within this cycle.
+	e.mu.Lock()
+	for _, p := range runnable {
+		for _, id := range p.Shards {
+			e.lastMove[id] = moveRecord{at: now, from: p.Src, to: p.Dst}
+		}
+	}
+	e.mu.Unlock()
+
+	// Execute with the concurrency cap and per-move timeout.
+	sem := make(chan struct{}, e.cfg.Concurrency)
+	var wg sync.WaitGroup
+	var okMu sync.Mutex
+	executed := 0
+	for _, p := range runnable {
+		select {
+		case <-e.stopCh:
+			wg.Wait()
+			return executed
+		default:
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(p MovePlan) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			err, timedOut := e.execute(p)
+			e.mu.Lock()
+			e.history = append(e.history, ExecutedMove{At: time.Now(), Plan: p, Err: err, TimedO: timedOut})
+			e.mu.Unlock()
+			if err != nil {
+				e.fail(p, err)
+				return
+			}
+			e.succeed(p)
+			okMu.Lock()
+			executed++
+			okMu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	return executed
+}
+
+// vet returns a non-empty skip reason if hysteresis suppresses the plan.
+func (e *Executor) vet(p MovePlan, now time.Time) string {
+	if p.Src == p.Dst || len(p.Shards) == 0 {
+		return "degenerate"
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, id := range p.Shards {
+		if rec, ok := e.lastMove[id]; ok {
+			if now.Sub(rec.at) < e.cfg.Cooldown {
+				return fmt.Sprintf("%v in cooldown", id)
+			}
+			// Reversal guard: beyond the cooldown the EWMA has re-converged,
+			// but a move that exactly undoes the previous hop within twice
+			// the cooldown is still treated as oscillation noise.
+			if rec.from == p.Dst && rec.to == p.Src && now.Sub(rec.at) < 2*e.cfg.Cooldown {
+				return fmt.Sprintf("%v reversal", id)
+			}
+		}
+	}
+	return ""
+}
+
+// execute runs one migration with the per-move timeout.
+func (e *Executor) execute(p MovePlan) (err error, timedOut bool) {
+	done := make(chan error, 1)
+	go func() { done <- e.mig.Migrate(p.Shards, p.Dst) }()
+	timer := time.NewTimer(e.cfg.MoveTimeout)
+	defer timer.Stop()
+	select {
+	case err = <-done:
+		return err, false
+	case <-timer.C:
+		// The migration cannot be cancelled; it may still complete later.
+		// Count the move as failed for pacing purposes.
+		return fmt.Errorf("planner: move %v: %w", p.Shards, base.ErrTimeout), true
+	}
+}
+
+func (e *Executor) succeed(p MovePlan) {
+	e.mu.Lock()
+	e.backoff = 0
+	e.mu.Unlock()
+	e.count(obs.CtrPlannerMoves, 1)
+	e.event(p, obs.CausePlanExecuted, "")
+}
+
+func (e *Executor) fail(p MovePlan, err error) {
+	e.mu.Lock()
+	if e.backoff == 0 {
+		e.backoff = e.cfg.Backoff
+	} else if e.backoff *= 2; e.backoff > e.cfg.MaxBackoff {
+		e.backoff = e.cfg.MaxBackoff
+	}
+	e.backoffUntil = time.Now().Add(e.backoff)
+	d := e.backoff
+	e.mu.Unlock()
+	e.count(obs.CtrPlannerBackoffs, 1)
+	e.event(p, obs.CausePlanBackoff, fmt.Sprintf("%v; pausing %v", err, d))
+}
+
+func (e *Executor) count(c obs.Counter, delta uint64) {
+	if r := e.cfg.Recorder; r != nil {
+		r.Add(c, delta)
+	}
+}
+
+// event emits one EvPlan decision event. Every decision the executor takes —
+// proposal, execution, hysteresis skip, backoff — lands in the trace stream.
+func (e *Executor) event(p MovePlan, cause, note string) {
+	r := e.cfg.Recorder
+	if r == nil {
+		return
+	}
+	ev := obs.Event{Kind: obs.EvPlan, Cause: cause, Node: p.Dst}
+	if len(p.Shards) > 0 {
+		ev.Shard = p.Shards[0]
+	}
+	if note != "" {
+		ev.Note = fmt.Sprintf("%s (%s)", p, note)
+	} else {
+		ev.Note = p.String()
+	}
+	r.Event(ev)
+}
+
+// sortStableByGain orders plans by descending Gain, preserving policy order
+// among equals (insertion sort: plan lists are tiny).
+func sortStableByGain(plans []MovePlan) {
+	for i := 1; i < len(plans); i++ {
+		for j := i; j > 0 && plans[j].Gain > plans[j-1].Gain; j-- {
+			plans[j], plans[j-1] = plans[j-1], plans[j]
+		}
+	}
+}

@@ -1,0 +1,339 @@
+package planner
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/cluster"
+	"remus/internal/core"
+	"remus/internal/obs"
+	"remus/internal/workload"
+)
+
+// stubSource feeds a fixed snapshot to the executor.
+type stubSource struct {
+	mu   sync.Mutex
+	load ClusterLoad
+}
+
+func (s *stubSource) Sample() ClusterLoad {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.load
+}
+
+func (s *stubSource) set(load ClusterLoad) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.load = load
+}
+
+// stubPolicy returns canned plans.
+type stubPolicy struct {
+	mu    sync.Mutex
+	plans []MovePlan
+}
+
+func (p *stubPolicy) Name() string { return "stub" }
+func (p *stubPolicy) Plan(ClusterLoad) []MovePlan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]MovePlan(nil), p.plans...)
+}
+
+// recordingMigrator records moves; fails the first failN calls.
+type recordingMigrator struct {
+	mu    sync.Mutex
+	moves []MovePlan
+	failN int
+}
+
+func (m *recordingMigrator) Migrate(shards []base.ShardID, dst base.NodeID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.failN > 0 {
+		m.failN--
+		return errors.New("injected migration failure")
+	}
+	m.moves = append(m.moves, MovePlan{Shards: shards, Dst: dst})
+	return nil
+}
+
+func (m *recordingMigrator) count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.moves)
+}
+
+func TestExecutorCooldownAndReversalGuard(t *testing.T) {
+	pol := &stubPolicy{plans: []MovePlan{
+		{Shards: []base.ShardID{7}, Src: 1, Dst: 2, Reason: "stub", Gain: 10},
+	}}
+	mig := &recordingMigrator{}
+	tr := obs.NewTrace()
+	e := NewExecutor(&stubSource{}, mig, Config{
+		Interval: 10 * time.Millisecond,
+		Cooldown: time.Hour, // nothing re-moves within the test
+		Policies: []Policy{pol},
+		Recorder: tr,
+	})
+	if got := e.RunOnce(); got != 1 {
+		t.Fatalf("first cycle executed %d moves, want 1", got)
+	}
+	// Same plan again: suppressed by cooldown.
+	if got := e.RunOnce(); got != 0 {
+		t.Fatalf("cooldown cycle executed %d moves", got)
+	}
+	// The reverse move is equally suppressed (reversal guard).
+	pol.mu.Lock()
+	pol.plans = []MovePlan{{Shards: []base.ShardID{7}, Src: 2, Dst: 1, Reason: "stub", Gain: 10}}
+	pol.mu.Unlock()
+	if got := e.RunOnce(); got != 0 {
+		t.Fatalf("reversal cycle executed %d moves", got)
+	}
+	if mig.count() != 1 {
+		t.Fatalf("migrator ran %d times, want 1", mig.count())
+	}
+	if got := tr.Counter(obs.CtrPlannerMoves); got != 1 {
+		t.Errorf("planner_moves = %d", got)
+	}
+	if got := tr.Counter(obs.CtrPlannerSkips); got != 2 {
+		t.Errorf("planner_skips = %d, want 2", got)
+	}
+	if got := tr.Counter(obs.CtrPlannerPlans); got != 3 {
+		t.Errorf("planner_plans = %d, want 3", got)
+	}
+	if e.Oscillations() != 0 {
+		t.Errorf("oscillations = %d", e.Oscillations())
+	}
+}
+
+func TestExecutorBackoffOnFailure(t *testing.T) {
+	pol := &stubPolicy{plans: []MovePlan{
+		{Shards: []base.ShardID{3}, Src: 1, Dst: 2, Reason: "stub", Gain: 5},
+	}}
+	mig := &recordingMigrator{failN: 1}
+	tr := obs.NewTrace()
+	e := NewExecutor(&stubSource{}, mig, Config{
+		Cooldown: time.Millisecond, // cooldown out of the way
+		Backoff:  200 * time.Millisecond,
+		Policies: []Policy{pol},
+		Recorder: tr,
+	})
+	if got := e.RunOnce(); got != 0 {
+		t.Fatalf("failed cycle reported %d successes", got)
+	}
+	if got := tr.Counter(obs.CtrPlannerBackoffs); got != 1 {
+		t.Fatalf("planner_backoffs = %d", got)
+	}
+	// While backing off the executor stays quiet even with plans pending.
+	time.Sleep(5 * time.Millisecond)
+	if got := e.RunOnce(); got != 0 {
+		t.Fatalf("cycle during backoff executed %d moves", got)
+	}
+	if mig.count() != 0 {
+		t.Fatalf("migrator succeeded %d times during backoff", mig.count())
+	}
+	// After the pause the retry goes through and resets the backoff.
+	time.Sleep(220 * time.Millisecond)
+	if got := e.RunOnce(); got != 1 {
+		t.Fatalf("post-backoff cycle executed %d moves", got)
+	}
+	hist := e.History()
+	if len(hist) != 2 || hist[0].Err == nil || hist[1].Err != nil {
+		t.Fatalf("history = %+v", hist)
+	}
+}
+
+func TestExecutorMoveTimeout(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	slow := MigratorFunc(func([]base.ShardID, base.NodeID) error {
+		<-block
+		return nil
+	})
+	pol := &stubPolicy{plans: []MovePlan{
+		{Shards: []base.ShardID{9}, Src: 1, Dst: 2, Reason: "stub", Gain: 1},
+	}}
+	e := NewExecutor(&stubSource{}, slow, Config{
+		MoveTimeout: 20 * time.Millisecond,
+		Policies:    []Policy{pol},
+	})
+	if got := e.RunOnce(); got != 0 {
+		t.Fatalf("timed-out cycle reported %d successes", got)
+	}
+	hist := e.History()
+	if len(hist) != 1 || !hist[0].TimedO || !errors.Is(hist[0].Err, base.ErrTimeout) {
+		t.Fatalf("history = %+v", hist)
+	}
+}
+
+// driveTraffic runs skewed single-statement updates against the table until
+// stop, from a handful of client goroutines.
+func driveTraffic(t *testing.T, c *cluster.Cluster, y *workload.YCSB, clients int) (stop func()) {
+	t.Helper()
+	st := workload.NewStopper()
+	var wg sync.WaitGroup
+	sink := workload.NewCountingSink()
+	for i := 0; i < clients; i++ {
+		cl, err := y.NewClient(c, c.Nodes()[i%len(c.Nodes())].ID(), uint64(i)+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl.Run(st, sink)
+		}()
+	}
+	return func() {
+		st.Stop()
+		wg.Wait()
+	}
+}
+
+func TestCollectorTracksSkewedLoad(t *testing.T) {
+	c := cluster.New(cluster.Config{Nodes: 3})
+	hot := c.Nodes()[0].ID()
+	y, err := workload.LoadYCSB(c, "accounts", 9, nil, workload.YCSBConfig{
+		Records: 900, ValueSize: 16, SkewShards: 3, ZipfTheta: 0.99,
+	}, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector(c, 200*time.Millisecond)
+	col.Sample() // baseline
+
+	stop := driveTraffic(t, c, y, 6)
+	defer stop()
+	time.Sleep(150 * time.Millisecond)
+	load := col.Sample()
+
+	if len(load.Nodes) != 3 {
+		t.Fatalf("%d nodes in snapshot", len(load.Nodes))
+	}
+	// Determinism of structure: nodes ascending, shards descending weight.
+	for i := 1; i < len(load.Nodes); i++ {
+		if load.Nodes[i].Node <= load.Nodes[i-1].Node {
+			t.Fatalf("node order not ascending: %v then %v", load.Nodes[i-1].Node, load.Nodes[i].Node)
+		}
+	}
+	var hotW, total float64
+	for _, n := range load.Nodes {
+		for i := 1; i < len(n.Shards); i++ {
+			if n.Shards[i].Weight() > n.Shards[i-1].Weight() {
+				t.Fatalf("shard order not descending on %v", n.Node)
+			}
+		}
+		if n.Node == hot {
+			hotW = n.Weight
+		}
+		total += n.Weight
+	}
+	if total <= 0 {
+		t.Fatal("no load observed")
+	}
+	// The skewed workload concentrates on the hot node's shards.
+	if hotW < total/3 {
+		t.Errorf("hot node weight %.0f of %.0f — skew not visible", hotW, total)
+	}
+	// Shard placement attribution matches the committed map.
+	for _, n := range load.Nodes {
+		for _, sl := range n.Shards {
+			owner, err := c.OwnerOf(sl.Shard)
+			if err != nil || owner != n.Node {
+				t.Errorf("%v attributed to %v, owner %v (%v)", sl.Shard, n.Node, owner, err)
+			}
+		}
+	}
+}
+
+// TestExecutorRebalancesRealCluster is the end-to-end loop: skewed traffic on
+// one node, collector + default policies + Remus controller, and the
+// executor disperses the hotspot with zero oscillation.
+func TestExecutorRebalancesRealCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping cluster experiment in -short mode")
+	}
+	tr := obs.NewTrace()
+	c := cluster.New(cluster.Config{Nodes: 3, Recorder: tr})
+	hot := c.Nodes()[0].ID()
+	// All shards start on the hot node.
+	y, err := workload.LoadYCSB(c, "accounts", 9, func(int) base.NodeID { return hot },
+		workload.YCSBConfig{Records: 900, ValueSize: 16, SkewShards: 9, ZipfTheta: 0.6}, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := core.NewController(c, core.DefaultOptions())
+	col := NewCollector(c, 150*time.Millisecond)
+	e := NewExecutor(col, MigratorFunc(func(shards []base.ShardID, dst base.NodeID) error {
+		_, err := ctl.Migrate(shards, dst)
+		return err
+	}), Config{
+		Interval: 50 * time.Millisecond,
+		Cooldown: 200 * time.Millisecond,
+		Recorder: tr,
+	})
+
+	stop := driveTraffic(t, c, y, 9)
+	defer stop()
+
+	e.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(c.ShardsOn(hot)) < 9 && tr.Counter(obs.CtrPlannerMoves) >= 2 {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	e.Stop()
+	stop()
+
+	moved := 9 - len(c.ShardsOn(hot))
+	if moved == 0 {
+		t.Fatalf("planner moved nothing off the hot node; counters: plans=%d moves=%d skips=%d backoffs=%d",
+			tr.Counter(obs.CtrPlannerPlans), tr.Counter(obs.CtrPlannerMoves),
+			tr.Counter(obs.CtrPlannerSkips), tr.Counter(obs.CtrPlannerBackoffs))
+	}
+	if got := e.Oscillations(); got != 0 {
+		t.Fatalf("%d oscillating moves: %+v", got, e.History())
+	}
+	for _, m := range e.History() {
+		if m.Err != nil {
+			t.Errorf("move %v failed: %v", m.Plan, m.Err)
+		}
+	}
+	// Every executed move must be visible in the trace stream.
+	planEvents := 0
+	for _, ev := range tr.Events() {
+		if ev.Kind == obs.EvPlan {
+			planEvents++
+		}
+	}
+	if planEvents == 0 {
+		t.Error("no EvPlan events recorded")
+	}
+	// The data survived dispersal: all 900 keys readable, once each.
+	s, err := c.Connect(c.Nodes()[1].ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := s.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	if err := tx.ScanTable(y.Table, func(base.Key, base.Value) bool {
+		seen++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	if seen != 900 {
+		t.Fatalf("scan after rebalance saw %d rows, want 900", seen)
+	}
+}

@@ -1,0 +1,207 @@
+package planner
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"remus/internal/base"
+)
+
+// synth builds a ClusterLoad from (node, shardWeights...) rows: shard ids are
+// assigned sequentially starting at 1 in row order.
+func synth(rows ...[]float64) ClusterLoad {
+	cl := ClusterLoad{At: time.Now()}
+	next := base.ShardID(1)
+	for i, weights := range rows {
+		nl := NodeLoad{Node: base.NodeID(i + 1)}
+		for _, w := range weights {
+			nl.Shards = append(nl.Shards, ShardLoad{
+				Shard: next, Node: nl.Node, Reads: w / 2, Writes: w / 2,
+			})
+			nl.Weight += w
+			next++
+		}
+		nl.Shards = insertAllSorted(nl.Shards)
+		cl.Nodes = append(cl.Nodes, nl)
+	}
+	return cl
+}
+
+func insertAllSorted(shards []ShardLoad) []ShardLoad {
+	out := make([]ShardLoad, 0, len(shards))
+	for _, sl := range shards {
+		out = insertByWeight(out, sl)
+	}
+	return out
+}
+
+// apply virtually executes plans on a snapshot and returns the new snapshot.
+func apply(cl ClusterLoad, plans []MovePlan) ClusterLoad {
+	byShard := make(map[base.ShardID]ShardLoad)
+	for _, n := range cl.Nodes {
+		for _, sl := range n.Shards {
+			byShard[sl.Shard] = sl
+		}
+	}
+	moved := make(map[base.ShardID]base.NodeID)
+	for _, p := range plans {
+		for _, id := range p.Shards {
+			moved[id] = p.Dst
+		}
+	}
+	out := ClusterLoad{At: cl.At}
+	for _, n := range cl.Nodes {
+		out.Nodes = append(out.Nodes, NodeLoad{Node: n.Node})
+	}
+	idx := make(map[base.NodeID]int)
+	for i, n := range out.Nodes {
+		idx[n.Node] = i
+	}
+	for id, sl := range byShard {
+		owner := sl.Node
+		if dst, ok := moved[id]; ok {
+			owner = dst
+		}
+		i := idx[owner]
+		sl.Node = owner
+		out.Nodes[i].Shards = insertByWeight(out.Nodes[i].Shards, sl)
+		out.Nodes[i].Weight += sl.Weight()
+	}
+	return out
+}
+
+func TestGreedyBalancerDisperses(t *testing.T) {
+	// Node 1 carries 8 hot shards; nodes 2-4 are idle.
+	cl := synth(
+		[]float64{100, 90, 80, 70, 60, 50, 40, 30},
+		nil, nil, nil,
+	)
+	g := DefaultGreedyBalancer()
+	plans := g.Plan(cl)
+	if len(plans) == 0 {
+		t.Fatalf("no plans for imbalance %.2f", cl.Imbalance())
+	}
+	for _, p := range plans {
+		if p.Src != 1 {
+			t.Errorf("move from %v, want node1: %v", p.Src, p)
+		}
+		if p.Reason != ReasonLoadBalance {
+			t.Errorf("reason = %q", p.Reason)
+		}
+		if p.Gain <= 0 {
+			t.Errorf("non-positive gain: %v", p)
+		}
+	}
+	after := apply(cl, plans)
+	if bi, ai := cl.Imbalance(), after.Imbalance(); ai >= bi {
+		t.Errorf("imbalance %.3f -> %.3f, want reduction", bi, ai)
+	}
+	if ai := after.Imbalance(); ai > g.HighWater {
+		t.Errorf("still above high watermark after plan: %.3f", ai)
+	}
+}
+
+func TestGreedyBalancerDeterministic(t *testing.T) {
+	cl := synth(
+		[]float64{100, 90, 80, 70, 60, 50},
+		[]float64{10},
+		[]float64{5},
+	)
+	a := DefaultGreedyBalancer().Plan(cl)
+	b := DefaultGreedyBalancer().Plan(cl)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("plans differ across runs:\n%v\n%v", a, b)
+	}
+}
+
+func TestGreedyBalancerHysteresis(t *testing.T) {
+	// 1.2x mean is inside the default watermark band (high = 1.25): quiet.
+	cl := synth(
+		[]float64{60, 60}, // 120
+		[]float64{50, 50}, // 100
+		[]float64{40, 40}, // 80
+	)
+	if plans := DefaultGreedyBalancer().Plan(cl); len(plans) != 0 {
+		t.Fatalf("planned %v at imbalance %.2f inside the band", plans, cl.Imbalance())
+	}
+	// An idle cluster never triggers, whatever the ratios.
+	idle := synth([]float64{0.2}, nil, nil)
+	if plans := DefaultGreedyBalancer().Plan(idle); len(plans) != 0 {
+		t.Fatalf("planned %v on an idle cluster", plans)
+	}
+}
+
+func TestGreedyBalancerSingleShardNoThrash(t *testing.T) {
+	// One dominant shard on node1: no placement of it helps, so the
+	// balancer must not bounce it between nodes.
+	cl := synth([]float64{1000}, nil, nil)
+	if plans := DefaultGreedyBalancer().Plan(cl); len(plans) != 0 {
+		t.Fatalf("planned %v for an unsplittable single hot shard", plans)
+	}
+}
+
+func TestHotspotSplitterEvictsCoResidents(t *testing.T) {
+	// Shard 1 dominates node1 (70% of its load); co-residents 2-4 move off.
+	cl := synth(
+		[]float64{700, 120, 100, 80},
+		[]float64{50},
+		[]float64{40},
+	)
+	h := DefaultHotspotSplitter()
+	plans := h.Plan(cl)
+	if len(plans) == 0 {
+		t.Fatal("no split planned")
+	}
+	for _, p := range plans {
+		if p.Src != 1 || p.Reason != ReasonHotspotSplit {
+			t.Errorf("unexpected plan %v", p)
+		}
+		for _, id := range p.Shards {
+			if id == 1 {
+				t.Errorf("hot shard itself was planned away: %v", p)
+			}
+		}
+	}
+	after := apply(cl, plans)
+	// The hot node ends up dedicated to the hot shard.
+	if got := len(after.Nodes[0].Shards); got != 1 {
+		t.Errorf("hot node keeps %d shards, want 1", got)
+	}
+}
+
+func TestHotspotSplitterQuietWithoutDominance(t *testing.T) {
+	// Evenly loaded shards on a hot node: the balancer's job, not the
+	// splitter's.
+	cl := synth(
+		[]float64{100, 100, 100, 100},
+		[]float64{50},
+		[]float64{40},
+	)
+	if plans := DefaultHotspotSplitter().Plan(cl); len(plans) != 0 {
+		t.Fatalf("split planned without a dominant shard: %v", plans)
+	}
+}
+
+func TestGroupMovesBatchesSameRoute(t *testing.T) {
+	singles := []MovePlan{
+		{Shards: []base.ShardID{1}, Src: 1, Dst: 2, Reason: "r", Gain: 3},
+		{Shards: []base.ShardID{2}, Src: 1, Dst: 2, Reason: "r", Gain: 2},
+		{Shards: []base.ShardID{3}, Src: 1, Dst: 3, Reason: "r", Gain: 2},
+		{Shards: []base.ShardID{4}, Src: 1, Dst: 3, Reason: "r", Gain: 1},
+	}
+	out := groupMoves(append([]MovePlan(nil), singles...), 2)
+	if len(out) != 2 {
+		t.Fatalf("grouped into %d plans: %v", len(out), out)
+	}
+	if len(out[0].Shards) != 2 || out[0].Dst != 2 || out[0].Gain != 5 {
+		t.Errorf("first group = %v", out[0])
+	}
+	if len(out[1].Shards) != 2 || out[1].Dst != 3 {
+		t.Errorf("second group = %v", out[1])
+	}
+	// group=1 leaves singles untouched.
+	if got := groupMoves(append([]MovePlan(nil), singles...), 1); len(got) != 4 {
+		t.Errorf("group=1 coalesced to %d", len(got))
+	}
+}

@@ -1,0 +1,330 @@
+package planner
+
+import (
+	"fmt"
+	"sort"
+
+	"remus/internal/base"
+)
+
+// MovePlan is one planned migration step: move the shard group from Src to
+// Dst. Plans are ranked by Gain (expected reduction of the source node's
+// excess load, statements/s) — the executor runs the highest-gain moves
+// first when the concurrency cap bites.
+type MovePlan struct {
+	Shards []base.ShardID
+	Src    base.NodeID
+	Dst    base.NodeID
+	// Reason names the policy decision ("load-balance", "hotspot-split").
+	Reason string
+	// Gain is the load weight (statements/s) this move takes off Src.
+	Gain float64
+}
+
+func (p MovePlan) String() string {
+	return fmt.Sprintf("%s: %v %v->%v (%.0f st/s)", p.Reason, p.Shards, p.Src, p.Dst, p.Gain)
+}
+
+// Policy turns a cluster load snapshot into a ranked list of migration
+// steps. Policies must be deterministic for a given snapshot: the executor
+// and the tests rely on reproducible decisions.
+type Policy interface {
+	Name() string
+	Plan(load ClusterLoad) []MovePlan
+}
+
+// ---------------------------------------------------------------------------
+// Greedy load balancer.
+
+// ReasonLoadBalance tags moves planned by the greedy balancer.
+const ReasonLoadBalance = "load-balance"
+
+// GreedyBalancer is a bin-packing load balancer with hysteresis: it triggers
+// only when the most loaded node exceeds HighWater × the mean node load, and
+// then plans greedy hottest-shard moves onto the least loaded nodes until
+// every node is back under LowWater × mean (or no improving move remains).
+// The gap between the two watermarks is what keeps it from oscillating: a
+// cluster balanced to LowWater must drift all the way past HighWater before
+// the balancer acts again.
+type GreedyBalancer struct {
+	// HighWater triggers planning (default 1.25).
+	HighWater float64
+	// LowWater is the target the plan packs down to (default 1.10). Must be
+	// below HighWater for the hysteresis band to exist.
+	LowWater float64
+	// MaxMoves caps the moves in one plan (default 8).
+	MaxMoves int
+	// GroupSize batches consecutive shards bound for the same destination
+	// into one collocated migration (default 1).
+	GroupSize int
+	// MinWeight is the minimum cluster-total load (statements/s) below which
+	// the balancer stays quiet — idle clusters have nothing worth moving
+	// (default 1).
+	MinWeight float64
+}
+
+// DefaultGreedyBalancer returns the default watermarks.
+func DefaultGreedyBalancer() *GreedyBalancer {
+	return &GreedyBalancer{HighWater: 1.25, LowWater: 1.10, MaxMoves: 8, GroupSize: 1, MinWeight: 1}
+}
+
+// Name implements Policy.
+func (g *GreedyBalancer) Name() string { return ReasonLoadBalance }
+
+func (g *GreedyBalancer) params() (hi, lo float64, maxMoves, group int, minW float64) {
+	hi, lo, maxMoves, group, minW = g.HighWater, g.LowWater, g.MaxMoves, g.GroupSize, g.MinWeight
+	if hi <= 1 {
+		hi = 1.25
+	}
+	if lo <= 1 || lo >= hi {
+		lo = 1 + (hi-1)/2
+	}
+	if maxMoves <= 0 {
+		maxMoves = 8
+	}
+	if group <= 0 {
+		group = 1
+	}
+	if minW <= 0 {
+		minW = 1
+	}
+	return
+}
+
+// Plan implements Policy: a greedy descent on the max-loaded node.
+func (g *GreedyBalancer) Plan(load ClusterLoad) []MovePlan {
+	hi, lo, maxMoves, group, minW := g.params()
+	if len(load.Nodes) < 2 || load.TotalWeight() < minW {
+		return nil
+	}
+	mean := load.MeanWeight()
+	if load.Imbalance() <= hi {
+		return nil
+	}
+	target := lo * mean
+
+	// Work on a mutable copy of the snapshot.
+	nodes := make([]NodeLoad, len(load.Nodes))
+	for i, n := range load.Nodes {
+		nodes[i] = NodeLoad{Node: n.Node, Weight: n.Weight,
+			Shards: append([]ShardLoad(nil), n.Shards...)}
+	}
+	var singles []MovePlan
+	for len(singles) < maxMoves {
+		src, dst := hottest(nodes), coldest(nodes)
+		if src < 0 || dst < 0 || src == dst {
+			break
+		}
+		if nodes[src].Weight <= target {
+			break // everyone under the low watermark: balanced
+		}
+		gap := nodes[src].Weight - nodes[dst].Weight
+		// Pick the heaviest shard that still fits: moving more than half the
+		// gap would overshoot and invite the reverse move next tick.
+		pick := -1
+		for i, sl := range nodes[src].Shards {
+			if sl.Weight() <= gap/2 {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			// Even the lightest shard overshoots; move it only if it still
+			// improves the spread, else stop.
+			pick = len(nodes[src].Shards) - 1
+			if pick < 0 || nodes[src].Shards[pick].Weight() >= gap {
+				break
+			}
+		}
+		sl := nodes[src].Shards[pick]
+		if sl.Weight() <= 0 {
+			break // remaining shards carry no load; moving them gains nothing
+		}
+		singles = append(singles, MovePlan{
+			Shards: []base.ShardID{sl.Shard},
+			Src:    nodes[src].Node, Dst: nodes[dst].Node,
+			Reason: ReasonLoadBalance, Gain: sl.Weight(),
+		})
+		// Apply the move virtually.
+		nodes[src].Shards = append(nodes[src].Shards[:pick], nodes[src].Shards[pick+1:]...)
+		nodes[src].Weight -= sl.Weight()
+		nodes[dst].Weight += sl.Weight()
+		sl.Node = nodes[dst].Node
+		nodes[dst].Shards = insertByWeight(nodes[dst].Shards, sl)
+	}
+	return groupMoves(singles, group)
+}
+
+// ---------------------------------------------------------------------------
+// Hotspot-split detector.
+
+// ReasonHotspotSplit tags moves planned by the hotspot detector.
+const ReasonHotspotSplit = "hotspot-split"
+
+// HotspotSplitter handles single-shard skew, which the balancer cannot fix:
+// when one shard alone dominates its node, no placement of *that* shard
+// helps — the shard is the hotspot. The policy instead splits the hot shard
+// off from its co-residents: everything else on the node moves to the least
+// loaded nodes, dedicating the node's full capacity to the hot shard (the
+// paper's §4.5 dispersal, discovered instead of hand-written).
+type HotspotSplitter struct {
+	// SoloFraction is the fraction of its node's load a single shard must
+	// carry to count as a hotspot (default 0.5).
+	SoloFraction float64
+	// HotNodeFactor requires the hot node to be above this multiple of the
+	// mean node load before splitting (default 1.25) — a dominating shard on
+	// an idle node needs no help.
+	HotNodeFactor float64
+	// MaxMoves caps co-resident evictions in one plan (default 8).
+	MaxMoves int
+	// GroupSize batches consecutive evictions to one destination (default 1).
+	GroupSize int
+	// MinWeight is the minimum cluster-total load gate (default 1).
+	MinWeight float64
+}
+
+// DefaultHotspotSplitter returns the default thresholds.
+func DefaultHotspotSplitter() *HotspotSplitter {
+	return &HotspotSplitter{SoloFraction: 0.5, HotNodeFactor: 1.25, MaxMoves: 8, GroupSize: 1, MinWeight: 1}
+}
+
+// Name implements Policy.
+func (h *HotspotSplitter) Name() string { return ReasonHotspotSplit }
+
+// Plan implements Policy.
+func (h *HotspotSplitter) Plan(load ClusterLoad) []MovePlan {
+	solo, factor, maxMoves, group, minW := h.SoloFraction, h.HotNodeFactor, h.MaxMoves, h.GroupSize, h.MinWeight
+	if solo <= 0 || solo > 1 {
+		solo = 0.5
+	}
+	if factor <= 1 {
+		factor = 1.25
+	}
+	if maxMoves <= 0 {
+		maxMoves = 8
+	}
+	if group <= 0 {
+		group = 1
+	}
+	if minW <= 0 {
+		minW = 1
+	}
+	if len(load.Nodes) < 2 || load.TotalWeight() < minW {
+		return nil
+	}
+	mean := load.MeanWeight()
+
+	// Mutable copy for virtual application of evictions.
+	nodes := make([]NodeLoad, len(load.Nodes))
+	for i, n := range load.Nodes {
+		nodes[i] = NodeLoad{Node: n.Node, Weight: n.Weight,
+			Shards: append([]ShardLoad(nil), n.Shards...)}
+	}
+	var singles []MovePlan
+	for i := range nodes {
+		n := &nodes[i]
+		if n.Weight <= factor*mean || len(n.Shards) < 2 {
+			continue
+		}
+		hot := n.Shards[0] // descending weight: the head is the hottest
+		if hot.Weight() < solo*n.Weight {
+			continue
+		}
+		// Evict co-residents, hottest first, onto the coldest other nodes.
+		for len(n.Shards) > 1 && len(singles) < maxMoves {
+			sl := n.Shards[1]
+			if sl.Weight() <= 0 {
+				break // cold co-residents can stay; they cost nothing
+			}
+			dst := coldestExcept(nodes, i)
+			if dst < 0 {
+				break
+			}
+			singles = append(singles, MovePlan{
+				Shards: []base.ShardID{sl.Shard},
+				Src:    n.Node, Dst: nodes[dst].Node,
+				Reason: ReasonHotspotSplit, Gain: sl.Weight(),
+			})
+			n.Shards = append(n.Shards[:1], n.Shards[2:]...)
+			n.Weight -= sl.Weight()
+			nodes[dst].Weight += sl.Weight()
+			sl.Node = nodes[dst].Node
+			nodes[dst].Shards = insertByWeight(nodes[dst].Shards, sl)
+		}
+	}
+	return groupMoves(singles, group)
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers.
+
+func hottest(nodes []NodeLoad) int {
+	best := -1
+	for i, n := range nodes {
+		if len(n.Shards) == 0 {
+			continue
+		}
+		if best < 0 || n.Weight > nodes[best].Weight {
+			best = i
+		}
+	}
+	return best
+}
+
+func coldest(nodes []NodeLoad) int {
+	best := -1
+	for i, n := range nodes {
+		if best < 0 || n.Weight < nodes[best].Weight {
+			best = i
+		}
+	}
+	return best
+}
+
+func coldestExcept(nodes []NodeLoad, skip int) int {
+	best := -1
+	for i, n := range nodes {
+		if i == skip {
+			continue
+		}
+		if best < 0 || n.Weight < nodes[best].Weight {
+			best = i
+		}
+	}
+	return best
+}
+
+// insertByWeight keeps a descending-weight shard list sorted after an
+// insertion (ties by ascending shard id).
+func insertByWeight(shards []ShardLoad, sl ShardLoad) []ShardLoad {
+	shards = append(shards, sl)
+	sort.Slice(shards, func(i, j int) bool {
+		if shards[i].Weight() != shards[j].Weight() {
+			return shards[i].Weight() > shards[j].Weight()
+		}
+		return shards[i].Shard < shards[j].Shard
+	})
+	return shards
+}
+
+// groupMoves coalesces consecutive single-shard moves that share source and
+// destination into collocated group migrations of at most group shards
+// (Remus migrates collocated shard groups in one pass, §3.8).
+func groupMoves(singles []MovePlan, group int) []MovePlan {
+	if group <= 1 || len(singles) == 0 {
+		return singles
+	}
+	var out []MovePlan
+	for _, m := range singles {
+		if n := len(out); n > 0 {
+			last := &out[n-1]
+			if last.Src == m.Src && last.Dst == m.Dst && last.Reason == m.Reason && len(last.Shards) < group {
+				last.Shards = append(last.Shards, m.Shards...)
+				last.Gain += m.Gain
+				continue
+			}
+		}
+		out = append(out, m)
+	}
+	return out
+}

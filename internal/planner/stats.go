@@ -1,0 +1,237 @@
+// Package planner closes Remus's control loop: the migration mechanism
+// (internal/core) moves shard groups with zero downtime, but deciding *what*
+// to move, *when* and *where* was manual. The planner watches per-shard
+// access rates (a stats collector with decaying EWMA windows over the shard
+// layer's counters), turns cluster load snapshots into ranked MovePlan lists
+// with pluggable policies (greedy load-balancing bin-packer, hotspot-split
+// detector), and executes them through the migration controller in a
+// background rebalance loop with hysteresis, a concurrency cap, per-move
+// timeouts and backoff — so a skewed workload is dispersed automatically
+// instead of by a hand-written shard list.
+package planner
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/cluster"
+	"remus/internal/shard"
+)
+
+// ShardLoad is one shard's smoothed access rates and current placement.
+type ShardLoad struct {
+	Shard base.ShardID
+	Table base.TableID
+	Node  base.NodeID
+	// Reads, Writes and Txns are decaying EWMA rates per second.
+	Reads, Writes, Txns float64
+}
+
+// Weight is the shard's load weight: statements per second. Reads and writes
+// cost one node work unit each on the foreground path (node.Counters), so
+// they weigh equally.
+func (s ShardLoad) Weight() float64 { return s.Reads + s.Writes }
+
+// NodeLoad aggregates the shard loads placed on one node.
+type NodeLoad struct {
+	Node   base.NodeID
+	Weight float64
+	// Shards lists the node's shards sorted by descending weight (ties
+	// broken by ascending shard id, keeping plans deterministic).
+	Shards []ShardLoad
+}
+
+// ClusterLoad is one sampled, smoothed snapshot of cluster load — the
+// planner policies' sole input.
+type ClusterLoad struct {
+	At time.Time
+	// Nodes is sorted by ascending node id and includes empty nodes (a
+	// freshly added node is the natural rebalance destination).
+	Nodes []NodeLoad
+}
+
+// TotalWeight sums all node weights.
+func (cl ClusterLoad) TotalWeight() float64 {
+	t := 0.0
+	for _, n := range cl.Nodes {
+		t += n.Weight
+	}
+	return t
+}
+
+// MeanWeight is the per-node mean (0 for an empty cluster).
+func (cl ClusterLoad) MeanWeight() float64 {
+	if len(cl.Nodes) == 0 {
+		return 0
+	}
+	return cl.TotalWeight() / float64(len(cl.Nodes))
+}
+
+// Imbalance returns max node weight / mean node weight (1 = perfectly
+// balanced; 0 for an idle cluster).
+func (cl ClusterLoad) Imbalance() float64 {
+	mean := cl.MeanWeight()
+	if mean == 0 {
+		return 0
+	}
+	maxW := 0.0
+	for _, n := range cl.Nodes {
+		if n.Weight > maxW {
+			maxW = n.Weight
+		}
+	}
+	return maxW / mean
+}
+
+// Collector samples the cluster's live load views into decaying per-shard
+// EWMA rates. It is safe for concurrent use; the executor samples it once
+// per planning tick and tests may sample it directly.
+type Collector struct {
+	c *cluster.Cluster
+	// tau is the EWMA time constant (halfLife / ln 2).
+	tau float64
+
+	mu   sync.Mutex
+	last time.Time
+	// prev holds the previous cumulative snapshot per (node, shard) copy, so
+	// counts are differenced per copy and never conflated across a
+	// migration's dual-execution window.
+	prev map[copyKey]shard.LoadSnapshot
+	// rates holds smoothed per-shard rates (copies summed).
+	rates map[base.ShardID]*shardRate
+}
+
+type copyKey struct {
+	node  base.NodeID
+	shard base.ShardID
+}
+
+type shardRate struct {
+	table               base.TableID
+	reads, writes, txns float64
+	seen                bool // touched by the current sample (stale entries decay)
+}
+
+// DefaultHalfLife is the default EWMA half-life: old load fades to half
+// weight after this long, fast enough to track a moving hotspot, slow enough
+// not to chase one burst.
+const DefaultHalfLife = 2 * time.Second
+
+// NewCollector returns a collector over the cluster. halfLife <= 0 uses
+// DefaultHalfLife.
+func NewCollector(c *cluster.Cluster, halfLife time.Duration) *Collector {
+	if halfLife <= 0 {
+		halfLife = DefaultHalfLife
+	}
+	return &Collector{
+		c:     c,
+		tau:   halfLife.Seconds() / math.Ln2,
+		prev:  make(map[copyKey]shard.LoadSnapshot),
+		rates: make(map[base.ShardID]*shardRate),
+	}
+}
+
+// Sample reads the cluster's cumulative counters, folds the deltas since the
+// previous sample into the EWMA rates, and returns the resulting load
+// snapshot with current shard placements. The first sample establishes the
+// baseline and reports zero rates.
+func (col *Collector) Sample() ClusterLoad {
+	entries := col.c.ShardLoads()
+	now := time.Now()
+
+	col.mu.Lock()
+	dt := now.Sub(col.last).Seconds()
+	first := col.last.IsZero()
+	col.last = now
+	if first || dt <= 0 {
+		dt = 0
+	}
+	// alpha is the EWMA gain for this interval; rates decay toward the
+	// instantaneous rate with time constant tau.
+	alpha := 1.0
+	if dt > 0 {
+		alpha = 1 - math.Exp(-dt/col.tau)
+	}
+
+	for _, r := range col.rates {
+		r.seen = false
+	}
+	// Sum this interval's deltas per shard across live copies.
+	deltas := make(map[base.ShardID]shard.LoadSnapshot, len(entries))
+	tables := make(map[base.ShardID]base.TableID, len(entries))
+	seen := make(map[copyKey]struct{}, len(entries))
+	for _, e := range entries {
+		k := copyKey{e.Node, e.Shard}
+		seen[k] = struct{}{}
+		d := e.Load.Sub(col.prev[k])
+		col.prev[k] = e.Load
+		deltas[e.Shard] = deltas[e.Shard].Add(d)
+		tables[e.Shard] = e.Table
+	}
+	// Drop retired copies so a re-created copy restarts from a zero baseline.
+	for k := range col.prev {
+		if _, ok := seen[k]; !ok {
+			delete(col.prev, k)
+		}
+	}
+	for id, d := range deltas {
+		r := col.rates[id]
+		if r == nil {
+			r = &shardRate{}
+			col.rates[id] = r
+		}
+		r.table = tables[id]
+		r.seen = true
+		if dt > 0 {
+			r.reads += alpha * (float64(d.Reads)/dt - r.reads)
+			r.writes += alpha * (float64(d.Writes)/dt - r.writes)
+			r.txns += alpha * (float64(d.Txns)/dt - r.txns)
+		}
+	}
+	// Shards that vanished entirely (dropped table) decay out.
+	for id, r := range col.rates {
+		if !r.seen {
+			delete(col.rates, id)
+		}
+	}
+
+	// Build the placement-attributed snapshot. Placement comes from the
+	// committed shard map (the same source routing uses), so a shard mid-
+	// migration is attributed to the destination as soon as T_m commits.
+	loads := make(map[base.ShardID]ShardLoad, len(col.rates))
+	for id, r := range col.rates {
+		loads[id] = ShardLoad{
+			Shard: id, Table: r.table,
+			Reads: r.reads, Writes: r.writes, Txns: r.txns,
+		}
+	}
+	col.mu.Unlock()
+
+	byNode := make(map[base.NodeID][]ShardLoad)
+	for id, sl := range loads {
+		owner, err := col.c.OwnerOf(id)
+		if err != nil {
+			continue
+		}
+		sl.Node = owner
+		byNode[owner] = append(byNode[owner], sl)
+	}
+	cl := ClusterLoad{At: now}
+	for _, n := range col.c.Nodes() {
+		nl := NodeLoad{Node: n.ID(), Shards: byNode[n.ID()]}
+		sort.Slice(nl.Shards, func(i, j int) bool {
+			if nl.Shards[i].Weight() != nl.Shards[j].Weight() {
+				return nl.Shards[i].Weight() > nl.Shards[j].Weight()
+			}
+			return nl.Shards[i].Shard < nl.Shards[j].Shard
+		})
+		for _, sl := range nl.Shards {
+			nl.Weight += sl.Weight()
+		}
+		cl.Nodes = append(cl.Nodes, nl)
+	}
+	return cl
+}

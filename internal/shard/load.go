@@ -1,0 +1,85 @@
+package shard
+
+import "sync/atomic"
+
+// LoadCounter accumulates per-shard access statistics on a node's hot paths:
+// statement-level read and write counts plus an approximate count of distinct
+// transactions that touched the shard. It is embedded in each node's
+// per-shard state and updated lock-free from the foreground execution paths
+// (migration replay traffic is internal and not counted). The planner's
+// stats collector samples cumulative snapshots and differentiates them into
+// decaying rates.
+type LoadCounter struct {
+	reads  atomic.Uint64
+	writes atomic.Uint64
+	txns   atomic.Uint64
+	// lastTxn dedupes consecutive statements of the same transaction so
+	// txns approximates "transactions touching the shard" rather than
+	// statements. The check is racy under interleaved transactions (both
+	// may count) — acceptable for load estimation, and free of locks.
+	lastTxn atomic.Uint64
+}
+
+// TouchRead records one read statement by the given transaction.
+func (l *LoadCounter) TouchRead(txn uint64) {
+	l.reads.Add(1)
+	l.touch(txn)
+}
+
+// TouchWrite records one write statement by the given transaction.
+func (l *LoadCounter) TouchWrite(txn uint64) {
+	l.writes.Add(1)
+	l.touch(txn)
+}
+
+func (l *LoadCounter) touch(txn uint64) {
+	if l.lastTxn.Swap(txn) != txn {
+		l.txns.Add(1)
+	}
+}
+
+// Snapshot returns the cumulative counts.
+func (l *LoadCounter) Snapshot() LoadSnapshot {
+	return LoadSnapshot{
+		Reads:  l.reads.Load(),
+		Writes: l.writes.Load(),
+		Txns:   l.txns.Load(),
+	}
+}
+
+// LoadSnapshot is a point-in-time copy of a LoadCounter.
+type LoadSnapshot struct {
+	Reads  uint64
+	Writes uint64
+	Txns   uint64
+}
+
+// Total returns the statement count (reads + writes), the planner's default
+// load weight.
+func (s LoadSnapshot) Total() uint64 { return s.Reads + s.Writes }
+
+// Sub returns s - prev, clamping each component at zero (a counter restarts
+// from zero when a shard copy is dropped and re-created by a migration).
+func (s LoadSnapshot) Sub(prev LoadSnapshot) LoadSnapshot {
+	return LoadSnapshot{
+		Reads:  subClamp(s.Reads, prev.Reads),
+		Writes: subClamp(s.Writes, prev.Writes),
+		Txns:   subClamp(s.Txns, prev.Txns),
+	}
+}
+
+// Add returns the component-wise sum.
+func (s LoadSnapshot) Add(o LoadSnapshot) LoadSnapshot {
+	return LoadSnapshot{
+		Reads:  s.Reads + o.Reads,
+		Writes: s.Writes + o.Writes,
+		Txns:   s.Txns + o.Txns,
+	}
+}
+
+func subClamp(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
