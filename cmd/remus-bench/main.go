@@ -23,15 +23,22 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig6|fig7|fig8|fig9|fig10|table1|table2|table3|autobalance|all")
+	exp := flag.String("exp", "all", "experiment: fig6|fig7|fig8|fig9|fig10|table1|table2|table3|autobalance|faults|all")
 	approach := flag.String("approach", "", "restrict to one approach: remus|lockabort|remaster|squall")
 	scale := flag.String("scale", "small", "small|large")
 	series := flag.Bool("series", true, "print throughput time series for figure experiments")
 	trace := flag.String("trace", "", "append the observability event stream of each figure run as JSONL to this file and print per-phase breakdowns")
 	autobalance := flag.Bool("autobalance", false, "run the skew-rebalance scenario: none vs hand-placed vs planner-driven migration (shorthand for -exp autobalance)")
+	faults := flag.Bool("faults", false, "run the fault-degradation scenario: clean vs faulted migration under load (shorthand for -exp faults)")
+	faultDrop := flag.Float64("fault-drop", 0.02, "per-message drop probability for -exp faults")
+	faultPartition := flag.Duration("fault-partition", 120*time.Millisecond, "src<->dst partition window for -exp faults (0 disables)")
+	faultSeed := flag.Int64("fault-seed", 1, "fault-plane rng seed for -exp faults (replays a run exactly)")
 	flag.Parse()
 
-	r := &runner{scale: *scale, series: *series, tracePath: *trace}
+	r := &runner{
+		scale: *scale, series: *series, tracePath: *trace,
+		faultDrop: *faultDrop, faultPartition: *faultPartition, faultSeed: *faultSeed,
+	}
 	if *approach != "" {
 		r.only = bench.Approach(*approach)
 	}
@@ -39,8 +46,10 @@ func main() {
 	exps := []string{*exp}
 	if *autobalance {
 		exps = []string{"autobalance"}
+	} else if *faults {
+		exps = []string{"faults"}
 	} else if *exp == "all" {
-		exps = []string{"fig6", "fig7", "fig8", "fig9", "fig10", "table1", "table2", "table3", "ablation", "autobalance"}
+		exps = []string{"fig6", "fig7", "fig8", "fig9", "fig10", "table1", "table2", "table3", "ablation", "autobalance", "faults"}
 	}
 	for _, e := range exps {
 		if err := r.run(e); err != nil {
@@ -55,6 +64,10 @@ type runner struct {
 	series    bool
 	only      bench.Approach
 	tracePath string
+
+	faultDrop      float64
+	faultPartition time.Duration
+	faultSeed      int64
 }
 
 func (r *runner) approaches(all []bench.Approach) []bench.Approach {
@@ -284,6 +297,30 @@ func (r *runner) run(exp string) error {
 		if manual != nil && auto != nil && manual.After.Throughput > 0 {
 			fmt.Printf("\nplanner vs hand-placed layout: %.0f%% of manual steady-state throughput (acceptance bar: 90%%)\n",
 				100*auto.After.Throughput/manual.After.Throughput)
+		}
+
+	case "faults":
+		cfg := bench.DefaultFaultsConfig()
+		if r.scale == "large" {
+			cfg.Records *= 8
+			cfg.Clients *= 3
+			cfg.Warmup *= 2
+			cfg.Tail *= 2
+		}
+		cfg.DropRate = r.faultDrop
+		cfg.PartitionDur = r.faultPartition
+		cfg.Seed = r.faultSeed
+		tr := r.trace("exp=faults")
+		cfg.Recorder = rec(tr)
+		res, err := bench.RunFaults(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("drop rate %.1f%%, partition window %v (seed %d):\n\n",
+			100*cfg.DropRate, cfg.PartitionDur, cfg.Seed)
+		fmt.Print(bench.FormatFaults(res))
+		if err := r.finishTrace(tr, "faults"); err != nil {
+			return err
 		}
 
 	case "table3":

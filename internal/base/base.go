@@ -154,6 +154,15 @@ var (
 	// ErrTimeout reports that a wait (lock, prepare-wait, validation ack)
 	// exceeded its deadline.
 	ErrTimeout = errors.New("timeout")
+	// ErrUnreachable reports that the interconnect refused delivery: the
+	// link is partitioned or persistently lossy. Senders treat it like a
+	// transient outage — retry after the partition heals or fail the
+	// operation up to a recovery layer.
+	ErrUnreachable = errors.New("peer unreachable (network partition)")
+	// ErrNotFailed reports a recovery request for a migration that is not
+	// in the failed phase: there is nothing to recover. The controller's
+	// retry loop distinguishes it from real recovery errors.
+	ErrNotFailed = errors.New("migration not in failed phase")
 )
 
 // TxnStatus is the lifecycle state of a transaction as recorded in the CLOG.

@@ -165,7 +165,7 @@ func startPush(c *cluster.Cluster, shards []base.ShardID, dstID base.NodeID, opt
 		wg.Add(1)
 		go func(id base.ShardID) {
 			defer wg.Done()
-			stats, err := repl.CopySnapshot(src, dst, id, snapTS, opts.BatchBytes, opts.Recorder)
+			stats, err := repl.CopySnapshot(src, dst, id, snapTS, opts.BatchBytes, nil, opts.Recorder)
 			mu.Lock()
 			report.SnapshotTuples += stats.Tuples
 			if err != nil && copyErr == nil {

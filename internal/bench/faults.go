@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/obs"
+	"remus/internal/simnet"
+	"remus/internal/workload"
+)
+
+// FaultsConfig shapes the fault-degradation experiment: the same Remus
+// consolidation migration (every shard of node 1 pushed to node 2 under
+// YCSB load) is run twice — once on a clean interconnect and once with a
+// seeded fault profile (probabilistic message drops plus a directed
+// src<->dst partition window) — so the two cells isolate what injected
+// network faults cost in migration time and foreground aborts.
+type FaultsConfig struct {
+	Nodes         int
+	ShardsPerNode int
+	Records       int
+	ValueSize     int
+	Clients       int
+
+	Warmup   time.Duration
+	Tail     time.Duration
+	Interval time.Duration
+
+	// DropRate is the per-message drop probability on every link. Dropped
+	// messages are retransmitted by the simnet (bounded), so drops mostly
+	// cost latency; a link that drops past the retransmit budget errors.
+	DropRate float64
+	// PartitionStart/PartitionDur describe a src<->dst partition window
+	// opened that long after the migration starts, for that duration.
+	// During the window the propagation stream and T_m traffic fail hard
+	// and the migration leans on MigrateWithRecovery to roll back and
+	// re-initiate. Zero duration disables the window.
+	PartitionStart time.Duration
+	PartitionDur   time.Duration
+	// Seed drives the fault plane's rng so a run replays exactly.
+	Seed int64
+
+	Net      simnet.Config
+	LockWait time.Duration
+	Recorder obs.Recorder // optional extra recorder for the faulted run
+}
+
+// DefaultFaultsConfig returns a laptop-scale configuration; the drop rate
+// and partition window are chosen so the faulted run visibly degrades but
+// still completes through the retry policy.
+func DefaultFaultsConfig() FaultsConfig {
+	return FaultsConfig{
+		Nodes: 3, ShardsPerNode: 4, Records: 1800, ValueSize: 64, Clients: 9,
+		Warmup: 200 * time.Millisecond, Tail: 300 * time.Millisecond,
+		Interval:       50 * time.Millisecond,
+		DropRate:       0.02,
+		PartitionStart: 0, // cut the link the moment the migration starts
+		PartitionDur:   120 * time.Millisecond,
+		Seed:           1,
+		Net:            simnet.Config{Latency: 20 * time.Microsecond, BandwidthMBps: 25},
+		LockWait:       2 * time.Second,
+	}
+}
+
+// FaultsCell is one run (clean or faulted) of the experiment.
+type FaultsCell struct {
+	Label             string
+	MigrationDuration time.Duration
+	Whole             Window // foreground YCSB over the whole run
+	During            Window // foreground YCSB during the migration
+
+	// Recovery and interconnect counters from the run's trace.
+	Retries           uint64
+	RecoverRolledBack uint64
+	RecoverCompleted  uint64
+	NetDrops          uint64
+	NetRejects        uint64
+}
+
+// AbortRatio is aborts over attempts for the whole run.
+func (c FaultsCell) AbortRatio() float64 {
+	total := c.Whole.Commits + c.Whole.Aborts
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Whole.Aborts) / float64(total)
+}
+
+// FaultsResult pairs the clean baseline with the faulted run.
+type FaultsResult struct {
+	Baseline FaultsCell
+	Faulted  FaultsCell
+}
+
+// Slowdown is the faulted migration time over the baseline's.
+func (r *FaultsResult) Slowdown() float64 {
+	if r.Baseline.MigrationDuration <= 0 {
+		return 0
+	}
+	return float64(r.Faulted.MigrationDuration) / float64(r.Baseline.MigrationDuration)
+}
+
+// teeRecorder duplicates the stream to two recorders (the experiment's own
+// counter trace plus the caller's -trace sink).
+type teeRecorder struct{ a, b obs.Recorder }
+
+func (t teeRecorder) Event(e obs.Event)            { t.a.Event(e); t.b.Event(e) }
+func (t teeRecorder) Add(c obs.Counter, d uint64)  { t.a.Add(c, d); t.b.Add(c, d) }
+func (t teeRecorder) Observe(h obs.Hist, v uint64) { t.a.Observe(h, v); t.b.Observe(h, v) }
+
+// RunFaults runs the clean baseline and the faulted cell and returns both.
+func RunFaults(cfg FaultsConfig) (*FaultsResult, error) {
+	baseline, err := runFaultsCell(cfg, false)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	faulted, err := runFaultsCell(cfg, true)
+	if err != nil {
+		return nil, fmt.Errorf("faulted: %w", err)
+	}
+	return &FaultsResult{Baseline: baseline, Faulted: faulted}, nil
+}
+
+func runFaultsCell(cfg FaultsConfig, inject bool) (FaultsCell, error) {
+	cell := FaultsCell{Label: "clean"}
+	if inject {
+		cell.Label = "faulted"
+	}
+
+	// Per-cell trace: counters from the two runs must not merge. The
+	// optional external recorder only sees the faulted run, which is the
+	// interesting event stream.
+	tr := obs.NewTrace()
+	var recorder obs.Recorder = tr
+	if inject && cfg.Recorder != nil {
+		recorder = teeRecorder{tr, cfg.Recorder}
+	}
+
+	env := NewEnv(Remus, EnvConfig{
+		Nodes: cfg.Nodes, Net: cfg.Net, LockWait: cfg.LockWait, Recorder: recorder,
+	})
+	defer env.Close()
+	c := env.C
+
+	totalShards := cfg.Nodes * cfg.ShardsPerNode
+	y, err := workload.LoadYCSB(c, "accounts", totalShards, nil,
+		workload.YCSBConfig{Records: cfg.Records, ValueSize: cfg.ValueSize}, base.NoNode)
+	if err != nil {
+		return cell, err
+	}
+
+	metrics := NewMetrics(cfg.Interval)
+	stop := workload.NewStopper()
+	wg, err := y.RunClients(c, cfg.Clients, stop, metrics)
+	if err != nil {
+		return cell, err
+	}
+	defer func() {
+		stop.Stop()
+		wg.Wait()
+	}()
+	time.Sleep(cfg.Warmup)
+
+	src, dst := c.Nodes()[0], c.Nodes()[1]
+	shards := c.ShardsOn(src.ID())
+
+	var flt *simnet.Faults
+	partDone := make(chan struct{})
+	if inject {
+		flt = c.Net().InstallFaults(cfg.Seed)
+		flt.SetDropRate(cfg.DropRate)
+		if cfg.PartitionDur > 0 {
+			go func() {
+				defer close(partDone)
+				time.Sleep(cfg.PartitionStart)
+				flt.PartitionBoth(src.ID(), dst.ID())
+				time.Sleep(cfg.PartitionDur)
+				flt.HealAll()
+			}()
+		} else {
+			close(partDone)
+		}
+	} else {
+		close(partDone)
+	}
+
+	metrics.MarkNow("migration-start")
+	migStart := time.Since(metrics.Start())
+	t0 := time.Now()
+	_, err = env.RemusController().MigrateWithRecovery(shards, dst.ID())
+	cell.MigrationDuration = time.Since(t0)
+	metrics.MarkNow("migration-end")
+	migEnd := time.Since(metrics.Start())
+	<-partDone
+	if inject {
+		cell.NetDrops = flt.Drops()
+		cell.NetRejects = flt.Rejects()
+		c.Net().ClearFaults()
+	}
+	if err != nil {
+		return cell, fmt.Errorf("migration (seed %d): %w", cfg.Seed, err)
+	}
+
+	time.Sleep(cfg.Tail)
+	stop.Stop()
+	wg.Wait()
+
+	end := time.Since(metrics.Start())
+	cell.Whole = metrics.WindowStats("ycsb", 0, end)
+	cell.During = metrics.WindowStats("ycsb", migStart, migEnd)
+	cell.Retries = tr.Counter(obs.CtrMigrationRetries)
+	cell.RecoverRolledBack = tr.Counter(obs.CtrRecoverRolledBack)
+	cell.RecoverCompleted = tr.Counter(obs.CtrRecoverCompleted)
+	return cell, nil
+}
+
+// FormatFaults renders the two cells side by side.
+func FormatFaults(r *FaultsResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %12s %10s %10s %10s %8s %8s %8s %8s\n",
+		"run", "migration", "commits", "aborts", "abort%", "retries", "rollbk", "drops", "rejects")
+	for _, c := range []FaultsCell{r.Baseline, r.Faulted} {
+		fmt.Fprintf(&b, "%-8s %12v %10d %10d %9.1f%% %8d %8d %8d %8d\n",
+			c.Label, c.MigrationDuration.Round(time.Millisecond),
+			c.Whole.Commits, c.Whole.Aborts, 100*c.AbortRatio(),
+			c.Retries, c.RecoverRolledBack+c.RecoverCompleted, c.NetDrops, c.NetRejects)
+	}
+	fmt.Fprintf(&b, "migration slowdown under faults: %.2fx\n", r.Slowdown())
+	return b.String()
+}

@@ -61,20 +61,22 @@ func (s *Session) Begin() (*Txn, error) {
 	if err := s.checkUp(); err != nil {
 		return nil, err
 	}
-	startTS := s.coord.Oracle().StartTS()
+	t := &Txn{
+		s:     s,
+		id:    s.coord.Manager().NewGlobalID(),
+		parts: make(map[base.NodeID]*txn.Txn),
+	}
+	// Register the coordinator participant eagerly, letting the manager
+	// acquire the snapshot inside its registration critical section: the
+	// timestamp is visible to horizon scans from the instant it exists, so
+	// a migration drain can never slip past a just-begun transaction.
+	p := s.coord.Manager().Begin(t.id, base.TsZero)
+	t.parts[s.coord.ID()] = p
+	t.startTS = p.StartTS
 	if epoch := s.coord.ReadThrough().Epoch(); epoch != s.cache.Epoch() {
-		s.refreshCache(startTS)
+		s.refreshCache(t.startTS)
 		s.cache.SetEpoch(epoch)
 	}
-	t := &Txn{
-		s:       s,
-		id:      s.coord.Manager().NewGlobalID(),
-		startTS: startTS,
-		parts:   make(map[base.NodeID]*txn.Txn),
-	}
-	// Register the coordinator participant eagerly so the transaction's
-	// snapshot is visible to vacuum-horizon computation from the start.
-	t.part(s.coord)
 	return t, nil
 }
 
@@ -159,11 +161,14 @@ func (t *Txn) part(n *node.Node) *txn.Txn {
 	return p
 }
 
-// charge accounts a network round trip when the participant is remote.
-func (t *Txn) charge(n *node.Node, payload int) {
+// charge accounts a network round trip when the participant is remote. With
+// a fault plane installed the trip can fail (drop budget exhausted, directed
+// partition): the statement then never reaches the participant.
+func (t *Txn) charge(n *node.Node, payload int) error {
 	if n.ID() != t.s.coord.ID() {
-		t.s.c.net.RoundTrip(payload)
+		return t.s.c.net.RoundTripBetween(t.s.coord.ID(), n.ID(), payload)
 	}
+	return nil
 }
 
 const routeRetries = 3
@@ -184,7 +189,9 @@ func (t *Txn) exec(tbl *shard.Table, shardID base.ShardID, payload int, fn func(
 			return fmt.Errorf("route to unknown %v: %w", d.Node, base.ErrShardMoved)
 		}
 		p := t.part(n)
-		t.charge(n, payload)
+		if err := t.charge(n, payload); err != nil {
+			return fmt.Errorf("statement to %v: %w", n.ID(), err)
+		}
 		err := fn(n, p)
 		if !errors.Is(err, base.ErrShardMoved) || attempt >= routeRetries {
 			return err
@@ -335,7 +342,10 @@ func (t *Txn) Commit() (base.Timestamp, error) {
 	case 1:
 		for id, p := range t.parts {
 			n := t.s.c.Node(id)
-			t.charge(n, 64)
+			if err := t.charge(n, 64); err != nil {
+				_ = p.Abort()
+				return 0, fmt.Errorf("commit to %v: %w", id, err)
+			}
 			cts, err := p.Commit()
 			if err != nil {
 				return 0, err
@@ -356,7 +366,14 @@ func (t *Txn) Commit() (base.Timestamp, error) {
 		wg.Add(1)
 		go func(id base.NodeID, p *txn.Txn) {
 			defer wg.Done()
-			t.charge(t.s.c.Node(id), 64)
+			// A lost prepare message is a prepare failure: the
+			// participant never voted, so the transaction aborts.
+			if err := t.charge(t.s.c.Node(id), 64); err != nil {
+				mu.Lock()
+				results[id] = &prep{0, fmt.Errorf("prepare to %v: %w", id, err)}
+				mu.Unlock()
+				return
+			}
 			ts, err := p.Prepare()
 			mu.Lock()
 			results[id] = &prep{ts, err}
@@ -386,7 +403,10 @@ func (t *Txn) Commit() (base.Timestamp, error) {
 		wg.Add(1)
 		go func(id base.NodeID, p *txn.Txn) {
 			defer wg.Done()
-			t.charge(t.s.c.Node(id), 64)
+			// The decision is recorded; a lost commit message does not
+			// change it (the participant resolves via 2PC recovery), so a
+			// charge failure here is not an error.
+			_ = t.charge(t.s.c.Node(id), 64)
 			if err := p.CommitAt(cts); err != nil {
 				mu.Lock()
 				if commitErr == nil {

@@ -30,6 +30,11 @@ type moccGate struct {
 	mu      sync.Mutex
 	waiting map[base.XID]chan error
 	early   map[base.XID]error // results delivered before the waiter arrived
+	// poisoned, once set by abortWaiters, fails every later WaitValidation
+	// immediately: recovery has declared the validation pipeline dead, so a
+	// transaction arriving after the sweep must not park (its verdict will
+	// never come) and must not commit unvalidated (lost-update risk).
+	poisoned error
 
 	validations uint64
 }
@@ -78,6 +83,11 @@ func (g *moccGate) WaitValidation(t *txn.Txn) error {
 	}
 	g.mu.Lock()
 	g.validations++
+	if g.poisoned != nil {
+		err := g.poisoned
+		g.mu.Unlock()
+		return err
+	}
 	if err, ok := g.early[t.XID]; ok {
 		delete(g.early, t.XID)
 		g.mu.Unlock()
@@ -124,11 +134,13 @@ func (g *moccGate) sink(xid base.XID, err error) {
 
 // abortWaiters fails every parked validation (destination crash, §3.7: "any
 // source transaction waiting for its validation stage result would be
-// terminated first in the case of a crash occurred on the destination").
+// terminated first in the case of a crash occurred on the destination") and
+// poisons the gate so late arrivals fail instead of parking forever.
 func (g *moccGate) abortWaiters(cause error) {
 	g.mu.Lock()
 	waiting := g.waiting
 	g.waiting = make(map[base.XID]chan error)
+	g.poisoned = cause
 	g.mu.Unlock()
 	for _, ch := range waiting {
 		ch <- cause

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -8,6 +9,7 @@ import (
 
 	"remus/internal/base"
 	"remus/internal/cluster"
+	"remus/internal/fault"
 	"remus/internal/node"
 	"remus/internal/obs"
 	"remus/internal/repl"
@@ -70,16 +72,6 @@ func (p Phase) String() string {
 	}
 }
 
-// Failpoint stages (crash-injection hooks for §3.7 tests).
-const (
-	FPAfterSnapshot = "after-snapshot"
-	FPAfterCatchup  = "after-catchup"
-	FPBeforeTm      = "before-tm"
-	FPTmPrepared    = "tm-prepared"
-	FPTmDecided     = "tm-decided"
-	FPBeforeCleanup = "before-cleanup"
-)
-
 // Options tunes migrations.
 type Options struct {
 	// Workers is the destination's parallel-apply width (the paper uses 18
@@ -100,9 +92,14 @@ type Options struct {
 	ValidationTimeout time.Duration
 	// PhaseTimeout bounds catch-up, mode-change and drain waits.
 	PhaseTimeout time.Duration
-	// Failpoint, if non-nil, is invoked at the named stages; returning an
-	// error stops the driver there (crash injection).
-	Failpoint func(stage string) error
+	// Faults, if non-nil, is the failpoint registry: the driver evaluates
+	// the fault.Site* sites at every phase transition, the T_m 2PC
+	// boundary, each shipped WAL batch and each snapshot-copy chunk, and an
+	// armed action there can crash nodes, inject errors or pause (§3.7
+	// crash injection).
+	Faults *fault.Registry
+	// Retry is the controller's recovery policy for MigrateWithRecovery.
+	Retry RetryPolicy
 	// Recorder, if non-nil, receives phase transitions (with GTS
 	// timestamps), validation waits and migration counters.
 	Recorder obs.Recorder
@@ -260,13 +257,12 @@ func (m *Migration) setPhase(p Phase) {
 // Report returns the (possibly partial) migration report.
 func (m *Migration) Report() Report { return m.report }
 
-func (m *Migration) failpoint(stage string) error {
-	if m.opts.Failpoint == nil {
-		return nil
-	}
-	if err := m.opts.Failpoint(stage); err != nil {
+// failpoint evaluates a registered fault site; an injected error stops the
+// driver there with the migration marked failed (Recover decides the rest).
+func (m *Migration) failpoint(site fault.Site) error {
+	if err := m.opts.Faults.Eval(site); err != nil {
 		m.setPhase(PhaseFailed)
-		return fmt.Errorf("core: failpoint %s: %w", stage, err)
+		return fmt.Errorf("core: %w", err)
 	}
 	return nil
 }
@@ -280,6 +276,9 @@ func (m *Migration) Run() (*Report, error) {
 	// Phase 1: snapshot copying (§3.2).
 	m.setPhase(PhaseSnapshot)
 	phaseStart := time.Now()
+	if err := m.failpoint(fault.SiteBeforeSnapshot); err != nil {
+		return &m.report, err
+	}
 
 	// The propagation start position must cover every change of every
 	// transaction that may commit after the snapshot timestamp: the oldest
@@ -313,7 +312,7 @@ func (m *Migration) Run() (*Report, error) {
 		wg.Add(1)
 		go func(id base.ShardID) {
 			defer wg.Done()
-			stats, err := repl.CopySnapshot(m.src, m.dst, id, snapTS, m.opts.BatchBytes, m.opts.Recorder)
+			stats, err := repl.CopySnapshot(m.src, m.dst, id, snapTS, m.opts.BatchBytes, m.opts.Faults, m.opts.Recorder)
 			copyMu.Lock()
 			defer copyMu.Unlock()
 			m.report.Snapshot.Tuples += stats.Tuples
@@ -329,7 +328,7 @@ func (m *Migration) Run() (*Report, error) {
 		m.setPhase(PhaseFailed)
 		return &m.report, copyErr
 	}
-	if err := m.failpoint(FPAfterSnapshot); err != nil {
+	if err := m.failpoint(fault.SiteAfterSnapshot); err != nil {
 		return &m.report, err
 	}
 
@@ -349,6 +348,7 @@ func (m *Migration) Run() (*Report, error) {
 		StartLSN:       startLSN,
 		SpillThreshold: m.opts.SpillThreshold,
 		SpillDir:       m.opts.SpillDir,
+		Faults:         m.opts.Faults,
 		Recorder:       m.opts.Recorder,
 	})
 	releaseTmpHold() // the propagator now holds its own pin
@@ -357,7 +357,7 @@ func (m *Migration) Run() (*Report, error) {
 		return &m.report, fmt.Errorf("core: catch-up: %w", err)
 	}
 	m.report.CatchupDuration = time.Since(phaseStart)
-	if err := m.failpoint(FPAfterCatchup); err != nil {
+	if err := m.failpoint(fault.SiteAfterCatchup); err != nil {
 		return &m.report, err
 	}
 
@@ -382,7 +382,7 @@ func (m *Migration) Run() (*Report, error) {
 		return &m.report, fmt.Errorf("core: LSN_unsync apply: %w", err)
 	}
 	m.report.ModeChangeDuration = time.Since(phaseStart)
-	if err := m.failpoint(FPBeforeTm); err != nil {
+	if err := m.failpoint(fault.SiteBeforeTm); err != nil {
 		return &m.report, err
 	}
 
@@ -422,7 +422,7 @@ func (m *Migration) Run() (*Report, error) {
 		return &m.report, err
 	}
 	m.report.DualDuration = time.Since(phaseStart)
-	if err := m.failpoint(FPBeforeCleanup); err != nil {
+	if err := m.failpoint(fault.SiteBeforeCleanup); err != nil {
 		return &m.report, err
 	}
 
@@ -527,25 +527,33 @@ func (m *Migration) runTm() (base.Timestamp, error) {
 		}
 	}
 	m.tmPrepared = true
-	if err := m.failpoint(FPTmPrepared); err != nil {
+	if err := m.failpoint(fault.SiteTmPrepared); err != nil {
 		return 0, err
 	}
 	// The commit decision: recording tmCTS is the coordinator's commit log
 	// entry — after this point recovery must commit T_m (§3.7).
 	m.tmCTS = m.src.Oracle().CommitTS(maxPrep)
 	m.tmDecided = true
-	if err := m.failpoint(FPTmDecided); err != nil {
+	if err := m.failpoint(fault.SiteTmDecided); err != nil {
 		return 0, err
 	}
 	if err := m.commitTm(); err != nil {
 		return 0, err
 	}
+	if err := m.failpoint(fault.SiteTmCommitted); err != nil {
+		return 0, err
+	}
 	return m.tmCTS, nil
 }
 
+// commitTm runs T_m's second phase. It tolerates already-finished
+// participants so recovery can re-drive a commit that was interrupted
+// half-way (CommitAt is then a no-op reporting ErrTxnFinished; prepared
+// participants survive node crashes, so "finished" here means an earlier
+// commit attempt reached that node).
 func (m *Migration) commitTm() error {
 	for _, p := range m.tmParts {
-		if err := p.CommitAt(m.tmCTS); err != nil {
+		if err := p.CommitAt(m.tmCTS); err != nil && !errors.Is(err, base.ErrTxnFinished) {
 			return fmt.Errorf("core: T_m commit: %w", err)
 		}
 	}
@@ -590,7 +598,7 @@ func waitTxns(txns []*txn.Txn, timeout time.Duration) error {
 		select {
 		case <-t.Done():
 		case <-deadline:
-			return fmt.Errorf("waiting for %v: %w", t.XID, base.ErrTimeout)
+			return fmt.Errorf("stuck transaction %v still %v after %v: %w", t.XID, t.State(), timeout, base.ErrTimeout)
 		}
 	}
 	return nil

@@ -2,34 +2,30 @@ package core
 
 import (
 	"errors"
-	"fmt"
 	"testing"
 	"time"
 
 	"remus/internal/base"
+	"remus/internal/fault"
 	"remus/internal/node"
 )
 
-// failAt builds a failpoint hook that errors at one stage, optionally
-// crashing a node first.
-func failAt(stage string, crash *node.Node) func(string) error {
-	return func(s string) error {
-		if s != stage {
-			return nil
-		}
-		if crash != nil {
-			crash.Crash()
-		}
-		return fmt.Errorf("injected crash at %s", s)
+// failAt arms a one-shot injected error at the site, optionally crashing a
+// node first.
+func failAt(reg *fault.Registry, site fault.Site, crash *node.Node) {
+	a := fault.Action{Err: fault.ErrInjected, Once: true}
+	if crash != nil {
+		a.Do = crash.Crash
 	}
+	reg.Arm(site, a)
 }
 
-func planWithFailpoint(t *testing.T, f *fixture, fp func(string) error, shards []base.ShardID, dst base.NodeID) *Migration {
+func planWithFaults(t *testing.T, f *fixture, reg *fault.Registry, shards []base.ShardID, dst base.NodeID) *Migration {
 	t.Helper()
 	opts := DefaultOptions()
 	opts.Workers = 4
 	opts.PhaseTimeout = 20 * time.Second
-	opts.Failpoint = fp
+	opts.Faults = reg
 	ctrl := NewController(f.c, opts)
 	m, err := ctrl.Plan(shards, dst)
 	if err != nil {
@@ -47,9 +43,11 @@ func TestRecoverRollbackBeforeTm(t *testing.T) {
 	group := f.c.ShardsOn(1)
 	dst := f.c.Node(2)
 
-	m := planWithFailpoint(t, f, failAt(FPBeforeTm, dst), group, 2)
-	if _, err := m.Run(); err == nil {
-		t.Fatal("migration ignored the injected crash")
+	reg := fault.NewRegistry(1)
+	failAt(reg, fault.SiteBeforeTm, dst)
+	m := planWithFaults(t, f, reg, group, 2)
+	if _, err := m.Run(); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("migration ignored the injected crash: %v", err)
 	}
 	if m.Phase() != PhaseFailed {
 		t.Fatalf("phase = %v, want failed", m.Phase())
@@ -95,9 +93,11 @@ func TestRecoverAbortsTmLeftPrepared(t *testing.T) {
 	f := newFixture(t, 2, 2, rows)
 	group := f.c.ShardsOn(1)
 
-	m := planWithFailpoint(t, f, failAt(FPTmPrepared, nil), group, 2)
-	if _, err := m.Run(); err == nil {
-		t.Fatal("migration ignored the failpoint")
+	reg := fault.NewRegistry(1)
+	failAt(reg, fault.SiteTmPrepared, nil)
+	m := planWithFaults(t, f, reg, group, 2)
+	if _, err := m.Run(); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("migration ignored the failpoint: %v", err)
 	}
 	if _, err := m.Recover(); err != nil {
 		t.Fatal(err)
@@ -131,9 +131,11 @@ func TestRecoverCompletesAfterTmDecided(t *testing.T) {
 	f := newFixture(t, 2, 2, rows)
 	group := f.c.ShardsOn(1)
 
-	m := planWithFailpoint(t, f, failAt(FPTmDecided, nil), group, 2)
-	if _, err := m.Run(); err == nil {
-		t.Fatal("migration ignored the failpoint")
+	reg := fault.NewRegistry(1)
+	failAt(reg, fault.SiteTmDecided, nil)
+	m := planWithFaults(t, f, reg, group, 2)
+	if _, err := m.Run(); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("migration ignored the failpoint: %v", err)
 	}
 	rep, err := m.Recover()
 	if err != nil {
@@ -172,15 +174,13 @@ func TestRecoverResolvesResidualShadows(t *testing.T) {
 
 	tmDecided := make(chan struct{})
 	proceed := make(chan struct{})
-	fp := func(stage string) error {
-		if stage != FPTmDecided {
-			return nil
-		}
-		close(tmDecided)
-		<-proceed
-		return fmt.Errorf("injected controller crash")
-	}
-	m := planWithFailpoint(t, f, fp, group, 2)
+	reg := fault.NewRegistry(1)
+	reg.Arm(fault.SiteTmDecided, fault.Action{
+		Do:   func() { close(tmDecided); <-proceed },
+		Err:  fault.ErrInjected,
+		Once: true,
+	})
+	m := planWithFaults(t, f, reg, group, 2)
 
 	// A source transaction updates the key and will commit during the
 	// migration window; it must park in validation (sync mode is on before
@@ -251,13 +251,13 @@ func TestRecoverOfHealthyMigrationRefused(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Recover(); err == nil {
-		t.Error("recover of a planned migration succeeded")
+	if _, err := m.Recover(); !errors.Is(err, base.ErrNotFailed) {
+		t.Errorf("recover of a planned migration = %v, want ErrNotFailed", err)
 	}
 	if _, err := m.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Recover(); err == nil {
-		t.Error("recover of a completed migration succeeded")
+	if _, err := m.Recover(); !errors.Is(err, base.ErrNotFailed) {
+		t.Errorf("recover of a completed migration = %v, want ErrNotFailed", err)
 	}
 }

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/obs"
+)
+
+// RetryPolicy drives MigrateWithRecovery: how often a failed migration is
+// recovered and re-initiated, and how the pauses between attempts grow.
+// The zero value takes the defaults below.
+type RetryPolicy struct {
+	// MaxAttempts bounds both the Run attempts and, independently, the
+	// Recover attempts per failed run (default 5).
+	MaxAttempts int
+	// Backoff is the initial pause before a retry, doubling per attempt
+	// (default 50ms).
+	Backoff time.Duration
+	// MaxBackoff caps the doubled pause (default 2s).
+	MaxBackoff time.Duration
+	// Jitter adds a uniformly random fraction of the pause in [0, Jitter)
+	// (default 0.2), decorrelating concurrent retriers.
+	Jitter float64
+	// Seed seeds the jitter rng (default 1) so retry timing replays.
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 5
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 50 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 2 * time.Second
+	}
+	if p.Jitter <= 0 {
+		p.Jitter = 0.2
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// pause sleeps the current backoff plus jitter and returns the next (capped)
+// backoff.
+func (p RetryPolicy) pause(d time.Duration, rng *rand.Rand) time.Duration {
+	sleep := d
+	if p.Jitter > 0 {
+		sleep += time.Duration(p.Jitter * rng.Float64() * float64(d))
+	}
+	time.Sleep(sleep)
+	if d *= 2; d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+func (ct *Controller) count(c obs.Counter, delta uint64) {
+	if r := ct.opts.Recorder; r != nil {
+		r.Add(c, delta)
+	}
+}
+
+// reviveNodes brings every crashed node back (the §3.7 premise: recovery
+// runs after the failed processes restart).
+func (ct *Controller) reviveNodes() {
+	for _, n := range ct.c.Nodes() {
+		if n.Crashed() {
+			n.Recover()
+		}
+	}
+}
+
+// MigrateWithRecovery is Migrate with the §3.7 failure handling attached:
+// when a run fails, crashed nodes are revived, the migration is recovered
+// (retrying recovery itself under backoff while nodes keep failing), and a
+// rolled-back migration is re-initiated with capped exponential backoff and
+// jitter until it completes or the attempt budget is spent. Recovery that
+// drives the migration to completion counts as success. The
+// migration_retries and recover_* counters surface the outcomes.
+func (ct *Controller) MigrateWithRecovery(shards []base.ShardID, dstID base.NodeID) (*Report, error) {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	pol := ct.opts.Retry.withDefaults()
+	rng := rand.New(rand.NewSource(pol.Seed))
+	backoff := pol.Backoff
+	var lastErr error
+	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			ct.count(obs.CtrMigrationRetries, 1)
+			backoff = pol.pause(backoff, rng)
+		}
+		m, err := ct.Plan(shards, dstID)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := m.Run()
+		if err == nil {
+			return rep, nil
+		}
+		lastErr = err
+		rep, err = ct.resolveFailed(m, pol, rng)
+		if err != nil {
+			return rep, fmt.Errorf("core: unrecoverable migration: %w", err)
+		}
+		if m.Phase() == PhaseDone {
+			ct.count(obs.CtrRecoverCompleted, 1)
+			return rep, nil
+		}
+		ct.count(obs.CtrRecoverRolledBack, 1)
+		// Rolled back: the source serves everything again; re-initiate.
+	}
+	return nil, fmt.Errorf("core: migration failed after %d attempts: %w", pol.MaxAttempts, lastErr)
+}
+
+// resolveFailed drives one failed migration out of PhaseFailed: revive
+// crashed nodes, Recover, and retry under backoff when recovery itself hits
+// another fault (a node crashed again, the rebuilt stream failed, ...).
+func (ct *Controller) resolveFailed(m *Migration, pol RetryPolicy, rng *rand.Rand) (*Report, error) {
+	backoff := pol.Backoff
+	var lastErr error
+	var lastRep *Report
+	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			backoff = pol.pause(backoff, rng)
+		}
+		ct.reviveNodes()
+		rep, err := m.Recover()
+		if err == nil || errors.Is(err, base.ErrNotFailed) {
+			// Recovered, or already out of the failed phase.
+			return rep, nil
+		}
+		ct.count(obs.CtrRecoverFailed, 1)
+		lastErr, lastRep = err, rep
+	}
+	return lastRep, lastErr
+}

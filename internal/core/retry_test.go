@@ -1,0 +1,156 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/fault"
+	"remus/internal/obs"
+	"remus/internal/txn"
+)
+
+func retryOpts(reg *fault.Registry, tr *obs.Trace) Options {
+	opts := DefaultOptions()
+	opts.Workers = 4
+	opts.PhaseTimeout = 20 * time.Second
+	opts.Faults = reg
+	opts.Recorder = tr
+	opts.Retry = RetryPolicy{MaxAttempts: 4, Backoff: 10 * time.Millisecond, MaxBackoff: 50 * time.Millisecond}
+	return opts
+}
+
+func TestMigrateWithRecoveryReinitiatesRolledBack(t *testing.T) {
+	// Destination crashes before T_m: the first attempt rolls back, the
+	// controller revives the node and re-initiates, and the second attempt
+	// completes. The counters record one retry and one rollback.
+	const rows = 200
+	f := newFixture(t, 2, 2, rows)
+	group := f.c.ShardsOn(1)
+
+	reg := fault.NewRegistry(1)
+	failAt(reg, fault.SiteBeforeTm, f.c.Node(2))
+	tr := obs.NewTrace()
+	ctrl := NewController(f.c, retryOpts(reg, tr))
+
+	rep, err := ctrl.MigrateWithRecovery(group, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TmCTS == 0 {
+		t.Error("TmCTS missing from the successful attempt's report")
+	}
+	for _, id := range group {
+		if owner, _ := f.c.OwnerOf(id); owner != 2 {
+			t.Fatalf("shard %v owner = %v, want destination", id, owner)
+		}
+	}
+	f.verify(t, rows, 2, nil)
+	if got := tr.Counter(obs.CtrMigrationRetries); got != 1 {
+		t.Errorf("migration_retries = %d, want 1", got)
+	}
+	if got := tr.Counter(obs.CtrRecoverRolledBack); got != 1 {
+		t.Errorf("recover_rolled_back = %d, want 1", got)
+	}
+	if got := tr.Counter(obs.CtrRecoverCompleted); got != 0 {
+		t.Errorf("recover_completed = %d, want 0", got)
+	}
+}
+
+func TestMigrateWithRecoveryDrivesForwardAfterDecide(t *testing.T) {
+	// Crash after the commit decision: recovery completes the migration
+	// in place, so no retry is needed and recover_completed records it.
+	const rows = 150
+	f := newFixture(t, 2, 2, rows)
+	group := f.c.ShardsOn(1)
+
+	reg := fault.NewRegistry(1)
+	failAt(reg, fault.SiteTmDecided, nil)
+	tr := obs.NewTrace()
+	ctrl := NewController(f.c, retryOpts(reg, tr))
+
+	if _, err := ctrl.MigrateWithRecovery(group, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range group {
+		if owner, _ := f.c.OwnerOf(id); owner != 2 {
+			t.Fatalf("shard %v owner = %v, want destination", id, owner)
+		}
+	}
+	f.verify(t, rows, 2, nil)
+	if got := tr.Counter(obs.CtrRecoverCompleted); got != 1 {
+		t.Errorf("recover_completed = %d, want 1", got)
+	}
+	if got := tr.Counter(obs.CtrMigrationRetries); got != 0 {
+		t.Errorf("migration_retries = %d, want 0", got)
+	}
+}
+
+func TestMigrateWithRecoveryExhaustsAttempts(t *testing.T) {
+	// A permanent fault (fires on every attempt) burns the whole budget;
+	// the final error carries the injected cause and the source still owns
+	// everything.
+	const rows = 80
+	f := newFixture(t, 2, 2, rows)
+	group := f.c.ShardsOn(1)
+
+	reg := fault.NewRegistry(1)
+	reg.Arm(fault.SiteBeforeTm, fault.Action{Err: fault.ErrInjected})
+	tr := obs.NewTrace()
+	opts := retryOpts(reg, tr)
+	opts.Retry.MaxAttempts = 2
+	ctrl := NewController(f.c, opts)
+
+	_, err := ctrl.MigrateWithRecovery(group, 2)
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("exhausted migration = %v, want the injected cause", err)
+	}
+	for _, id := range group {
+		if owner, _ := f.c.OwnerOf(id); owner != 1 {
+			t.Fatalf("shard %v owner = %v, want source after exhaustion", id, owner)
+		}
+	}
+	f.verify(t, rows, 1, nil)
+	if got := tr.Counter(obs.CtrMigrationRetries); got != 1 {
+		t.Errorf("migration_retries = %d, want 1", got)
+	}
+	if got := tr.Counter(obs.CtrRecoverRolledBack); got != 2 {
+		t.Errorf("recover_rolled_back = %d, want 2", got)
+	}
+}
+
+func TestWaitTxnsTimeoutNamesStuckXID(t *testing.T) {
+	// The drain-phase timeout must identify which transaction is stuck:
+	// operators debugging a wedged migration need the xid, not just
+	// "timed out".
+	f := newFixture(t, 2, 2, 10)
+	s, err := f.c.Connect(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := s.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Abort()
+	if err := tx.Update(f.tbl, base.EncodeUint64Key(0), base.Value("x")); err != nil {
+		t.Fatal(err)
+	}
+
+	var stuck *txn.Txn
+	for _, a := range f.c.Node(1).Manager().ActiveTxns() {
+		stuck = a
+	}
+	if stuck == nil {
+		t.Fatal("no active transaction found")
+	}
+	err = waitTxns([]*txn.Txn{stuck}, 30*time.Millisecond)
+	if !errors.Is(err, base.ErrTimeout) {
+		t.Fatalf("waitTxns = %v, want ErrTimeout", err)
+	}
+	if !strings.Contains(err.Error(), stuck.XID.String()) {
+		t.Errorf("timeout error %q does not name the stuck xid %v", err, stuck.XID)
+	}
+}

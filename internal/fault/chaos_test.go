@@ -1,0 +1,383 @@
+package fault_test
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/cluster"
+	"remus/internal/core"
+	"remus/internal/fault"
+	"remus/internal/mvcc"
+	"remus/internal/node"
+	"remus/internal/obs"
+	"remus/internal/shard"
+)
+
+// chaosSeed replays a single randomized schedule:
+//
+//	go test ./internal/fault/ -run TestChaosRandomizedSweep -chaos-seed=7 -v
+//
+// Every schedule ingredient (fault site, crash victim, drop rate, partition
+// window, retry jitter) derives from the seed, so the failing run printed by
+// CI reproduces exactly.
+var chaosSeed = flag.Int64("chaos-seed", 0, "replay one randomized chaos schedule by seed")
+
+const (
+	chaosNodes    = 3
+	chaosShards   = 4
+	chaosAccounts = 128
+	chaosBalance  = 100
+	chaosSum      = chaosAccounts * chaosBalance
+)
+
+// chaosCluster is a three-node cluster with a four-shard bank table, all
+// shards on node 1. Transfers between accounts preserve the total balance,
+// so any lost, duplicated or torn write during a faulty migration shows up
+// as a sum mismatch.
+type chaosCluster struct {
+	c   *cluster.Cluster
+	tbl *shard.Table
+}
+
+func accountKey(i int) base.Key { return base.EncodeUint64Key(uint64(i)) }
+
+func newChaosCluster(t *testing.T) *chaosCluster {
+	t.Helper()
+	store := mvcc.DefaultConfig()
+	store.LockTimeout = 2 * time.Second
+	store.PrepareWaitTimeout = 2 * time.Second
+	c := cluster.New(cluster.Config{Nodes: chaosNodes, Store: store})
+	tbl, err := c.CreateTable("bank", chaosShards, 0, func(int) base.NodeID { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Connect(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := s.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []cluster.KV
+	for i := 0; i < chaosAccounts; i++ {
+		rows = append(rows, cluster.KV{Key: accountKey(i), Value: base.Value(strconv.Itoa(chaosBalance))})
+	}
+	if err := tx.BatchInsert(tbl, rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return &chaosCluster{c: c, tbl: tbl}
+}
+
+// startTransfers runs bank transfers from every node until stop is called.
+// Errors are expected (crashed nodes, migration aborts, partitions) and
+// simply retried with fresh transactions; only committed transfers change
+// balances, and each moves value without creating or destroying it.
+func (cc *chaosCluster) startTransfers(t *testing.T, seed int64, clients int) (stop func()) {
+	t.Helper()
+	stopCh := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		s, err := cc.c.Connect(base.NodeID(i%chaosNodes) + 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed + int64(i)*7919))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopCh:
+					return
+				default:
+				}
+				cc.transfer(s, rng)
+			}
+		}()
+	}
+	return func() {
+		close(stopCh)
+		wg.Wait()
+	}
+}
+
+// transfer moves a small amount between two random accounts; any error
+// aborts the whole transaction (the sum invariant relies on atomicity, not
+// on success).
+func (cc *chaosCluster) transfer(s *cluster.Session, rng *rand.Rand) {
+	from := rng.Intn(chaosAccounts)
+	to := rng.Intn(chaosAccounts)
+	if from == to {
+		return
+	}
+	amount := 1 + rng.Intn(5)
+	tx, err := s.Begin()
+	if err != nil {
+		return
+	}
+	vf, err := tx.Get(cc.tbl, accountKey(from))
+	if err != nil {
+		tx.Abort()
+		return
+	}
+	vt, err := tx.Get(cc.tbl, accountKey(to))
+	if err != nil {
+		tx.Abort()
+		return
+	}
+	bf, _ := strconv.Atoi(string(vf))
+	bt, _ := strconv.Atoi(string(vt))
+	if bf < amount {
+		tx.Abort()
+		return
+	}
+	if err := tx.Update(cc.tbl, accountKey(from), base.Value(strconv.Itoa(bf-amount))); err != nil {
+		tx.Abort()
+		return
+	}
+	if err := tx.Update(cc.tbl, accountKey(to), base.Value(strconv.Itoa(bt+amount))); err != nil {
+		tx.Abort()
+		return
+	}
+	_, _ = tx.Commit()
+}
+
+// quiesce waits for every in-flight transaction and commit-log entry to
+// reach a terminal state, so the invariant checks observe a settled cluster.
+func (cc *chaosCluster) quiesce(t *testing.T, tag string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for _, n := range cc.c.Nodes() {
+		for {
+			active := n.Manager().ActiveTxns()
+			stuck := n.CLOG().InProgress()
+			if len(active) == 0 && len(stuck) == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: node %v did not quiesce: %d active txns, stuck CLOG entries %v",
+					tag, n.ID(), len(active), stuck)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+// verify checks the post-chaos invariants: no stuck prepared entries,
+// exactly one owner per shard, every account present exactly once, and the
+// total balance unchanged under a single SI snapshot.
+func (cc *chaosCluster) verify(t *testing.T, tag string) {
+	t.Helper()
+	cc.quiesce(t, tag)
+
+	for i := 0; i < cc.tbl.NumShards; i++ {
+		id := cc.tbl.FirstShard + base.ShardID(i)
+		owner, err := cc.c.OwnerOf(id)
+		if err != nil {
+			t.Fatalf("%s: shard %v has no owner: %v", tag, id, err)
+		}
+		serving := 0
+		for _, n := range cc.c.Nodes() {
+			switch n.PhaseOf(id) {
+			case node.PhaseNone:
+			case node.PhaseOwned:
+				serving++
+				if n.ID() != owner {
+					t.Errorf("%s: shard %v served by %v but mapped to %v", tag, id, n.ID(), owner)
+				}
+			default:
+				t.Errorf("%s: shard %v still in phase %v on %v after the migration settled",
+					tag, id, n.PhaseOf(id), n.ID())
+			}
+		}
+		if serving != 1 {
+			t.Errorf("%s: shard %v has %d serving copies, want exactly 1", tag, id, serving)
+		}
+	}
+
+	s, err := cc.c.Connect(chaosNodes) // a node that was never src or dst
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := s.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Abort()
+	seen := make(map[string]int)
+	if err := tx.ScanTable(cc.tbl, func(k base.Key, v base.Value) bool {
+		seen[string(k)]++
+		return true
+	}); err != nil {
+		t.Fatalf("%s: scan failed: %v", tag, err)
+	}
+	if len(seen) != chaosAccounts {
+		t.Errorf("%s: scan found %d accounts, want %d (lost or phantom keys)", tag, len(seen), chaosAccounts)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Errorf("%s: account %x visible %d times (duplicated across nodes)", tag, k, n)
+		}
+	}
+	sum := 0
+	for i := 0; i < chaosAccounts; i++ {
+		v, err := tx.Get(cc.tbl, accountKey(i))
+		if err != nil {
+			t.Fatalf("%s: account %d unreadable: %v", tag, i, err)
+		}
+		b, err := strconv.Atoi(string(v))
+		if err != nil {
+			t.Fatalf("%s: account %d holds %q", tag, i, v)
+		}
+		sum += b
+	}
+	if sum != chaosSum {
+		t.Errorf("%s: total balance = %d, want %d (money created or destroyed)", tag, sum, chaosSum)
+	}
+}
+
+func chaosOpts(reg *fault.Registry, seed int64) core.Options {
+	opts := core.DefaultOptions()
+	opts.Workers = 4
+	opts.PhaseTimeout = 5 * time.Second
+	opts.ValidationTimeout = 2 * time.Second
+	opts.Faults = reg
+	opts.Recorder = obs.NewTrace()
+	opts.Retry = core.RetryPolicy{MaxAttempts: 6, Backoff: 50 * time.Millisecond, MaxBackoff: time.Second, Seed: seed}
+	return opts
+}
+
+// TestChaosCrashAtEverySite enumerates every registered failpoint and
+// crashes the source or the destination there, under live transfer load.
+// MigrateWithRecovery must bring each run to a consistent end state: either
+// completed (destination owns the shards) after revive-and-retry, with no
+// lost or duplicated money either way.
+func TestChaosCrashAtEverySite(t *testing.T) {
+	for _, site := range fault.Sites() {
+		for _, victim := range []struct {
+			name string
+			id   base.NodeID
+		}{{"crash-src", 1}, {"crash-dst", 2}} {
+			t.Run(fmt.Sprintf("%s/%s", site, victim.name), func(t *testing.T) {
+				cc := newChaosCluster(t)
+				reg := fault.NewRegistry(1)
+				reg.Arm(site, fault.Action{
+					Do:   cc.c.Node(victim.id).Crash,
+					Err:  fault.ErrInjected,
+					Once: true,
+				})
+				ctrl := core.NewController(cc.c, chaosOpts(reg, 1))
+				stop := cc.startTransfers(t, 1, 3)
+				group := cc.c.ShardsOn(1)
+				_, err := ctrl.MigrateWithRecovery(group, 2)
+				stop()
+				if err != nil {
+					t.Fatalf("site %s, %s: migration unrecovered: %v", site, victim.name, err)
+				}
+				for _, id := range group {
+					if owner, _ := cc.c.OwnerOf(id); owner != 2 {
+						t.Fatalf("site %s, %s: shard %v owner = %v, want destination", site, victim.name, id, owner)
+					}
+				}
+				cc.verify(t, fmt.Sprintf("site %s, %s", site, victim.name))
+			})
+		}
+	}
+}
+
+// TestChaosRandomizedSweep derives a whole fault schedule — site, victim,
+// trigger delay, drop rate, optional partition window — from each seed and
+// asserts the same invariants. A failing seed replays with -chaos-seed.
+func TestChaosRandomizedSweep(t *testing.T) {
+	var seeds []int64
+	n := 12
+	if testing.Short() {
+		n = 4
+	}
+	for s := int64(1); s <= int64(n); s++ {
+		seeds = append(seeds, s)
+	}
+	if *chaosSeed != 0 {
+		seeds = []int64{*chaosSeed}
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runChaosSchedule(t, seed)
+		})
+	}
+}
+
+func runChaosSchedule(t *testing.T, seed int64) {
+	fatalf := func(format string, args ...any) {
+		t.Helper()
+		t.Fatalf("chaos seed %d: %s (replay: go test ./internal/fault/ -run TestChaosRandomizedSweep -chaos-seed=%d)",
+			seed, fmt.Sprintf(format, args...), seed)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cc := newChaosCluster(t)
+
+	sites := fault.Sites()
+	site := sites[rng.Intn(len(sites))]
+	victim := base.NodeID(1 + rng.Intn(2)) // source or destination
+	after := uint64(rng.Intn(3))
+	drop := rng.Float64() * 0.03
+	partition := rng.Intn(2) == 1
+
+	reg := fault.NewRegistry(seed)
+	reg.Arm(site, fault.Action{
+		Do:    cc.c.Node(victim).Crash,
+		Err:   fault.ErrInjected,
+		After: after,
+		Once:  true,
+	})
+	flt := cc.c.Net().InstallFaults(seed)
+	flt.SetDropRate(drop)
+	var partWG sync.WaitGroup
+	if partition {
+		start := time.Duration(10+rng.Intn(30)) * time.Millisecond
+		dur := time.Duration(50+rng.Intn(100)) * time.Millisecond
+		partWG.Add(1)
+		go func() {
+			defer partWG.Done()
+			time.Sleep(start)
+			flt.PartitionBoth(1, 2)
+			time.Sleep(dur)
+			flt.HealAll()
+		}()
+	}
+	t.Logf("chaos seed %d: site=%s victim=%v after=%d drop=%.3f partition=%v",
+		seed, site, victim, after, drop, partition)
+
+	ctrl := core.NewController(cc.c, chaosOpts(reg, seed))
+	stop := cc.startTransfers(t, seed, 3)
+	group := cc.c.ShardsOn(1)
+	_, err := ctrl.MigrateWithRecovery(group, 2)
+	stop()
+	partWG.Wait()
+	flt.HealAll()
+	cc.c.Net().ClearFaults()
+	for _, n := range cc.c.Nodes() {
+		if n.Crashed() {
+			n.Recover()
+		}
+	}
+	if err != nil {
+		fatalf("migration unrecovered: %v", err)
+	}
+	for _, id := range group {
+		if owner, oerr := cc.c.OwnerOf(id); owner != 2 {
+			fatalf("shard %v owner = %v (%v), want destination", id, owner, oerr)
+		}
+	}
+	cc.verify(t, fmt.Sprintf("chaos seed %d", seed))
+}

@@ -1,0 +1,126 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	if err := r.Eval(SiteBeforeTm); err != nil {
+		t.Fatalf("nil registry injected %v", err)
+	}
+	r.Arm(SiteBeforeTm, Action{Err: ErrInjected}) // must not panic
+	if r.Hits(SiteBeforeTm) != 0 || r.Seed() != 0 {
+		t.Fatal("nil registry reported state")
+	}
+}
+
+func TestEvalFiresAndWraps(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(SiteTmPrepared, Action{Err: ErrInjected})
+	err := r.Eval(SiteTmPrepared)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if r.Hits(SiteTmPrepared) != 1 || r.Fired(SiteTmPrepared) != 1 {
+		t.Fatalf("hits/fired = %d/%d", r.Hits(SiteTmPrepared), r.Fired(SiteTmPrepared))
+	}
+	// Unarmed sites stay silent but still count hits.
+	if err := r.Eval(SiteBeforeTm); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+	if r.Hits(SiteBeforeTm) != 1 {
+		t.Fatal("unarmed hit not counted")
+	}
+}
+
+func TestAfterAndOnce(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(SiteShipBatch, Action{Err: ErrInjected, After: 2, Once: true})
+	for i := 0; i < 2; i++ {
+		if err := r.Eval(SiteShipBatch); err != nil {
+			t.Fatalf("hit %d fired early: %v", i+1, err)
+		}
+	}
+	if err := r.Eval(SiteShipBatch); err == nil {
+		t.Fatal("hit 3 did not fire")
+	}
+	// Once: disarmed after firing.
+	if err := r.Eval(SiteShipBatch); err != nil {
+		t.Fatalf("fired twice despite Once: %v", err)
+	}
+}
+
+func TestDoRunsWithoutErr(t *testing.T) {
+	r := NewRegistry(1)
+	ran := false
+	r.Arm(SiteAfterSnapshot, Action{Do: func() { ran = true }, Once: true})
+	if err := r.Eval(SiteAfterSnapshot); err != nil {
+		t.Fatalf("Err-less action returned %v", err)
+	}
+	if !ran {
+		t.Fatal("Do did not run")
+	}
+}
+
+func TestProbIsSeedDeterministic(t *testing.T) {
+	run := func(seed int64) []bool {
+		r := NewRegistry(seed)
+		r.Arm(SiteSnapshotChunk, Action{Err: ErrInjected, Prob: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = r.Eval(SiteSnapshotChunk) != nil
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules (suspicious)")
+	}
+}
+
+func TestPause(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(SiteBeforeCleanup, Action{Pause: 20 * time.Millisecond, Once: true})
+	start := time.Now()
+	if err := r.Eval(SiteBeforeCleanup); err != nil {
+		t.Fatalf("pause action returned %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("pause too short: %v", d)
+	}
+}
+
+func TestSitesCoverConstants(t *testing.T) {
+	sites := Sites()
+	if len(sites) < 10 {
+		t.Fatalf("registered sites = %d, want >= 10", len(sites))
+	}
+	seen := make(map[Site]bool)
+	for _, s := range sites {
+		if seen[s] {
+			t.Fatalf("duplicate site %s", s)
+		}
+		seen[s] = true
+	}
+	for _, s := range []Site{SiteBeforeSnapshot, SiteTmPrepared, SiteTmDecided, SiteTmCommitted, SiteSnapshotChunk, SiteShipBatch} {
+		if !seen[s] {
+			t.Fatalf("site %s missing from Sites()", s)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 package node
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -440,7 +441,17 @@ func (n *Node) Get(t *txn.Txn, shardID base.ShardID, key base.Key) (base.Value, 
 	}
 	n.Counters.ForegroundOps.Add(1)
 	st.load.TouchRead(uint64(t.GlobalID))
-	return t.Read(st.store, key)
+	v, err := t.Read(st.store, key)
+	if errors.Is(err, base.ErrKeyNotFound) {
+		// The store is read without the shard lock, so a migration cleanup
+		// may have dropped the shard (and emptied the store) mid-read. A
+		// miss that races the drop must surface as ErrShardMoved — a bare
+		// not-found here would be an SI anomaly the client cannot retry.
+		if _, aerr := n.access(t.StartTS, shardID); aerr != nil {
+			return nil, aerr
+		}
+	}
+	return v, err
 }
 
 // Write executes a mutation for a participant transaction.
@@ -459,7 +470,16 @@ func (n *Node) Write(t *txn.Txn, shardID base.ShardID, kind mvcc.WriteKind, key 
 	table, _ := n.TableOf(shardID)
 	n.Counters.ForegroundOps.Add(1)
 	st.load.TouchWrite(uint64(t.GlobalID))
-	return t.Write(st.store, table, shardID, kind, key, value)
+	if err := t.Write(st.store, table, shardID, kind, key, value); err != nil {
+		return err
+	}
+	// Same post-statement residency check as Get: a write that raced the
+	// shard drop landed in a retired store and would be silently lost if
+	// the transaction were allowed to commit.
+	if _, err := n.access(t.StartTS, shardID); err != nil {
+		return err
+	}
+	return nil
 }
 
 // Scan executes a range scan over one shard.
@@ -477,7 +497,15 @@ func (n *Node) Scan(t *txn.Txn, shardID base.ShardID, lo, hi base.Key, fn func(b
 	}
 	n.Counters.ForegroundOps.Add(1)
 	st.load.TouchRead(uint64(t.GlobalID))
-	return t.Scan(st.store, lo, hi, fn)
+	if err := t.Scan(st.store, lo, hi, fn); err != nil {
+		return err
+	}
+	// A scan that raced the shard drop may have silently skipped rows, so
+	// (unlike Get) even a "successful" result needs the residency check.
+	if _, err := n.access(t.StartTS, shardID); err != nil {
+		return err
+	}
+	return nil
 }
 
 // ApplyWrite executes a mutation on a shard regardless of its phase. The

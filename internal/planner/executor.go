@@ -263,7 +263,7 @@ func (e *Executor) RunOnce() int {
 			e.history = append(e.history, ExecutedMove{At: time.Now(), Plan: p, Err: err, TimedO: timedOut})
 			e.mu.Unlock()
 			if err != nil {
-				e.fail(p, err)
+				e.fail(p, err, timedOut)
 				return
 			}
 			e.succeed(p)
@@ -323,8 +323,20 @@ func (e *Executor) succeed(p MovePlan) {
 	e.event(p, obs.CausePlanExecuted, "")
 }
 
-func (e *Executor) fail(p MovePlan, err error) {
+func (e *Executor) fail(p MovePlan, err error, timedOut bool) {
 	e.mu.Lock()
+	// A failed (crashed, faulted) move never landed: lift the up-front
+	// cooldown stamp so the same plan is retryable after the backoff
+	// instead of being suppressed as "recently moved" for a full cooldown.
+	// A timed-out move is left stamped — it may still complete later, and
+	// re-running it concurrently could double-migrate the shards.
+	if !timedOut {
+		for _, id := range p.Shards {
+			if rec, ok := e.lastMove[id]; ok && rec.from == p.Src && rec.to == p.Dst {
+				delete(e.lastMove, id)
+			}
+		}
+	}
 	if e.backoff == 0 {
 		e.backoff = e.cfg.Backoff
 	} else if e.backoff *= 2; e.backoff > e.cfg.MaxBackoff {

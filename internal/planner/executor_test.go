@@ -171,6 +171,35 @@ func TestExecutorMoveTimeout(t *testing.T) {
 	}
 }
 
+func TestExecutorFailedMoveIsRetryable(t *testing.T) {
+	// A move that fails outright (node crash mid-migration) must not leave
+	// its shards stamped "recently moved": with an hour-long cooldown the
+	// retry would otherwise be suppressed until the next restart.
+	pol := &stubPolicy{plans: []MovePlan{
+		{Shards: []base.ShardID{5}, Src: 1, Dst: 2, Reason: "stub", Gain: 5},
+	}}
+	mig := &recordingMigrator{failN: 1}
+	e := NewExecutor(&stubSource{}, mig, Config{
+		Cooldown: time.Hour,
+		Backoff:  10 * time.Millisecond,
+		Policies: []Policy{pol},
+	})
+	if got := e.RunOnce(); got != 0 {
+		t.Fatalf("failed cycle reported %d successes", got)
+	}
+	time.Sleep(20 * time.Millisecond) // let the backoff lapse
+	if got := e.RunOnce(); got != 1 {
+		t.Fatalf("retry cycle executed %d moves, want 1", got)
+	}
+	if mig.count() != 1 {
+		t.Fatalf("migrator succeeded %d times, want 1", mig.count())
+	}
+	// The successful retry re-stamps the cooldown: a third cycle is quiet.
+	if got := e.RunOnce(); got != 0 {
+		t.Fatalf("post-success cycle executed %d moves", got)
+	}
+}
+
 // driveTraffic runs skewed single-statement updates against the table until
 // stop, from a handful of client goroutines.
 func driveTraffic(t *testing.T, c *cluster.Cluster, y *workload.YCSB, clients int) (stop func()) {

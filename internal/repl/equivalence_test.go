@@ -26,7 +26,7 @@ func TestReplayEquivalenceRandomHistory(t *testing.T) {
 			}
 			snapTS := p.src.Oracle().StartTS()
 			startLSN := p.src.WAL().FlushLSN() + 1
-			if _, err := CopySnapshot(p.src, p.dst, testShard, snapTS, 0, nil); err != nil {
+			if _, err := CopySnapshot(p.src, p.dst, testShard, snapTS, 0, nil, nil); err != nil {
 				t.Fatal(err)
 			}
 			_, prop := p.startStream(t, snapTS, startLSN, nil, 6)

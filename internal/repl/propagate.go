@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"remus/internal/base"
+	"remus/internal/fault"
 	"remus/internal/node"
 	"remus/internal/obs"
 	"remus/internal/wal"
@@ -27,6 +28,10 @@ type PropagatorConfig struct {
 	SpillThreshold int
 	// SpillDir is the directory for spill files ("" = os.TempDir).
 	SpillDir string
+	// Faults, if non-nil, is evaluated (fault.SiteShipBatch) before each
+	// shipped batch; an injected error fails the stream like a real
+	// transport failure would.
+	Faults *fault.Registry
 	// Recorder, if non-nil, receives shipping counters and catch-up lag
 	// samples.
 	Recorder obs.Recorder
@@ -46,6 +51,10 @@ type Propagator struct {
 	stop     chan struct{}
 	done     chan struct{}
 	consumed atomic.Uint64 // last WAL LSN processed
+	// unshippedLow is the lowest LSN among consumed records that never
+	// reached the replayer (lost ship batches; queues dying with the
+	// stream). Written only by the propagation loop, read by PendingLowLSN.
+	unshippedLow atomic.Uint64
 
 	mu        sync.Mutex
 	queues    map[base.XID]*queue
@@ -200,7 +209,12 @@ func (p *Propagator) loop() {
 	defer close(p.done)
 	defer func() {
 		p.mu.Lock()
+		// Queued-but-unshipped records die with the stream; fold their low
+		// LSN into the unshipped floor so a drive-forward rebuild restarts
+		// below them (PendingLowLSN) instead of re-extracting their
+		// transactions partially.
 		for _, q := range p.queues {
+			p.noteUnshipped(q.first)
 			q.release()
 		}
 		p.queues = nil
@@ -220,16 +234,25 @@ func (p *Propagator) loop() {
 			p.fail(err)
 			return
 		}
-		p.handle(rec)
+		if err := p.handle(rec); err != nil {
+			// Dead stream: stop consuming so the cursor stays below the
+			// failing record. Advancing past it — or handling further
+			// records — would move the rebuild restart position beyond
+			// transactions that were never delivered.
+			p.fail(err)
+			return
+		}
 		p.consumed.Store(uint64(rec.LSN))
 	}
 }
 
-func (p *Propagator) handle(rec wal.Record) {
+// handle processes one WAL record. A non-nil error means the stream is
+// dead and the record (plus anything after it) was not absorbed.
+func (p *Propagator) handle(rec wal.Record) error {
 	switch {
 	case rec.Type.IsChange():
 		if !p.cfg.Shards[rec.Shard] {
-			return
+			return nil
 		}
 		p.src.Counters.PropagationOps.Add(1)
 		p.mu.Lock()
@@ -251,14 +274,17 @@ func (p *Propagator) handle(rec wal.Record) {
 			}
 		}
 		if err != nil {
-			p.fail(err)
+			return err
 		}
 
 	case rec.Type == wal.RecPrepare && rec.Validation:
 		// MOCC validation stage: ship the queue now and validate on the
 		// destination; the source transaction is blocked in its commit gate
 		// until the replayer's sink delivers the outcome.
-		records, bytes, ok := p.takeQueue(rec.XID)
+		records, bytes, ok, err := p.takeQueue(rec.XID)
+		if err != nil {
+			return err
+		}
 		if !ok {
 			// The transaction wrote migrating shards according to its gate
 			// but nothing reached this propagator's shard set (e.g. a
@@ -269,7 +295,15 @@ func (p *Propagator) handle(rec wal.Record) {
 		p.mu.Lock()
 		p.validated[rec.XID] = true
 		p.mu.Unlock()
-		p.ship(len(records), bytes)
+		if err := p.ship(len(records), bytes); err != nil {
+			// The validation batch never reached the destination: the
+			// source transaction stays parked until recovery aborts the
+			// waiters (§3.7); failing the stream stops the migration.
+			if len(records) > 0 {
+				p.noteUnshipped(records[0].LSN)
+			}
+			return err
+		}
 		p.rep.SubmitValidate(rec.XID, rec.Txn, rec.StartTS, records)
 
 	case rec.Type == wal.RecCommit:
@@ -280,20 +314,32 @@ func (p *Propagator) handle(rec wal.Record) {
 		if wasValidated {
 			p.src.Net().Account(64)
 			p.rep.SubmitCommitShadow(rec.XID, rec.CommitTS)
-			return
+			return nil
 		}
-		records, bytes, ok := p.takeQueue(rec.XID)
+		records, bytes, ok, err := p.takeQueue(rec.XID)
+		if err != nil {
+			return err
+		}
 		if !ok {
-			return // transaction did not touch the migrating shards
+			return nil // transaction did not touch the migrating shards
 		}
 		if rec.CommitTS <= p.cfg.SnapTS {
 			p.droppedTxns.Add(1)
 			if r := p.cfg.Recorder; r != nil {
 				r.Add(obs.CtrDroppedTxns, 1)
 			}
-			return // covered by the snapshot copy
+			return nil // covered by the snapshot copy
 		}
-		p.ship(len(records), bytes)
+		if err := p.ship(len(records), bytes); err != nil {
+			// The batch was lost with its queue and its commit record is
+			// about to sit below the cursor: record the batch's low LSN so
+			// a drive-forward rebuild restarts below it and re-extracts
+			// the whole transaction instead of silently skipping it.
+			if len(records) > 0 {
+				p.noteUnshipped(records[0].LSN)
+			}
+			return err
+		}
 		p.rep.SubmitApply(rec.XID, rec.Txn, rec.StartTS, rec.CommitTS, records)
 
 	case rec.Type == wal.RecAbort:
@@ -313,42 +359,88 @@ func (p *Propagator) handle(rec wal.Record) {
 			p.rep.SubmitAbortShadow(rec.XID)
 		}
 	}
+	return nil
 }
 
-func (p *Propagator) takeQueue(xid base.XID) ([]wal.Record, int, bool) {
+func (p *Propagator) takeQueue(xid base.XID) ([]wal.Record, int, bool, error) {
 	p.mu.Lock()
 	q := p.queues[xid]
 	delete(p.queues, xid)
 	p.mu.Unlock()
 	if q == nil {
-		return nil, 0, false
+		return nil, 0, false, nil
 	}
 	bytes := q.bytes
 	records, err := q.take()
 	if err != nil {
-		p.fail(err)
-		return nil, 0, false
+		// The spill reload failure destroyed the queue with it; make sure
+		// a rebuild re-extracts the transaction from the WAL.
+		p.noteUnshipped(q.first)
+		return nil, 0, false, err
 	}
-	return records, bytes, true
+	return records, bytes, true, nil
+}
+
+// noteUnshipped lowers the unshipped floor to lsn (0 is ignored). Called
+// only from the propagation loop goroutine.
+func (p *Propagator) noteUnshipped(lsn wal.LSN) {
+	if lsn == 0 {
+		return
+	}
+	if cur := p.unshippedLow.Load(); cur == 0 || uint64(lsn) < cur {
+		p.unshippedLow.Store(uint64(lsn))
+	}
+}
+
+// PendingLowLSN returns the lowest WAL LSN among records this propagator
+// consumed but never delivered to the replayer: queued updates of
+// still-open transactions plus batches lost to a failed ship. A
+// drive-forward rebuild (§3.7) must restart its replacement stream at or
+// below this position — Consumed() alone can overshoot, because the commit
+// record of a transaction whose early updates sat in a lost in-memory
+// queue may already be behind the cursor, and restarting above those
+// updates would re-extract the transaction partially (a torn shadow
+// commit on the destination). Returns 0 when nothing is pending.
+// Restarting lower than necessary is always safe: re-delivered
+// transactions are rejected whole by first-updater-wins.
+func (p *Propagator) PendingLowLSN() wal.LSN {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	low := wal.LSN(p.unshippedLow.Load())
+	for _, q := range p.queues {
+		if q.first != 0 && (low == 0 || q.first < low) {
+			low = q.first
+		}
+	}
+	return low
 }
 
 // ship charges the network for a transaction's change batch. The stream is
 // pipelined: bytes are accounted immediately and the bandwidth cost accrues
 // as debt slept off in coarse slices, so the propagation loop is never
-// serialized behind sub-millisecond timer sleeps.
-func (p *Propagator) ship(records, bytes int) {
+// serialized behind sub-millisecond timer sleeps. The batch first passes
+// the fault.SiteShipBatch failpoint and then the src→dst link, either of
+// which can fail it (injected error, drop budget exhausted, partition).
+func (p *Propagator) ship(records, bytes int) error {
+	if err := p.cfg.Faults.Eval(fault.SiteShipBatch); err != nil {
+		return err
+	}
+	net := p.src.Net()
+	cost, err := net.StreamBetween(p.src.ID(), p.rep.NodeID(), bytes+64)
+	if err != nil {
+		return err
+	}
 	p.shippedTxns.Add(1)
 	p.shippedRecords.Add(uint64(records))
 	if r := p.cfg.Recorder; r != nil {
 		r.Add(obs.CtrShippedTxns, 1)
 		r.Add(obs.CtrShippedRecords, uint64(records))
 	}
-	net := p.src.Net()
-	net.Account(bytes + 64)
-	p.streamDebt += net.TransferTime(bytes + 64)
+	p.streamDebt += cost
 	if p.streamDebt >= time.Millisecond {
 		d := p.streamDebt
 		p.streamDebt = 0
 		time.Sleep(d)
 	}
+	return nil
 }

@@ -65,7 +65,7 @@ func TestCopySnapshotBasic(t *testing.T) {
 		p.put(t, mvcc.WriteInsert, fmt.Sprintf("k%03d", i), "v")
 	}
 	snapTS := p.src.Oracle().StartTS()
-	stats, err := CopySnapshot(p.src, p.dst, testShard, snapTS, 1024, nil)
+	stats, err := CopySnapshot(p.src, p.dst, testShard, snapTS, 1024, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestCopySnapshotExcludesNewerCommits(t *testing.T) {
 	p.put(t, mvcc.WriteInsert, "k", "old")
 	snapTS := p.src.Oracle().StartTS()
 	p.put(t, mvcc.WriteUpdate, "k", "new") // after the snapshot
-	stats, err := CopySnapshot(p.src, p.dst, testShard, snapTS, 0, nil)
+	stats, err := CopySnapshot(p.src, p.dst, testShard, snapTS, 0, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,11 +103,11 @@ func TestCopySnapshotExcludesNewerCommits(t *testing.T) {
 
 func TestCopySnapshotMissingShards(t *testing.T) {
 	p := newPair(t)
-	if _, err := CopySnapshot(p.src, p.dst, 999, 1, 0, nil); err == nil {
+	if _, err := CopySnapshot(p.src, p.dst, 999, 1, 0, nil, nil); err == nil {
 		t.Error("copy of unknown shard succeeded")
 	}
 	p.src.AddShard(11, 1, node.PhaseOwned)
-	if _, err := CopySnapshot(p.src, p.dst, 11, 1, 0, nil); err == nil {
+	if _, err := CopySnapshot(p.src, p.dst, 11, 1, 0, nil, nil); err == nil {
 		t.Error("copy without destination store succeeded")
 	}
 }
@@ -133,7 +133,7 @@ func TestAsyncPropagationAppliesCommits(t *testing.T) {
 	p.put(t, mvcc.WriteInsert, "seed", "v")
 	snapTS := p.src.Oracle().StartTS()
 	startLSN := p.src.WAL().FlushLSN() + 1
-	if _, err := CopySnapshot(p.src, p.dst, testShard, snapTS, 0, nil); err != nil {
+	if _, err := CopySnapshot(p.src, p.dst, testShard, snapTS, 0, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	_, prop := p.startStream(t, snapTS, startLSN, nil, 4)
@@ -162,7 +162,7 @@ func TestPropagationDropsPreSnapshotAndForeignShards(t *testing.T) {
 	startLSN := p.src.WAL().FlushLSN() + 1
 	p.put(t, mvcc.WriteInsert, "early", "v") // commits before snapTS
 	snapTS := p.src.Oracle().StartTS()
-	if _, err := CopySnapshot(p.src, p.dst, testShard, snapTS, 0, nil); err != nil {
+	if _, err := CopySnapshot(p.src, p.dst, testShard, snapTS, 0, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	_, prop := p.startStream(t, snapTS, startLSN, nil, 2)
@@ -191,7 +191,7 @@ func TestPropagationDropsAbortedTxns(t *testing.T) {
 	p := newPair(t)
 	snapTS := p.src.Oracle().StartTS()
 	startLSN := p.src.WAL().FlushLSN() + 1
-	if _, err := CopySnapshot(p.src, p.dst, testShard, snapTS, 0, nil); err != nil {
+	if _, err := CopySnapshot(p.src, p.dst, testShard, snapTS, 0, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	_, prop := p.startStream(t, snapTS, startLSN, nil, 2)
@@ -219,7 +219,7 @@ func TestParallelApplyPreservesPerKeyOrder(t *testing.T) {
 	}
 	snapTS := p.src.Oracle().StartTS()
 	startLSN := p.src.WAL().FlushLSN() + 1
-	if _, err := CopySnapshot(p.src, p.dst, testShard, snapTS, 0, nil); err != nil {
+	if _, err := CopySnapshot(p.src, p.dst, testShard, snapTS, 0, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	_, prop := p.startStream(t, snapTS, startLSN, nil, 8)
@@ -246,7 +246,7 @@ func TestSpillToDisk(t *testing.T) {
 	p := newPair(t)
 	snapTS := p.src.Oracle().StartTS()
 	startLSN := p.src.WAL().FlushLSN() + 1
-	if _, err := CopySnapshot(p.src, p.dst, testShard, snapTS, 0, nil); err != nil {
+	if _, err := CopySnapshot(p.src, p.dst, testShard, snapTS, 0, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	rep := NewReplayer(p.dst, 2, nil, nil)
@@ -352,7 +352,7 @@ func TestSyncValidationCommitFlow(t *testing.T) {
 	p.put(t, mvcc.WriteInsert, "k", "v0")
 	snapTS := p.src.Oracle().StartTS()
 	startLSN := p.src.WAL().FlushLSN() + 1
-	if _, err := CopySnapshot(p.src, p.dst, testShard, snapTS, 0, nil); err != nil {
+	if _, err := CopySnapshot(p.src, p.dst, testShard, snapTS, 0, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	gate := newTestGate(testShard)
@@ -379,7 +379,7 @@ func TestSyncValidationWWConflictAbortsSource(t *testing.T) {
 	p.put(t, mvcc.WriteInsert, "k", "v0")
 	snapTS := p.src.Oracle().StartTS()
 	startLSN := p.src.WAL().FlushLSN() + 1
-	if _, err := CopySnapshot(p.src, p.dst, testShard, snapTS, 0, nil); err != nil {
+	if _, err := CopySnapshot(p.src, p.dst, testShard, snapTS, 0, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	gate := newTestGate(testShard)
@@ -423,7 +423,7 @@ func TestValidatedTxnAbortRollsBackShadow(t *testing.T) {
 	p := newPair(t)
 	snapTS := p.src.Oracle().StartTS()
 	startLSN := p.src.WAL().FlushLSN() + 1
-	if _, err := CopySnapshot(p.src, p.dst, testShard, snapTS, 0, nil); err != nil {
+	if _, err := CopySnapshot(p.src, p.dst, testShard, snapTS, 0, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	gate := newTestGate(testShard)
@@ -458,7 +458,7 @@ func TestPreparedShadowBlocksDestinationReaders(t *testing.T) {
 	p := newPair(t)
 	snapTS := p.src.Oracle().StartTS()
 	startLSN := p.src.WAL().FlushLSN() + 1
-	if _, err := CopySnapshot(p.src, p.dst, testShard, snapTS, 0, nil); err != nil {
+	if _, err := CopySnapshot(p.src, p.dst, testShard, snapTS, 0, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	gate := newTestGate(testShard)
@@ -503,7 +503,7 @@ func TestWaitAppliedBarrier(t *testing.T) {
 	p := newPair(t)
 	snapTS := p.src.Oracle().StartTS()
 	startLSN := p.src.WAL().FlushLSN() + 1
-	if _, err := CopySnapshot(p.src, p.dst, testShard, snapTS, 0, nil); err != nil {
+	if _, err := CopySnapshot(p.src, p.dst, testShard, snapTS, 0, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	_, prop := p.startStream(t, snapTS, startLSN, nil, 4)
@@ -528,7 +528,7 @@ func TestResolveResidualShadow(t *testing.T) {
 	p := newPair(t)
 	snapTS := p.src.Oracle().StartTS()
 	startLSN := p.src.WAL().FlushLSN() + 1
-	if _, err := CopySnapshot(p.src, p.dst, testShard, snapTS, 0, nil); err != nil {
+	if _, err := CopySnapshot(p.src, p.dst, testShard, snapTS, 0, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	gate := newTestGate(testShard)

@@ -66,6 +66,10 @@ type shadowState struct {
 // Replayer applies propagated source transactions on the destination node,
 // in source commit order per tuple, in parallel across disjoint
 // transactions.
+// NodeID returns the destination node's id (the receive end of the link the
+// propagator ships over).
+func (r *Replayer) NodeID() base.NodeID { return r.dst.ID() }
+
 type Replayer struct {
 	dst     *node.Node
 	workers int
@@ -78,6 +82,13 @@ type Replayer struct {
 	shadows  map[base.XID]*shadowState
 	enqueued uint64
 	closed   bool
+
+	// closing unsticks enqueuers blocked on a full task queue when Close
+	// runs (a dead migration's propagator must not deadlock recovery), and
+	// sendWG lets Close wait until no sender is mid-send before the task
+	// channel itself is closed.
+	closing chan struct{}
+	sendWG  sync.WaitGroup
 
 	completed atomic.Uint64
 	applied   atomic.Uint64 // records applied
@@ -106,6 +117,7 @@ func NewReplayer(dst *node.Node, workers int, sink func(base.XID, error), rec ob
 		tasks:    make(chan *task, 4096),
 		lastByKy: make(map[depKey]*task),
 		shadows:  make(map[base.XID]*shadowState),
+		closing:  make(chan struct{}),
 		sink:     sink,
 	}
 	r.barrierC = sync.NewCond(&r.barrierMu)
@@ -116,7 +128,11 @@ func NewReplayer(dst *node.Node, workers int, sink func(base.XID, error), rec ob
 	return r
 }
 
-// Close drains and stops the workers.
+// Close drains and stops the workers. An enqueuer blocked on a full task
+// queue is released with a "replayer closed" outcome instead of being
+// drained — Close must terminate even when the queue jammed (e.g. a crashed
+// migration's validation convoy, where prepared shadows hold row locks whose
+// releases sit behind thousands of queued tasks).
 func (r *Replayer) Close() {
 	r.mu.Lock()
 	if r.closed {
@@ -125,6 +141,8 @@ func (r *Replayer) Close() {
 	}
 	r.closed = true
 	r.mu.Unlock()
+	close(r.closing)
+	r.sendWG.Wait() // no sender may be mid-send when the channel closes
 	close(r.tasks)
 	r.wg.Wait()
 }
@@ -165,8 +183,19 @@ func (r *Replayer) enqueue(t *task) {
 		r.lastByKy[k] = t
 	}
 	r.enqueued++
+	r.sendWG.Add(1) // under mu: Close sets closed before it waits
 	r.mu.Unlock()
-	r.tasks <- t
+	defer r.sendWG.Done()
+	select {
+	case r.tasks <- t:
+	case <-r.closing:
+		t.err = fmt.Errorf("replayer closed")
+		r.completed.Add(1) // keep the enqueued/completed barrier balanced
+		close(t.done)
+		r.barrierMu.Lock()
+		r.barrierC.Broadcast()
+		r.barrierMu.Unlock()
+	}
 }
 
 // SubmitApply schedules the async-phase replay of a committed source
@@ -223,7 +252,19 @@ func (r *Replayer) worker() {
 		for _, dep := range t.deps {
 			<-dep.done
 		}
-		t.err = r.run(t)
+		select {
+		case <-r.closing:
+			// Close is draining the queue: fail the task without touching
+			// the store. A jammed validation convoy would otherwise cost a
+			// full lock-timeout per queued task, stalling Close for minutes;
+			// whoever closed the replayer resolves leftover shadows itself.
+			t.err = fmt.Errorf("replayer closed")
+			if t.kind == taskValidate && r.sink != nil {
+				r.sink(t.xid, t.err)
+			}
+		default:
+			t.err = r.run(t)
+		}
 		r.completed.Add(1)
 		close(t.done)
 		r.barrierMu.Lock()

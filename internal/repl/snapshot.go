@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"remus/internal/base"
+	"remus/internal/fault"
 	"remus/internal/node"
 	"remus/internal/obs"
 )
@@ -18,9 +19,11 @@ type SnapshotStats struct {
 // (§3.2): scan the versions committed at or before snapTS and install them
 // on the destination with the reserved minimal commit timestamp, batching
 // batchBytes per network send. The scan and installation stream tuple by
-// tuple; no extra copy of the shard is materialized. rec may be nil
-// (observability disabled).
-func CopySnapshot(src, dst *node.Node, shardID base.ShardID, snapTS base.Timestamp, batchBytes int, rec obs.Recorder) (SnapshotStats, error) {
+// tuple; no extra copy of the shard is materialized. Each batch evaluates
+// the fault.SiteSnapshotChunk failpoint and rides the src→dst link, so
+// injected crashes, drops and partitions interrupt the copy mid-stream.
+// faults and rec may be nil (injection/observability disabled).
+func CopySnapshot(src, dst *node.Node, shardID base.ShardID, snapTS base.Timestamp, batchBytes int, faults *fault.Registry, rec obs.Recorder) (SnapshotStats, error) {
 	if batchBytes <= 0 {
 		batchBytes = 256 << 10
 	}
@@ -40,11 +43,19 @@ func CopySnapshot(src, dst *node.Node, shardID base.ShardID, snapTS base.Timesta
 		v base.Value
 	}
 	var batch []kv
+	var flushErr error
 	flush := func() {
-		if pending == 0 {
+		if pending == 0 || flushErr != nil {
 			return
 		}
-		src.Net().Send(pending)
+		if err := faults.Eval(fault.SiteSnapshotChunk); err != nil {
+			flushErr = fmt.Errorf("repl: snapshot chunk of %v: %w", shardID, err)
+			return
+		}
+		if err := src.Net().SendBetween(src.ID(), dst.ID(), pending); err != nil {
+			flushErr = fmt.Errorf("repl: snapshot chunk of %v: %w", shardID, err)
+			return
+		}
 		for _, e := range batch {
 			dstStore.InstallBootstrap(e.k, e.v)
 			dst.Counters.SnapshotOps.Add(1)
@@ -61,12 +72,18 @@ func CopySnapshot(src, dst *node.Node, shardID base.ShardID, snapTS base.Timesta
 		if pending >= batchBytes {
 			flush()
 		}
-		return true
+		return flushErr == nil
 	})
+	if flushErr != nil {
+		return stats, flushErr
+	}
 	if err != nil {
 		return stats, fmt.Errorf("repl: snapshot scan of %v: %w", shardID, err)
 	}
 	flush()
+	if flushErr != nil {
+		return stats, flushErr
+	}
 	if rec != nil {
 		rec.Add(obs.CtrSnapshotTuples, uint64(stats.Tuples))
 		rec.Add(obs.CtrSnapshotBytes, uint64(stats.Bytes))

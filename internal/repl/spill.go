@@ -58,6 +58,7 @@ func (s *spillFile) close() {
 
 // queue is one transaction's update cache queue.
 type queue struct {
+	first   wal.LSN // LSN of the first record added (0 while empty)
 	records []wal.Record
 	spill   *spillFile
 	count   int
@@ -65,6 +66,9 @@ type queue struct {
 }
 
 func (q *queue) add(rec wal.Record, spillThreshold int, spillDir string) error {
+	if q.first == 0 {
+		q.first = rec.LSN
+	}
 	q.records = append(q.records, rec)
 	q.count++
 	q.bytes += rec.Size()

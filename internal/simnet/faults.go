@@ -1,0 +1,230 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/obs"
+)
+
+// link is one direction of a node pair.
+type link struct {
+	from, to base.NodeID
+}
+
+// Faults is the per-link fault plane of the interconnect: probabilistic
+// message drop (paid as retransmit delay), extra delay spikes, and directed
+// partitions. All randomness comes from one seeded *rand.Rand, so a lossy
+// run replays from its seed. The zero state injects nothing; install with
+// Network.InstallFaults.
+type Faults struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	seed      int64
+	drop      float64
+	spikeProb float64
+	spikeDur  time.Duration
+	parts     map[link]struct{}
+
+	drops   uint64
+	spikes  uint64
+	rejects uint64
+}
+
+// maxRetransmits bounds the drop retry loop: a message dropped this many
+// times in a row is reported unreachable (the link is effectively dead at
+// that loss rate), matching how a real RPC layer gives up after its retry
+// budget.
+const maxRetransmits = 10
+
+// SetDropRate sets the per-message drop probability in [0, 1). Each drop
+// costs one retransmit timeout of extra delay.
+func (f *Faults) SetDropRate(p float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.drop = p
+}
+
+// SetDelaySpikes makes each message suffer an extra delay d with
+// probability prob (tail-latency spikes).
+func (f *Faults) SetDelaySpikes(prob float64, d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.spikeProb = prob
+	f.spikeDur = d
+}
+
+// Partition cuts the directed link a→b: sends from a to b fail with
+// base.ErrUnreachable until healed.
+func (f *Faults) Partition(a, b base.NodeID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.parts[link{a, b}] = struct{}{}
+}
+
+// PartitionBoth cuts both directions between a and b.
+func (f *Faults) PartitionBoth(a, b base.NodeID) {
+	f.Partition(a, b)
+	f.Partition(b, a)
+}
+
+// Heal restores the directed link a→b.
+func (f *Faults) Heal(a, b base.NodeID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.parts, link{a, b})
+}
+
+// HealAll removes every partition (drop/spike settings are kept).
+func (f *Faults) HealAll() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.parts = make(map[link]struct{})
+}
+
+// Partitioned reports whether the directed link a→b is cut.
+func (f *Faults) Partitioned(a, b base.NodeID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_, ok := f.parts[link{a, b}]
+	return ok
+}
+
+// Seed returns the fault plane's rng seed.
+func (f *Faults) Seed() int64 { return f.seed }
+
+// Drops reports messages dropped (each paid a retransmit delay).
+func (f *Faults) Drops() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.drops
+}
+
+// Spikes reports delay spikes injected.
+func (f *Faults) Spikes() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.spikes
+}
+
+// Rejects reports sends refused by partitions (or exhausted retransmits).
+func (f *Faults) Rejects() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rejects
+}
+
+// admit decides one message's fate on the directed link: the extra delay it
+// suffers (retransmits, spikes), how many drops occurred, and whether it is
+// deliverable at all.
+func (f *Faults) admit(from, to base.NodeID, rto time.Duration) (extra time.Duration, drops int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, cut := f.parts[link{from, to}]; cut {
+		f.rejects++
+		return 0, 0, fmt.Errorf("simnet: %v -> %v: %w", from, to, base.ErrUnreachable)
+	}
+	for f.drop > 0 && f.rng.Float64() < f.drop {
+		drops++
+		f.drops++
+		extra += rto
+		if drops >= maxRetransmits {
+			f.rejects++
+			return 0, drops, fmt.Errorf("simnet: %v -> %v: retransmit budget exhausted: %w", from, to, base.ErrUnreachable)
+		}
+	}
+	if f.spikeProb > 0 && f.rng.Float64() < f.spikeProb {
+		f.spikes++
+		extra += f.spikeDur
+	}
+	return extra, drops, nil
+}
+
+// ---------------------------------------------------------------------------
+// Network integration.
+
+// InstallFaults creates, installs and returns a fault plane seeded with
+// seed. Endpoint-aware sends (SendBetween and friends) consult it; the
+// endpoint-oblivious Send/RoundTrip/Account paths are unaffected.
+func (n *Network) InstallFaults(seed int64) *Faults {
+	f := &Faults{
+		rng:   rand.New(rand.NewSource(seed)),
+		seed:  seed,
+		parts: make(map[link]struct{}),
+	}
+	n.flt.Store(f)
+	return f
+}
+
+// ClearFaults removes the installed fault plane.
+func (n *Network) ClearFaults() { n.flt.Store(nil) }
+
+// FaultPlane returns the installed fault plane, or nil.
+func (n *Network) FaultPlane() *Faults { return n.flt.Load() }
+
+// rto is the simulated retransmit timeout a dropped message pays.
+func (n *Network) rto() time.Duration {
+	if d := 4 * n.cfg.Latency; d > time.Millisecond {
+		return d
+	}
+	return time.Millisecond
+}
+
+// admitFault applies the fault plane to one message on from→to. Returns the
+// extra delay to serve and an error when the link refuses delivery.
+func (n *Network) admitFault(from, to base.NodeID) (time.Duration, error) {
+	f := n.flt.Load()
+	if f == nil {
+		return 0, nil
+	}
+	extra, drops, err := f.admit(from, to, n.rto())
+	if r := n.rec.Load(); r != nil {
+		if drops > 0 {
+			r.Add(obs.CtrNetDrops, uint64(drops))
+		}
+		if err != nil {
+			r.Add(obs.CtrNetRejects, 1)
+		}
+	}
+	return extra, err
+}
+
+// SendBetween is Send with link awareness: the installed fault plane may
+// delay the message (drops pay retransmit timeouts, spikes add latency) or
+// refuse it with base.ErrUnreachable when the directed link is partitioned.
+func (n *Network) SendBetween(from, to base.NodeID, payloadBytes int) error {
+	extra, err := n.admitFault(from, to)
+	if err != nil {
+		return err
+	}
+	if extra > 0 {
+		time.Sleep(extra) // fault delays are ≥1ms; coarse sleep is fine
+	}
+	n.Send(payloadBytes)
+	return nil
+}
+
+// RoundTripBetween charges a request/response pair on the directed links
+// from→to and to→from.
+func (n *Network) RoundTripBetween(from, to base.NodeID, payloadBytes int) error {
+	if err := n.SendBetween(from, to, payloadBytes); err != nil {
+		return err
+	}
+	return n.SendBetween(to, from, 64)
+}
+
+// StreamBetween accounts one pipelined-stream batch on the directed link
+// and returns its bandwidth cost (including fault retransmit delays) for
+// the caller's debt-based backpressure, without blocking (the WAL-shipping
+// counterpart of Account + TransferTime).
+func (n *Network) StreamBetween(from, to base.NodeID, payloadBytes int) (time.Duration, error) {
+	extra, err := n.admitFault(from, to)
+	if err != nil {
+		return 0, err
+	}
+	n.account(payloadBytes)
+	return n.TransferTime(payloadBytes) + extra, nil
+}

@@ -1,0 +1,151 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"remus/internal/base"
+)
+
+func TestPartitionIsDirectedAndHeals(t *testing.T) {
+	n := New(Config{})
+	f := n.InstallFaults(1)
+	f.Partition(1, 2)
+	if err := n.SendBetween(1, 2, 64); !errors.Is(err, base.ErrUnreachable) {
+		t.Fatalf("partitioned send = %v, want ErrUnreachable", err)
+	}
+	// The reverse direction is untouched.
+	if err := n.SendBetween(2, 1, 64); err != nil {
+		t.Fatalf("reverse direction failed: %v", err)
+	}
+	if got := f.Rejects(); got != 1 {
+		t.Fatalf("rejects = %d, want 1", got)
+	}
+	f.Heal(1, 2)
+	if err := n.SendBetween(1, 2, 64); err != nil {
+		t.Fatalf("healed send failed: %v", err)
+	}
+	f.PartitionBoth(1, 2)
+	if !f.Partitioned(1, 2) || !f.Partitioned(2, 1) {
+		t.Fatal("PartitionBoth missed a direction")
+	}
+	f.HealAll()
+	if f.Partitioned(1, 2) || f.Partitioned(2, 1) {
+		t.Fatal("HealAll left a partition")
+	}
+}
+
+func TestRoundTripBetweenHonoursReplyLink(t *testing.T) {
+	n := New(Config{})
+	f := n.InstallFaults(1)
+	f.Partition(2, 1) // only the reply direction is cut
+	if err := n.RoundTripBetween(1, 2, 64); !errors.Is(err, base.ErrUnreachable) {
+		t.Fatalf("round trip with cut reply link = %v", err)
+	}
+}
+
+func TestDropsAreSeedDeterministic(t *testing.T) {
+	run := func(seed int64) (uint64, []error) {
+		n := New(Config{})
+		f := n.InstallFaults(seed)
+		f.SetDropRate(0.3)
+		var errs []error
+		for i := 0; i < 200; i++ {
+			errs = append(errs, n.SendBetween(1, 2, 64))
+		}
+		return f.Drops(), errs
+	}
+	d1, e1 := run(7)
+	d2, e2 := run(7)
+	if d1 != d2 {
+		t.Fatalf("same seed, drops %d vs %d", d1, d2)
+	}
+	for i := range e1 {
+		if (e1[i] == nil) != (e2[i] == nil) {
+			t.Fatalf("same seed diverged at send %d", i)
+		}
+	}
+	if d1 == 0 {
+		t.Fatal("drop rate 0.3 produced no drops in 200 sends")
+	}
+	d3, _ := run(8)
+	if d3 == d1 {
+		t.Logf("seeds 7 and 8 coincided (d=%d); not fatal but unusual", d1)
+	}
+}
+
+func TestDropsChargeRetransmitDelay(t *testing.T) {
+	n := New(Config{Latency: time.Millisecond})
+	f := n.InstallFaults(3)
+	f.SetDropRate(0.5)
+	start := time.Now()
+	sent := 0
+	for i := 0; i < 50; i++ {
+		if err := n.SendBetween(1, 2, 64); err == nil {
+			sent++
+		}
+	}
+	elapsed := time.Since(start)
+	// 50 sends at 1ms latency is ≥50ms even lossless; each drop adds a 4ms
+	// retransmit timeout, so a 0.5 drop rate must be clearly slower.
+	if f.Drops() == 0 {
+		t.Fatal("no drops at rate 0.5")
+	}
+	lossless := 50 * time.Millisecond
+	if elapsed <= lossless {
+		t.Fatalf("elapsed %v with %d drops, want > %v", elapsed, f.Drops(), lossless)
+	}
+	if sent == 0 {
+		t.Fatal("every send rejected at drop rate 0.5")
+	}
+}
+
+func TestDelaySpikes(t *testing.T) {
+	n := New(Config{})
+	f := n.InstallFaults(5)
+	f.SetDelaySpikes(1.0, 2*time.Millisecond)
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		if err := n.SendBetween(1, 2, 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("5 guaranteed 2ms spikes took only %v", elapsed)
+	}
+	if f.Spikes() != 5 {
+		t.Fatalf("spikes = %d, want 5", f.Spikes())
+	}
+}
+
+func TestStreamBetweenReturnsFaultCost(t *testing.T) {
+	n := New(Config{BandwidthMBps: 1})
+	f := n.InstallFaults(9)
+	cost, err := n.StreamBetween(1, 2, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost < 900*time.Millisecond {
+		t.Fatalf("1MB at 1MB/s cost %v", cost)
+	}
+	f.Partition(1, 2)
+	if _, err := n.StreamBetween(1, 2, 64); !errors.Is(err, base.ErrUnreachable) {
+		t.Fatalf("partitioned stream = %v", err)
+	}
+}
+
+func TestNoFaultPlaneIsFree(t *testing.T) {
+	n := New(Config{})
+	if err := n.SendBetween(1, 2, 64); err != nil {
+		t.Fatalf("faultless SendBetween = %v", err)
+	}
+	if n.FaultPlane() != nil {
+		t.Fatal("fault plane present before install")
+	}
+	n.InstallFaults(1)
+	n.ClearFaults()
+	if n.FaultPlane() != nil {
+		t.Fatal("ClearFaults left the plane installed")
+	}
+}

@@ -44,6 +44,10 @@ type Network struct {
 	messages atomic.Uint64
 	bytes    atomic.Uint64
 
+	// flt is the optional per-link fault plane (faults.go); nil when no
+	// faults are installed.
+	flt atomic.Pointer[Faults]
+
 	rec obs.Holder
 }
 

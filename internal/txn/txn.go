@@ -208,17 +208,16 @@ func (m *Manager) NewGlobalID() base.TxnID {
 // Begin starts a local transaction with the given snapshot. A zero startTS
 // asks the node's oracle for a fresh snapshot. globalID may be zero for
 // purely local transactions.
+//
+// Snapshot acquisition and registration are one critical section: a fresh
+// timestamp must never exist outside the active set, or a horizon scan
+// (OldestActiveStartTS) running in the gap would overlook the transaction
+// and let a migration retire the source copy it is about to read.
 func (m *Manager) Begin(globalID base.TxnID, startTS base.Timestamp) *Txn {
-	if startTS == base.TsZero {
-		startTS = m.oracle.StartTS()
-	} else {
-		m.oracle.Observe(startTS)
-	}
 	t := &Txn{
 		m:        m,
 		XID:      base.XID(m.xidSeq.Add(1)),
 		GlobalID: globalID,
-		StartTS:  startTS,
 		shards:   make(map[base.ShardID]struct{}),
 		done:     make(chan struct{}),
 	}
@@ -227,6 +226,12 @@ func (m *Manager) Begin(globalID base.TxnID, startTS base.Timestamp) *Txn {
 	}
 	m.clog.Begin(t.XID)
 	m.activeMu.Lock()
+	if startTS == base.TsZero {
+		startTS = m.oracle.StartTS()
+	} else {
+		m.oracle.Observe(startTS)
+	}
+	t.StartTS = startTS
 	m.active[t.XID] = t
 	m.activeMu.Unlock()
 	return t
