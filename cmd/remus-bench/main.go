@@ -12,9 +12,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"remus/internal/bench"
@@ -23,6 +26,15 @@ import (
 )
 
 func main() {
+	if err := realMain(); err != nil {
+		fmt.Fprintf(os.Stderr, "remus-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// realMain carries the actual work so the profile-flushing defers run before
+// the process exits (os.Exit in main would skip them).
+func realMain() error {
 	exp := flag.String("exp", "all", "experiment: fig6|fig7|fig8|fig9|fig10|table1|table2|table3|autobalance|faults|all")
 	approach := flag.String("approach", "", "restrict to one approach: remus|lockabort|remaster|squall")
 	scale := flag.String("scale", "small", "small|large")
@@ -33,7 +45,42 @@ func main() {
 	faultDrop := flag.Float64("fault-drop", 0.02, "per-message drop probability for -exp faults")
 	faultPartition := flag.Duration("fault-partition", 120*time.Millisecond, "src<->dst partition window for -exp faults (0 disables)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-plane rng seed for -exp faults (replays a run exactly)")
+	replBench := flag.Bool("repl-bench", false, "run the replication hot-path microbenchmark (group shipping sweep) instead of the paper experiments")
+	replOut := flag.String("repl-out", "BENCH_repl.json", "output file for -repl-bench results")
+	replMsgCost := flag.Duration("repl-msgcost", 10*time.Microsecond, "per-message interconnect cost charged to each shipped batch in -repl-bench")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "remus-bench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "remus-bench: memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	if *replBench {
+		return runReplBench(*replOut, *replMsgCost)
+	}
 
 	r := &runner{
 		scale: *scale, series: *series, tracePath: *trace,
@@ -53,10 +100,36 @@ func main() {
 	}
 	for _, e := range exps {
 		if err := r.run(e); err != nil {
-			fmt.Fprintf(os.Stderr, "remus-bench: %s: %v\n", e, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", e, err)
 		}
 	}
+	return nil
+}
+
+// runReplBench sweeps the group shipper over the configured group sizes and
+// writes the measurements as JSON.
+func runReplBench(out string, msgCost time.Duration) error {
+	cfg := bench.DefaultReplBenchConfig()
+	cfg.Net.PerMsgCost = msgCost
+	fmt.Printf("repl hot path: %d txns x %d records, per-message cost %v\n",
+		cfg.Txns, cfg.RecordsPerTxn, cfg.Net.PerMsgCost)
+	runs, err := bench.RunReplBench(cfg)
+	if err != nil {
+		return err
+	}
+	for _, r := range runs {
+		fmt.Printf("  group=%-3d %9.0f recs/s  %8.0f txns/s  %7d msgs  %6.1f mallocs/txn  %.2fx\n",
+			r.GroupTxns, r.RecordsPerSec, r.TxnsPerSec, r.Messages, r.MallocsPerTxn, r.SpeedupVsGroup1)
+	}
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
 }
 
 type runner struct {

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"runtime"
+	"strconv"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/clock"
+	"remus/internal/mvcc"
+	"remus/internal/node"
+	"remus/internal/repl"
+	"remus/internal/simnet"
+)
+
+// ReplBenchConfig shapes the replication hot-path microbenchmark: a fixed
+// WAL backlog is tailed, group-shipped and replayed at each group size, so
+// the sweep isolates how well grouping amortizes the interconnect's
+// per-message cost.
+type ReplBenchConfig struct {
+	// Txns is the committed-transaction backlog per run.
+	Txns int
+	// RecordsPerTxn is the change records each transaction writes.
+	RecordsPerTxn int
+	// Groups is the GroupTxns sweep; 1 is the pre-batching protocol and the
+	// speedup baseline.
+	Groups []int
+	// Workers is the parallel-apply width on the destination.
+	Workers int
+	// Net shapes the src→dst interconnect. PerMsgCost is what grouping
+	// amortizes.
+	Net simnet.Config
+}
+
+// DefaultReplBenchConfig is sized to finish in a few seconds per group size.
+func DefaultReplBenchConfig() ReplBenchConfig {
+	return ReplBenchConfig{
+		Txns:          50_000,
+		RecordsPerTxn: 2,
+		Groups:        []int{1, 8, 32},
+		Workers:       8,
+		// Commodity kernel-TCP/RPC per-message overhead; simnet.LAN()'s 2µs
+		// models a kernel-bypass stack.
+		Net: simnet.Config{BandwidthMBps: 1200, PerMsgCost: 10 * time.Microsecond},
+	}
+}
+
+// ReplBenchRun is one group size's measurement, serialized to BENCH_repl.json.
+type ReplBenchRun struct {
+	GroupTxns       int     `json:"group_txns"`
+	Txns            int     `json:"txns"`
+	Records         uint64  `json:"records"`
+	Messages        uint64  `json:"messages"`
+	ElapsedSec      float64 `json:"elapsed_sec"`
+	RecordsPerSec   float64 `json:"records_per_sec"`
+	TxnsPerSec      float64 `json:"txns_per_sec"`
+	MallocsPerTxn   float64 `json:"mallocs_per_txn"`
+	SpeedupVsGroup1 float64 `json:"speedup_vs_group1"`
+}
+
+// RunReplBench sweeps the group sizes. Each run builds a fresh source and
+// destination so mvcc/WAL state never carries over between group sizes.
+func RunReplBench(cfg ReplBenchConfig) ([]ReplBenchRun, error) {
+	if cfg.Txns == 0 {
+		cfg = DefaultReplBenchConfig()
+	}
+	var out []ReplBenchRun
+	var baseRate float64
+	for _, group := range cfg.Groups {
+		run, err := runReplBenchOnce(cfg, group)
+		if err != nil {
+			return nil, err
+		}
+		if group == 1 {
+			baseRate = run.RecordsPerSec
+		}
+		if baseRate > 0 {
+			run.SpeedupVsGroup1 = run.RecordsPerSec / baseRate
+		}
+		out = append(out, run)
+	}
+	return out, nil
+}
+
+func runReplBenchOnce(cfg ReplBenchConfig, group int) (ReplBenchRun, error) {
+	const shard base.ShardID = 10
+	net := simnet.New(cfg.Net)
+	ts := clock.WallClock()
+	src := node.New(1, net, clock.NewHLC(ts, 0), mvcc.DefaultConfig())
+	dst := node.New(2, net, clock.NewHLC(ts, 0), mvcc.DefaultConfig())
+	src.AddShard(shard, 1, node.PhaseOwned)
+	dst.AddShard(shard, 1, node.PhaseDest)
+
+	snapTS := src.Oracle().StartTS()
+	startLSN := src.WAL().FlushLSN() + 1
+	for i := 0; i < cfg.Txns; i++ {
+		tx := src.Manager().Begin(0, 0)
+		for r := 0; r < cfg.RecordsPerTxn; r++ {
+			key := "k" + strconv.Itoa(i) + "-" + strconv.Itoa(r)
+			if err := src.Write(tx, shard, mvcc.WriteInsert, base.Key(key), base.Value("0123456789abcdef")); err != nil {
+				return ReplBenchRun{}, err
+			}
+		}
+		if _, err := tx.Commit(); err != nil {
+			return ReplBenchRun{}, err
+		}
+	}
+	lsn := src.WAL().FlushLSN()
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	rep := repl.NewReplayer(dst, cfg.Workers, nil, nil)
+	prop := repl.StartPropagator(src, rep, repl.PropagatorConfig{
+		Shards:     map[base.ShardID]bool{shard: true},
+		SnapTS:     snapTS,
+		StartLSN:   startLSN,
+		GroupTxns:  group,
+		GroupDelay: 500 * time.Microsecond,
+	})
+	if err := prop.WaitApplied(lsn, 5*time.Minute); err != nil {
+		prop.Stop()
+		rep.Close()
+		return ReplBenchRun{}, err
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	run := ReplBenchRun{
+		GroupTxns:     group,
+		Txns:          cfg.Txns,
+		Records:       prop.ShippedRecords(),
+		Messages:      prop.ShippedGroups(),
+		ElapsedSec:    elapsed.Seconds(),
+		RecordsPerSec: float64(prop.ShippedRecords()) / elapsed.Seconds(),
+		TxnsPerSec:    float64(prop.ShippedTxns()) / elapsed.Seconds(),
+		MallocsPerTxn: float64(after.Mallocs-before.Mallocs) / float64(cfg.Txns),
+	}
+	prop.Stop()
+	rep.Close()
+	return run, nil
+}

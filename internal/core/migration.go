@@ -87,6 +87,16 @@ type Options struct {
 	SpillThreshold int
 	// SpillDir holds spill files ("" = os.TempDir).
 	SpillDir string
+	// GroupTxns caps the committed transactions the propagator's group
+	// shipper coalesces into one network message; 1 ships per transaction
+	// (the ungrouped protocol), 0 takes the default.
+	GroupTxns int
+	// GroupBytes flushes a ship group early at this payload size (0 =
+	// propagator default).
+	GroupBytes int
+	// GroupDelay bounds a ship group's age while the WAL stays busy (0 =
+	// propagator default; an idle WAL always flushes immediately).
+	GroupDelay time.Duration
 	// ValidationTimeout bounds a synchronized source transaction's wait for
 	// its validation verdict.
 	ValidationTimeout time.Duration
@@ -112,6 +122,9 @@ func DefaultOptions() Options {
 		CatchUpThreshold:  32,
 		BatchBytes:        256 << 10,
 		SpillThreshold:    1 << 14,
+		GroupTxns:         32,
+		GroupBytes:        64 << 10,
+		GroupDelay:        500 * time.Microsecond,
 		ValidationTimeout: 30 * time.Second,
 		PhaseTimeout:      60 * time.Second,
 	}
@@ -184,6 +197,9 @@ func NewController(c *cluster.Cluster, opts Options) *Controller {
 	}
 	if opts.BatchBytes == 0 {
 		opts.BatchBytes = DefaultOptions().BatchBytes
+	}
+	if opts.GroupTxns == 0 {
+		opts.GroupTxns = DefaultOptions().GroupTxns
 	}
 	if opts.ValidationTimeout == 0 {
 		opts.ValidationTimeout = DefaultOptions().ValidationTimeout
@@ -348,6 +364,9 @@ func (m *Migration) Run() (*Report, error) {
 		StartLSN:       startLSN,
 		SpillThreshold: m.opts.SpillThreshold,
 		SpillDir:       m.opts.SpillDir,
+		GroupTxns:      m.opts.GroupTxns,
+		GroupBytes:     m.opts.GroupBytes,
+		GroupDelay:     m.opts.GroupDelay,
 		Faults:         m.opts.Faults,
 		Recorder:       m.opts.Recorder,
 	})

@@ -228,6 +228,9 @@ func (m *Migration) rebuildPipeline() error {
 		StartLSN:       startLSN,
 		SpillThreshold: m.opts.SpillThreshold,
 		SpillDir:       m.opts.SpillDir,
+		GroupTxns:      m.opts.GroupTxns,
+		GroupBytes:     m.opts.GroupBytes,
+		GroupDelay:     m.opts.GroupDelay,
 		Faults:         m.opts.Faults,
 		Recorder:       m.opts.Recorder,
 	})

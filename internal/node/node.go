@@ -326,6 +326,18 @@ func (n *Node) TableOf(id base.ShardID) (base.TableID, bool) {
 	return 0, false
 }
 
+// StoreAndTable resolves a shard's store and table in one lock acquisition.
+// The replay hot path caches the result per task instead of paying Store +
+// TableOf (two RLock round-trips) for every record.
+func (n *Node) StoreAndTable(id base.ShardID) (*mvcc.Store, base.TableID, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if st, ok := n.shards[id]; ok {
+		return st.store, st.table, true
+	}
+	return nil, 0, false
+}
+
 // ---------------------------------------------------------------------------
 // Access hooks.
 
@@ -515,11 +527,20 @@ func (n *Node) ApplyWrite(t *txn.Txn, shardID base.ShardID, kind mvcc.WriteKind,
 	if err := n.checkUp(); err != nil {
 		return err
 	}
-	store, ok := n.Store(shardID)
+	store, table, ok := n.StoreAndTable(shardID)
 	if !ok {
 		return fmt.Errorf("apply to %v on %v: %w", shardID, n.id, base.ErrShardMoved)
 	}
-	table, _ := n.TableOf(shardID)
+	return n.ApplyWriteTo(t, store, table, shardID, kind, key, value)
+}
+
+// ApplyWriteTo is ApplyWrite with the store and table already resolved by
+// the caller (via StoreAndTable): the replayer resolves a shard once per
+// task and applies that task's records without re-entering the shard map.
+func (n *Node) ApplyWriteTo(t *txn.Txn, store *mvcc.Store, table base.TableID, shardID base.ShardID, kind mvcc.WriteKind, key base.Key, value base.Value) error {
+	if err := n.checkUp(); err != nil {
+		return err
+	}
 	n.Counters.ReplayOps.Add(1)
 	return t.Write(store, table, shardID, kind, key, value)
 }

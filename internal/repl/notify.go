@@ -1,0 +1,66 @@
+package repl
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// notifier is a coalescing broadcast: Pulse wakes every goroutine currently
+// parked on a channel obtained from Chan. The propagation loop pulses once
+// per consumed batch and per group flush; a pulse with nobody subscribed
+// costs a single atomic load, so the hot path stays free when no one is
+// waiting (the common case — WaitCaughtUp/WaitApplied run once per phase).
+//
+// Waiter protocol:
+//
+//	n.subscribe()
+//	defer n.unsubscribe()
+//	for {
+//		ch := n.Chan()      // capture BEFORE checking the condition
+//		if condition() { return }
+//		<-ch                // a pulse after the capture closes ch
+//	}
+//
+// Capturing the channel before the condition check closes the lost-wakeup
+// window: a state change that lands after the capture pulses (the waiter
+// counter is already visible to the pulser) and the captured channel is
+// closed, so the select falls through immediately.
+type notifier struct {
+	waiters atomic.Int64
+	mu      sync.Mutex
+	ch      chan struct{}
+}
+
+func newNotifier() *notifier {
+	return &notifier{ch: make(chan struct{})}
+}
+
+// Pulse wakes all current waiters. Coalescing is inherent: closing the
+// current channel wakes everyone parked on it, and the next Chan call hands
+// out a fresh one.
+func (n *notifier) Pulse() {
+	if n.waiters.Load() == 0 {
+		return
+	}
+	n.mu.Lock()
+	close(n.ch)
+	n.ch = make(chan struct{})
+	n.mu.Unlock()
+}
+
+// Chan returns the channel the next Pulse will close.
+func (n *notifier) Chan() <-chan struct{} {
+	n.mu.Lock()
+	ch := n.ch
+	n.mu.Unlock()
+	return ch
+}
+
+// subscribe registers the caller as a waiter; Pulse skips the channel work
+// while no one is subscribed. The atomic counter orders against the
+// pulser's state change: the waiter increments before re-checking the
+// condition, the pulser changes state before loading the counter, so one of
+// the two always observes the other.
+func (n *notifier) subscribe() { n.waiters.Add(1) }
+
+func (n *notifier) unsubscribe() { n.waiters.Add(-1) }

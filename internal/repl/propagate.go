@@ -10,7 +10,20 @@ import (
 	"remus/internal/fault"
 	"remus/internal/node"
 	"remus/internal/obs"
+	"remus/internal/simnet"
 	"remus/internal/wal"
+)
+
+// readBatch is the WAL records pulled per log-mutex acquisition by the
+// propagation loop (batch tailing; one lock round-trip per batch instead of
+// per record).
+const readBatch = 256
+
+// Group shipper fallbacks when grouping is enabled (GroupTxns > 1) but the
+// byte or delay knob is left zero.
+const (
+	defaultGroupBytes = 64 << 10
+	defaultGroupDelay = time.Millisecond
 )
 
 // PropagatorConfig tunes one propagation stream.
@@ -28,6 +41,19 @@ type PropagatorConfig struct {
 	SpillThreshold int
 	// SpillDir is the directory for spill files ("" = os.TempDir).
 	SpillDir string
+	// GroupTxns caps how many committed transactions' change batches are
+	// coalesced into one shipped group (one StreamBetween message). Values
+	// <= 1 ship every transaction immediately — byte-for-byte the
+	// pre-batching protocol. Validation (sync-phase) batches never group:
+	// the source transaction is parked on the verdict, and they must order
+	// ahead of anything parked.
+	GroupTxns int
+	// GroupBytes flushes a group early once its payload reaches this size
+	// (0 = 64 KiB when grouping is enabled).
+	GroupBytes int
+	// GroupDelay bounds how long a group may sit unflushed while the WAL
+	// stays busy; an idle WAL always flushes immediately (0 = 1ms).
+	GroupDelay time.Duration
 	// Faults, if non-nil, is evaluated (fault.SiteShipBatch) before each
 	// shipped batch; an injected error fails the stream like a real
 	// transport failure would.
@@ -37,11 +63,37 @@ type PropagatorConfig struct {
 	Recorder obs.Recorder
 }
 
+// groupEntry is one committed transaction parked in the ship group.
+type groupEntry struct {
+	xid      base.XID
+	globalID base.TxnID
+	startTS  base.Timestamp
+	commitTS base.Timestamp
+	records  []wal.Record
+	bytes    int
+}
+
+// shipGroup coalesces async-phase commit batches into one network message.
+type shipGroup struct {
+	entries []groupEntry
+	bytes   int
+	records int
+	opened  time.Time // when the oldest parked entry arrived
+}
+
 // Propagator is the send process of §3.3: it tails the source WAL, builds an
 // update cache queue per transaction, and ships each transaction to the
 // destination replayer when its commit record (async phase) or validation
-// prepare record (sync phase, §3.5.2) is encountered. It holds the WAL
-// against checkpoints from its start position until stopped.
+// prepare record (sync phase, §3.5.2) is encountered. Committed batches are
+// coalesced by the group shipper (GroupTxns) to amortize per-message
+// overhead. The propagator holds the WAL against checkpoints from its start
+// position until stopped.
+//
+// The loop is single-goroutine and owns queues, validated, the ship group
+// and the stream debt without locks. Cross-goroutine views are served by
+// atomics (consumed, groupPending, counters) and by the floors index
+// (floorMu), which tracks the first LSN of every consumed-but-undelivered
+// transaction for PendingLowLSN.
 type Propagator struct {
 	src        *node.Node
 	rep        *Replayer
@@ -51,25 +103,39 @@ type Propagator struct {
 	stop     chan struct{}
 	done     chan struct{}
 	consumed atomic.Uint64 // last WAL LSN processed
-	// unshippedLow is the lowest LSN among consumed records that never
-	// reached the replayer (lost ship batches; queues dying with the
-	// stream). Written only by the propagation loop, read by PendingLowLSN.
-	unshippedLow atomic.Uint64
 
-	mu        sync.Mutex
-	queues    map[base.XID]*queue
-	validated map[base.XID]bool
-	err       error
+	// adv pulses when the stream makes progress (a batch consumed, a group
+	// flushed, the stream failed or exited): WaitCaughtUp and WaitApplied
+	// park on it instead of busy-polling.
+	adv *notifier
+
+	errMu sync.Mutex
+	err   error
+
+	// floorMu guards floors and unshippedLow. floors maps every
+	// consumed-but-undelivered transaction to its first record's LSN: an
+	// entry appears when the transaction's queue opens and disappears when
+	// its batch is delivered to the replayer, it aborts, or it is dropped
+	// as snapshot-covered; a transaction lost with the stream (open queue,
+	// parked group member, failed ship) folds into unshippedLow instead.
+	// Touched once per transaction lifecycle event, never per record.
+	floorMu      sync.Mutex
+	floors       map[base.XID]wal.LSN
+	unshippedLow wal.LSN
+
+	// Loop-owned state (no locks).
+	queues     map[base.XID]*queue
+	validated  map[base.XID]bool
+	group      shipGroup
+	streamDebt time.Duration
+
+	groupPending atomic.Uint64 // records parked in the unflushed group
 
 	shippedTxns    atomic.Uint64
 	shippedRecords atomic.Uint64
+	shippedGroups  atomic.Uint64
 	droppedTxns    atomic.Uint64
 	spilledTxns    atomic.Uint64
-
-	// streamDebt accumulates the bandwidth cost of shipped bytes; the loop
-	// sleeps it off in >=1ms slices (pipelined-stream backpressure: latency
-	// is paid once by the stream, not per transaction).
-	streamDebt time.Duration
 }
 
 // StartPropagator begins tailing src's WAL into the replayer.
@@ -80,6 +146,8 @@ func StartPropagator(src *node.Node, rep *Replayer, cfg PropagatorConfig) *Propa
 		cfg:       cfg,
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
+		adv:       newNotifier(),
+		floors:    make(map[base.XID]wal.LSN),
 		queues:    make(map[base.XID]*queue),
 		validated: make(map[base.XID]bool),
 	}
@@ -105,16 +173,17 @@ func (p *Propagator) Stop() {
 
 // Err reports a propagation failure (nil while healthy).
 func (p *Propagator) Err() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
 	return p.err
 }
 
 // Consumed returns the last WAL LSN processed.
 func (p *Propagator) Consumed() wal.LSN { return wal.LSN(p.consumed.Load()) }
 
-// Lag estimates the catch-up distance: unconsumed WAL records plus replay
-// tasks still pending on the destination.
+// Lag estimates the catch-up distance: unconsumed WAL records, plus records
+// parked in the unflushed ship group, plus replay tasks still pending on the
+// destination.
 func (p *Propagator) Lag() uint64 {
 	flushed := uint64(p.src.WAL().FlushLSN())
 	consumed := p.consumed.Load()
@@ -122,7 +191,7 @@ func (p *Propagator) Lag() uint64 {
 	if flushed > consumed {
 		lag = flushed - consumed
 	}
-	return lag + p.rep.Pending()
+	return lag + p.groupPending.Load() + p.rep.Pending()
 }
 
 // ShippedTxns reports transactions shipped to the destination.
@@ -130,6 +199,10 @@ func (p *Propagator) ShippedTxns() uint64 { return p.shippedTxns.Load() }
 
 // ShippedRecords reports change records shipped.
 func (p *Propagator) ShippedRecords() uint64 { return p.shippedRecords.Load() }
+
+// ShippedGroups reports network messages sent (ship groups plus validation
+// batches). With GroupTxns <= 1 it equals ShippedTxns.
+func (p *Propagator) ShippedGroups() uint64 { return p.shippedGroups.Load() }
 
 // SpilledTxns reports transactions whose queues spilled to disk.
 func (p *Propagator) SpilledTxns() uint64 { return p.spilledTxns.Load() }
@@ -142,12 +215,25 @@ func (p *Propagator) SpilledTxns() uint64 { return p.spilledTxns.Load() }
 // so a pure record count never converges even when the migrating shard's
 // backlog is tiny). Returns base.ErrTimeout when speed_replay cannot exceed
 // speed_update (§3.6's divergence case).
+//
+// The wait parks on the propagator's and replayer's progress notifiers; a
+// coarse timer wakeup only drives the rate estimator and the deadline.
 func (p *Propagator) WaitCaughtUp(threshold uint64, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	lastConsumed := p.consumed.Load()
 	lastAt := time.Now()
 	var rate float64 // consumed records per second (EMA)
+	p.adv.subscribe()
+	defer p.adv.unsubscribe()
+	p.rep.prog.subscribe()
+	defer p.rep.prog.unsubscribe()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
 	for {
+		// Capture the notifier channels before checking the condition so a
+		// pulse landing after the check still wakes the select below.
+		advC := p.adv.Chan()
+		progC := p.rep.prog.Chan()
 		lag := p.Lag()
 		if lag <= threshold {
 			return nil
@@ -175,75 +261,177 @@ func (p *Propagator) WaitCaughtUp(threshold uint64, timeout time.Duration) error
 		if timeout > 0 && now.After(deadline) {
 			return base.ErrTimeout
 		}
-		time.Sleep(500 * time.Microsecond)
+		wait := 10 * time.Millisecond
+		if timeout > 0 {
+			if rem := time.Until(deadline); rem < wait {
+				wait = rem
+			}
+		}
+		if wait <= 0 {
+			continue
+		}
+		timer.Reset(wait)
+		fired := false
+		select {
+		case <-advC:
+		case <-progC:
+		case <-timer.C:
+			fired = true
+		}
+		if !fired && !timer.Stop() {
+			<-timer.C
+		}
 	}
 }
 
 // WaitApplied blocks until every migrating-shard change up to and including
-// lsn has been consumed and applied on the destination (the LSN_unsync
-// condition of §3.4).
+// lsn has been consumed — with no batch still parked in the ship group —
+// and applied on the destination (the LSN_unsync condition of §3.4).
 func (p *Propagator) WaitApplied(lsn wal.LSN, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
-	for wal.LSN(p.consumed.Load()) < lsn {
+	p.adv.subscribe()
+	defer p.adv.unsubscribe()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		advC := p.adv.Chan()
+		if wal.LSN(p.consumed.Load()) >= lsn && p.groupPending.Load() == 0 {
+			break
+		}
 		if err := p.Err(); err != nil {
 			return err
 		}
 		if timeout > 0 && time.Now().After(deadline) {
 			return base.ErrTimeout
 		}
-		time.Sleep(500 * time.Microsecond)
+		wait := 25 * time.Millisecond
+		if timeout > 0 {
+			if rem := time.Until(deadline); rem < wait {
+				wait = rem
+			}
+		}
+		if wait <= 0 {
+			continue
+		}
+		timer.Reset(wait)
+		fired := false
+		select {
+		case <-advC:
+		case <-timer.C:
+			fired = true
+		}
+		if !fired && !timer.Stop() {
+			<-timer.C
+		}
 	}
 	p.rep.Barrier()
 	return nil
 }
 
 func (p *Propagator) fail(err error) {
-	p.mu.Lock()
+	p.errMu.Lock()
 	if p.err == nil {
 		p.err = err
 	}
-	p.mu.Unlock()
+	p.errMu.Unlock()
+	p.adv.Pulse()
 }
 
 func (p *Propagator) loop() {
 	defer close(p.done)
-	defer func() {
-		p.mu.Lock()
-		// Queued-but-unshipped records die with the stream; fold their low
-		// LSN into the unshipped floor so a drive-forward rebuild restarts
-		// below them (PendingLowLSN) instead of re-extracting their
-		// transactions partially.
-		for _, q := range p.queues {
-			p.noteUnshipped(q.first)
-			q.release()
-		}
-		p.queues = nil
-		p.mu.Unlock()
-	}()
+	defer p.exitSweep()
 	reader := p.src.WAL().NewReader(p.cfg.StartLSN)
+	buf := make([]wal.Record, readBatch)
 	for {
-		rec, err := reader.Next(p.stop)
-		switch {
-		case err == nil:
-		case errors.Is(err, base.ErrTimeout) || errors.Is(err, wal.ErrClosed):
-			// Stop requested, or the source WAL closed (node shutdown).
+		select {
+		case <-p.stop:
 			return
 		default:
-			// A real failure (e.g. the read position was truncated away)
-			// must surface to the migration driver, not die silently.
+		}
+		n, err := reader.TryNextBatch(buf)
+		switch {
+		case err == nil:
+		case errors.Is(err, wal.ErrClosed):
+			return
+		default:
 			p.fail(err)
 			return
 		}
-		if err := p.handle(rec); err != nil {
-			// Dead stream: stop consuming so the cursor stays below the
-			// failing record. Advancing past it — or handling further
-			// records — would move the rebuild restart position beyond
-			// transactions that were never delivered.
-			p.fail(err)
-			return
+		if n == 0 {
+			// The WAL ran dry: flush the parked group before blocking, so
+			// an idle stream never leaves catch-up waiters stalled on a
+			// partially filled batch.
+			if err := p.flushGroup(); err != nil {
+				p.fail(err)
+				return
+			}
+			p.adv.Pulse()
+			rec, err := reader.Next(p.stop)
+			switch {
+			case err == nil:
+			case errors.Is(err, base.ErrTimeout) || errors.Is(err, wal.ErrClosed):
+				// Stop requested, or the source WAL closed (node shutdown).
+				return
+			default:
+				// A real failure (e.g. the read position was truncated
+				// away) must surface to the migration driver.
+				p.fail(err)
+				return
+			}
+			if err := p.handle(rec); err != nil {
+				p.fail(err)
+				return
+			}
+			p.consumed.Store(uint64(rec.LSN))
+			p.adv.Pulse()
+			continue
 		}
-		p.consumed.Store(uint64(rec.LSN))
+		for i := 0; i < n; i++ {
+			if err := p.handle(buf[i]); err != nil {
+				// Dead stream: stop consuming so the cursor stays below
+				// the failing record. Advancing past it — or handling
+				// further records — would move the rebuild restart
+				// position beyond transactions that were never delivered.
+				p.fail(err)
+				return
+			}
+			p.consumed.Store(uint64(buf[i].LSN))
+		}
+		// Age check once per batch: a group that outlived GroupDelay while
+		// the WAL stayed busy flushes even though no threshold tripped.
+		if len(p.group.entries) > 0 && time.Since(p.group.opened) >= p.groupDelay() {
+			if err := p.flushGroup(); err != nil {
+				p.fail(err)
+				return
+			}
+		}
+		p.adv.Pulse()
 	}
+}
+
+// exitSweep folds the first LSN of every undelivered transaction — open
+// queues, parked group members, failed ships — into the unshipped floor and
+// releases their resources, so a drive-forward rebuild (§3.7) restarts at
+// or below all of them instead of re-extracting their transactions
+// partially.
+func (p *Propagator) exitSweep() {
+	p.floorMu.Lock()
+	for _, first := range p.floors {
+		if p.unshippedLow == 0 || first < p.unshippedLow {
+			p.unshippedLow = first
+		}
+	}
+	p.floors = make(map[base.XID]wal.LSN)
+	p.floorMu.Unlock()
+	for _, q := range p.queues {
+		q.release()
+	}
+	p.queues = nil
+	// Parked group members die undelivered; their floors were folded above.
+	// groupPending intentionally stays nonzero so late WaitApplied callers
+	// cannot mistake the dead stream's group for a delivered one.
+	p.group = shipGroup{}
+	p.adv.Pulse()
 }
 
 // handle processes one WAL record. A non-nil error means the stream is
@@ -255,20 +443,16 @@ func (p *Propagator) handle(rec wal.Record) error {
 			return nil
 		}
 		p.src.Counters.PropagationOps.Add(1)
-		p.mu.Lock()
 		q := p.queues[rec.XID]
 		if q == nil {
-			q = &queue{}
+			q = newQueue()
 			p.queues[rec.XID] = q
+			p.noteOpen(rec.XID, rec.LSN)
 		}
 		hadSpill := q.spill != nil
 		err := q.add(rec, p.cfg.SpillThreshold, p.cfg.SpillDir)
-		spilled := !hadSpill && q.spill != nil
-		if spilled {
+		if !hadSpill && q.spill != nil {
 			p.spilledTxns.Add(1)
-		}
-		p.mu.Unlock()
-		if spilled {
 			if r := p.cfg.Recorder; r != nil {
 				r.Add(obs.CtrSpilledTxns, 1)
 			}
@@ -280,7 +464,11 @@ func (p *Propagator) handle(rec wal.Record) error {
 	case rec.Type == wal.RecPrepare && rec.Validation:
 		// MOCC validation stage: ship the queue now and validate on the
 		// destination; the source transaction is blocked in its commit gate
-		// until the replayer's sink delivers the outcome.
+		// until the replayer's sink delivers the outcome. The parked group
+		// flushes first so replay enqueue order stays WAL commit order.
+		if err := p.flushGroup(); err != nil {
+			return err
+		}
 		records, bytes, ok, err := p.takeQueue(rec.XID)
 		if err != nil {
 			return err
@@ -292,27 +480,26 @@ func (p *Propagator) handle(rec wal.Record) error {
 			// an empty change set so the ack still flows.
 			records = nil
 		}
-		p.mu.Lock()
 		p.validated[rec.XID] = true
-		p.mu.Unlock()
-		if err := p.ship(len(records), bytes); err != nil {
+		if err := p.ship(1, len(records), bytes); err != nil {
 			// The validation batch never reached the destination: the
 			// source transaction stays parked until recovery aborts the
-			// waiters (§3.7); failing the stream stops the migration.
-			if len(records) > 0 {
-				p.noteUnshipped(records[0].LSN)
-			}
+			// waiters (§3.7). Its floor entry survives for the exit sweep;
+			// failing the stream stops the migration.
 			return err
 		}
 		p.rep.SubmitValidate(rec.XID, rec.Txn, rec.StartTS, records)
+		p.clearFloor(rec.XID)
 
 	case rec.Type == wal.RecCommit:
-		p.mu.Lock()
-		wasValidated := p.validated[rec.XID]
-		delete(p.validated, rec.XID)
-		p.mu.Unlock()
-		if wasValidated {
-			p.src.Net().Account(64)
+		if p.validated[rec.XID] {
+			delete(p.validated, rec.XID)
+			// The shadow's commit decision must order behind every parked
+			// async batch the destination has not seen yet.
+			if err := p.flushGroup(); err != nil {
+				return err
+			}
+			p.src.Net().Account(simnet.MsgOverheadBytes)
 			p.rep.SubmitCommitShadow(rec.XID, rec.CommitTS)
 			return nil
 		}
@@ -324,116 +511,211 @@ func (p *Propagator) handle(rec wal.Record) error {
 			return nil // transaction did not touch the migrating shards
 		}
 		if rec.CommitTS <= p.cfg.SnapTS {
+			p.clearFloor(rec.XID)
+			putRecs(records)
 			p.droppedTxns.Add(1)
 			if r := p.cfg.Recorder; r != nil {
 				r.Add(obs.CtrDroppedTxns, 1)
 			}
 			return nil // covered by the snapshot copy
 		}
-		if err := p.ship(len(records), bytes); err != nil {
-			// The batch was lost with its queue and its commit record is
-			// about to sit below the cursor: record the batch's low LSN so
-			// a drive-forward rebuild restarts below it and re-extracts
-			// the whole transaction instead of silently skipping it.
-			if len(records) > 0 {
-				p.noteUnshipped(records[0].LSN)
-			}
-			return err
-		}
-		p.rep.SubmitApply(rec.XID, rec.Txn, rec.StartTS, rec.CommitTS, records)
+		return p.enqueueGroup(groupEntry{
+			xid:      rec.XID,
+			globalID: rec.Txn,
+			startTS:  rec.StartTS,
+			commitTS: rec.CommitTS,
+			records:  records,
+			bytes:    bytes,
+		})
 
 	case rec.Type == wal.RecAbort:
-		p.mu.Lock()
 		wasValidated := p.validated[rec.XID]
 		delete(p.validated, rec.XID)
-		q := p.queues[rec.XID]
-		delete(p.queues, rec.XID)
-		p.mu.Unlock()
-		if q != nil {
+		if q := p.queues[rec.XID]; q != nil {
+			delete(p.queues, rec.XID)
+			p.clearFloor(rec.XID)
 			q.release()
 		}
 		if wasValidated {
 			// Prepared shadow (if any) must roll back: the source aborted
-			// after validation (coordinator decision or validation failure).
-			p.src.Net().Account(64)
+			// after validation (coordinator decision or validation
+			// failure). Order behind parked async batches like a commit.
+			if err := p.flushGroup(); err != nil {
+				return err
+			}
+			p.src.Net().Account(simnet.MsgOverheadBytes)
 			p.rep.SubmitAbortShadow(rec.XID)
 		}
 	}
 	return nil
 }
 
+// enqueueGroup parks a committed transaction's batch in the ship group and
+// flushes when the count or byte threshold trips. GroupTxns <= 1 flushes on
+// every call — the pre-batching one-message-per-transaction protocol.
+func (p *Propagator) enqueueGroup(e groupEntry) error {
+	g := &p.group
+	if len(g.entries) == 0 {
+		g.opened = time.Now()
+	}
+	g.entries = append(g.entries, e)
+	g.bytes += e.bytes
+	g.records += len(e.records)
+	p.groupPending.Add(uint64(len(e.records)))
+	maxTxns := p.cfg.GroupTxns
+	if maxTxns < 1 {
+		maxTxns = 1
+	}
+	if len(g.entries) >= maxTxns || g.bytes >= p.groupBytes() {
+		return p.flushGroup()
+	}
+	return nil
+}
+
+func (p *Propagator) groupBytes() int {
+	if p.cfg.GroupBytes > 0 {
+		return p.cfg.GroupBytes
+	}
+	return defaultGroupBytes
+}
+
+func (p *Propagator) groupDelay() time.Duration {
+	if p.cfg.GroupDelay > 0 {
+		return p.cfg.GroupDelay
+	}
+	return defaultGroupDelay
+}
+
+// flushGroup ships every parked transaction in one network message and
+// hands them to the replayer in WAL commit order. On failure the stream is
+// dead: every member's floor entry stays registered, so PendingLowLSN (and
+// the exit sweep) put the rebuild restart at or below the lowest first LSN
+// in the lost group.
+func (p *Propagator) flushGroup() error {
+	g := &p.group
+	if len(g.entries) == 0 {
+		return nil
+	}
+	if r := p.cfg.Recorder; r != nil {
+		r.Observe(obs.HistShipGroupTxns, uint64(len(g.entries)))
+		r.Observe(obs.HistShipFlushDelay, uint64(time.Since(g.opened)))
+	}
+	err := p.ship(len(g.entries), g.records, g.bytes)
+	if err == nil {
+		for i := range g.entries {
+			e := &g.entries[i]
+			p.rep.SubmitApply(e.xid, e.globalID, e.startTS, e.commitTS, e.records)
+			p.clearFloor(e.xid)
+		}
+		// Zeroed only after the members are enqueued: WaitApplied treats an
+		// empty group as "everything consumed reached the replayer", so its
+		// Barrier must already cover these tasks. A failed flush leaves the
+		// count standing — those records were consumed but never delivered,
+		// and a waiter that saw the count drop before the stream error
+		// published would wrongly report them applied.
+		p.groupPending.Store(0)
+	}
+	g.entries = g.entries[:0]
+	g.bytes, g.records = 0, 0
+	p.adv.Pulse()
+	return err
+}
+
+// takeQueue detaches and returns a transaction's queued records. The floor
+// entry stays registered until the records are delivered to the replayer
+// (or folded into the unshipped floor by an error path).
 func (p *Propagator) takeQueue(xid base.XID) ([]wal.Record, int, bool, error) {
-	p.mu.Lock()
 	q := p.queues[xid]
-	delete(p.queues, xid)
-	p.mu.Unlock()
 	if q == nil {
 		return nil, 0, false, nil
 	}
+	delete(p.queues, xid)
 	bytes := q.bytes
 	records, err := q.take()
 	if err != nil {
-		// The spill reload failure destroyed the queue with it; make sure
-		// a rebuild re-extracts the transaction from the WAL.
-		p.noteUnshipped(q.first)
+		// The spill reload failure destroyed the records; fold the floor
+		// so a rebuild re-extracts the transaction from the WAL.
+		p.foldFloor(xid)
 		return nil, 0, false, err
 	}
 	return records, bytes, true, nil
 }
 
-// noteUnshipped lowers the unshipped floor to lsn (0 is ignored). Called
-// only from the propagation loop goroutine.
-func (p *Propagator) noteUnshipped(lsn wal.LSN) {
-	if lsn == 0 {
+// noteOpen registers a transaction's first record LSN in the floor index.
+func (p *Propagator) noteOpen(xid base.XID, first wal.LSN) {
+	if first == 0 {
 		return
 	}
-	if cur := p.unshippedLow.Load(); cur == 0 || uint64(lsn) < cur {
-		p.unshippedLow.Store(uint64(lsn))
+	p.floorMu.Lock()
+	p.floors[xid] = first
+	p.floorMu.Unlock()
+}
+
+// clearFloor drops a transaction's floor entry: its records were delivered
+// to the replayer, covered by the snapshot, or aborted on the source.
+func (p *Propagator) clearFloor(xid base.XID) {
+	p.floorMu.Lock()
+	delete(p.floors, xid)
+	p.floorMu.Unlock()
+}
+
+// foldFloor moves a transaction's floor into the permanent unshipped low:
+// its records were consumed but will never reach the replayer.
+func (p *Propagator) foldFloor(xid base.XID) {
+	p.floorMu.Lock()
+	if first, ok := p.floors[xid]; ok {
+		delete(p.floors, xid)
+		if p.unshippedLow == 0 || first < p.unshippedLow {
+			p.unshippedLow = first
+		}
 	}
+	p.floorMu.Unlock()
 }
 
 // PendingLowLSN returns the lowest WAL LSN among records this propagator
 // consumed but never delivered to the replayer: queued updates of
-// still-open transactions plus batches lost to a failed ship. A
-// drive-forward rebuild (§3.7) must restart its replacement stream at or
-// below this position — Consumed() alone can overshoot, because the commit
-// record of a transaction whose early updates sat in a lost in-memory
-// queue may already be behind the cursor, and restarting above those
-// updates would re-extract the transaction partially (a torn shadow
-// commit on the destination). Returns 0 when nothing is pending.
-// Restarting lower than necessary is always safe: re-delivered
-// transactions are rejected whole by first-updater-wins.
+// still-open transactions, batches parked in the ship group, and batches
+// lost to a failed ship. A drive-forward rebuild (§3.7) must restart its
+// replacement stream at or below this position — Consumed() alone can
+// overshoot, because the commit record of a transaction whose early updates
+// sat in a lost in-memory queue or group may already be behind the cursor,
+// and restarting above those updates would re-extract the transaction
+// partially (a torn shadow commit on the destination). Returns 0 when
+// nothing is pending. Restarting lower than necessary is always safe:
+// re-delivered transactions are rejected whole by first-updater-wins.
 func (p *Propagator) PendingLowLSN() wal.LSN {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	low := wal.LSN(p.unshippedLow.Load())
-	for _, q := range p.queues {
-		if q.first != 0 && (low == 0 || q.first < low) {
-			low = q.first
+	p.floorMu.Lock()
+	defer p.floorMu.Unlock()
+	low := p.unshippedLow
+	for _, first := range p.floors {
+		if low == 0 || first < low {
+			low = first
 		}
 	}
 	return low
 }
 
-// ship charges the network for a transaction's change batch. The stream is
-// pipelined: bytes are accounted immediately and the bandwidth cost accrues
-// as debt slept off in coarse slices, so the propagation loop is never
-// serialized behind sub-millisecond timer sleeps. The batch first passes
+// ship charges the network for one shipped message carrying txns
+// transactions' change batches. The stream is pipelined: bytes are
+// accounted immediately and the bandwidth plus per-message cost accrues as
+// debt slept off in coarse slices, so the propagation loop is never
+// serialized behind sub-millisecond timer sleeps. The message first passes
 // the fault.SiteShipBatch failpoint and then the src→dst link, either of
 // which can fail it (injected error, drop budget exhausted, partition).
-func (p *Propagator) ship(records, bytes int) error {
+func (p *Propagator) ship(txns, records, bytes int) error {
 	if err := p.cfg.Faults.Eval(fault.SiteShipBatch); err != nil {
 		return err
 	}
 	net := p.src.Net()
-	cost, err := net.StreamBetween(p.src.ID(), p.rep.NodeID(), bytes+64)
+	cost, err := net.StreamBetween(p.src.ID(), p.rep.NodeID(), bytes+simnet.MsgOverheadBytes)
 	if err != nil {
 		return err
 	}
-	p.shippedTxns.Add(1)
+	p.shippedTxns.Add(uint64(txns))
 	p.shippedRecords.Add(uint64(records))
+	p.shippedGroups.Add(1)
 	if r := p.cfg.Recorder; r != nil {
-		r.Add(obs.CtrShippedTxns, 1)
+		r.Add(obs.CtrShippedTxns, uint64(txns))
 		r.Add(obs.CtrShippedRecords, uint64(records))
 	}
 	p.streamDebt += cost

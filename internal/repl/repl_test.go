@@ -23,9 +23,16 @@ type pair struct {
 	src, dst *node.Node
 }
 
-func newPair(t *testing.T) *pair {
+func newPair(t testing.TB) *pair {
 	t.Helper()
-	net := simnet.New(simnet.Config{})
+	return newPairNet(t, simnet.Config{})
+}
+
+// newPairNet is newPair over an interconnect with the given characteristics
+// (benchmarks charge a realistic per-message cost; unit tests run free).
+func newPairNet(t testing.TB, netCfg simnet.Config) *pair {
+	t.Helper()
+	net := simnet.New(netCfg)
 	ts := clock.WallClock() // one physical source for both nodes
 	src := node.New(1, net, clock.NewHLC(ts, 0), mvcc.DefaultConfig())
 	dst := node.New(2, net, clock.NewHLC(ts, 0), mvcc.DefaultConfig())
@@ -35,7 +42,7 @@ func newPair(t *testing.T) *pair {
 }
 
 // put commits one write on the source and returns the commit timestamp.
-func (p *pair) put(t *testing.T, kind mvcc.WriteKind, key, value string) base.Timestamp {
+func (p *pair) put(t testing.TB, kind mvcc.WriteKind, key, value string) base.Timestamp {
 	t.Helper()
 	tx := p.src.Manager().Begin(0, 0)
 	if err := p.src.Write(tx, testShard, kind, base.Key(key), base.Value(value)); err != nil {
@@ -49,7 +56,7 @@ func (p *pair) put(t *testing.T, kind mvcc.WriteKind, key, value string) base.Ti
 }
 
 // dstRead reads a key on the destination at the given snapshot.
-func (p *pair) dstRead(t *testing.T, key string, snap base.Timestamp) (string, error) {
+func (p *pair) dstRead(t testing.TB, key string, snap base.Timestamp) (string, error) {
 	t.Helper()
 	store, ok := p.dst.Store(testShard)
 	if !ok {

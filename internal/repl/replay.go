@@ -6,6 +6,7 @@
 package repl
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -17,6 +18,11 @@ import (
 	"remus/internal/txn"
 	"remus/internal/wal"
 )
+
+// errReplayerClosed is the outcome of tasks rejected or drained by Close.
+// One shared value: enqueue rejection sits on the recovery hot path of a
+// jammed stream, where a fresh fmt.Errorf per drained task is pure garbage.
+var errReplayerClosed = errors.New("replayer closed")
 
 // taskKind enumerates replay work items.
 type taskKind uint8
@@ -57,6 +63,44 @@ type task struct {
 	err      error
 }
 
+// dependsOn reports whether dep is already in t's dependency list. Write
+// sets are small, so the linear scan replaces the per-enqueue map
+// allocation the old dedup paid.
+func (t *task) dependsOn(dep *task) bool {
+	for _, d := range t.deps {
+		if d == dep {
+			return true
+		}
+	}
+	return false
+}
+
+// depStripes is the lock-stripe count of the last-writer index. Power of
+// two (the stripe hash masks into it); 32 stripes keep the probability of
+// two disjoint transactions colliding on a stripe low at replay worker
+// counts that fit one machine.
+const depStripes = 32
+
+// depStripe is one shard of the last-writer-per-key index.
+type depStripe struct {
+	mu   sync.Mutex
+	last map[depKey]*task
+	_    [40]byte // pad to a cache line so stripes don't false-share
+}
+
+// stripeOf hashes a dependency key onto its stripe (FNV-1a over the shard
+// id and key bytes).
+func stripeOf(k depKey) uint32 {
+	h := uint32(2166136261)
+	h ^= uint32(k.shard)
+	h *= 16777619
+	for i := 0; i < len(k.key); i++ {
+		h ^= uint32(k.key[i])
+		h *= 16777619
+	}
+	return h & (depStripes - 1)
+}
+
 // shadowState tracks a prepared shadow transaction awaiting its outcome.
 type shadowState struct {
 	txn  *txn.Txn
@@ -66,10 +110,6 @@ type shadowState struct {
 // Replayer applies propagated source transactions on the destination node,
 // in source commit order per tuple, in parallel across disjoint
 // transactions.
-// NodeID returns the destination node's id (the receive end of the link the
-// propagator ships over).
-func (r *Replayer) NodeID() base.NodeID { return r.dst.ID() }
-
 type Replayer struct {
 	dst     *node.Node
 	workers int
@@ -77,11 +117,16 @@ type Replayer struct {
 
 	tasks chan *task
 
-	mu       sync.Mutex
-	lastByKy map[depKey]*task
-	shadows  map[base.XID]*shadowState
-	enqueued uint64
-	closed   bool
+	// stripes is the last-writer-per-key dependency index. A task locks
+	// only the stripes its write set touches, in ascending stripe order
+	// (deterministic, so concurrent multi-stripe registrations cannot
+	// deadlock), and holds them all while it registers — registration is
+	// atomic per task, which keeps the dependency graph acyclic.
+	stripes [depStripes]depStripe
+
+	mu      sync.Mutex
+	shadows map[base.XID]*shadowState
+	closed  bool
 
 	// closing unsticks enqueuers blocked on a full task queue when Close
 	// runs (a dead migration's propagator must not deadlock recovery), and
@@ -90,12 +135,19 @@ type Replayer struct {
 	closing chan struct{}
 	sendWG  sync.WaitGroup
 
+	enqueued  atomic.Uint64
 	completed atomic.Uint64
 	applied   atomic.Uint64 // records applied
 	conflicts atomic.Uint64 // WW-conflicts detected during validation
 
-	barrierMu sync.Mutex
-	barrierC  *sync.Cond
+	// prog pulses on every completed task; catch-up waiters park on it.
+	prog *notifier
+
+	// barrierWaiters gates the per-task broadcast: workers skip the barrier
+	// mutex entirely while nobody is inside Barrier (the steady state).
+	barrierWaiters atomic.Int64
+	barrierMu      sync.Mutex
+	barrierC       *sync.Cond
 
 	// sink receives validation outcomes (MOCC ack channel back to the
 	// source's commit gate). May be nil in async-only uses.
@@ -104,6 +156,10 @@ type Replayer struct {
 	wg sync.WaitGroup
 }
 
+// NodeID returns the destination node's id (the receive end of the link the
+// propagator ships over).
+func (r *Replayer) NodeID() base.NodeID { return r.dst.ID() }
+
 // NewReplayer starts a replay pool of the given parallelism on dst. rec may
 // be nil (observability disabled).
 func NewReplayer(dst *node.Node, workers int, sink func(base.XID, error), rec obs.Recorder) *Replayer {
@@ -111,14 +167,17 @@ func NewReplayer(dst *node.Node, workers int, sink func(base.XID, error), rec ob
 		workers = 1
 	}
 	r := &Replayer{
-		dst:      dst,
-		workers:  workers,
-		rec:      rec,
-		tasks:    make(chan *task, 4096),
-		lastByKy: make(map[depKey]*task),
-		shadows:  make(map[base.XID]*shadowState),
-		closing:  make(chan struct{}),
-		sink:     sink,
+		dst:     dst,
+		workers: workers,
+		rec:     rec,
+		tasks:   make(chan *task, 4096),
+		shadows: make(map[base.XID]*shadowState),
+		closing: make(chan struct{}),
+		prog:    newNotifier(),
+		sink:    sink,
+	}
+	for i := range r.stripes {
+		r.stripes[i].last = make(map[depKey]*task)
 	}
 	r.barrierC = sync.NewCond(&r.barrierMu)
 	for i := 0; i < workers; i++ {
@@ -155,10 +214,40 @@ func (r *Replayer) Conflicts() uint64 { return r.conflicts.Load() }
 
 // Pending reports tasks enqueued but not yet completed.
 func (r *Replayer) Pending() uint64 {
-	r.mu.Lock()
-	enq := r.enqueued
-	r.mu.Unlock()
-	return enq - r.completed.Load()
+	return r.enqueued.Load() - r.completed.Load()
+}
+
+// registerDeps links t behind the latest earlier task writing each of its
+// keys. All touched stripes are locked together (ascending order) so
+// registration is atomic: a task enqueued later can never end up ordered
+// before an earlier one on any shared key.
+func (r *Replayer) registerDeps(t *task) {
+	if len(t.records) == 0 {
+		return
+	}
+	var touched [depStripes]bool
+	for i := range t.records {
+		touched[stripeOf(depKey{t.records[i].Shard, t.records[i].Key})] = true
+	}
+	for s := 0; s < depStripes; s++ {
+		if touched[s] {
+			r.stripes[s].mu.Lock()
+		}
+	}
+	for i := range t.records {
+		rec := &t.records[i]
+		k := depKey{rec.Shard, rec.Key}
+		st := &r.stripes[stripeOf(k)]
+		if prev := st.last[k]; prev != nil && prev != t && !t.dependsOn(prev) {
+			t.deps = append(t.deps, prev)
+		}
+		st.last[k] = t
+	}
+	for s := 0; s < depStripes; s++ {
+		if touched[s] {
+			r.stripes[s].mu.Unlock()
+		}
+	}
 }
 
 // enqueue registers dependencies and dispatches the task.
@@ -167,39 +256,29 @@ func (r *Replayer) enqueue(t *task) {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
-		t.err = fmt.Errorf("replayer closed")
+		t.err = errReplayerClosed
 		close(t.done)
 		return
 	}
-	seen := make(map[*task]struct{})
-	for _, rec := range t.records {
-		k := depKey{rec.Shard, rec.Key}
-		if prev := r.lastByKy[k]; prev != nil && prev != t {
-			if _, dup := seen[prev]; !dup {
-				seen[prev] = struct{}{}
-				t.deps = append(t.deps, prev)
-			}
-		}
-		r.lastByKy[k] = t
-	}
-	r.enqueued++
 	r.sendWG.Add(1) // under mu: Close sets closed before it waits
 	r.mu.Unlock()
 	defer r.sendWG.Done()
+	r.registerDeps(t)
+	r.enqueued.Add(1)
 	select {
 	case r.tasks <- t:
 	case <-r.closing:
-		t.err = fmt.Errorf("replayer closed")
+		t.err = errReplayerClosed
 		r.completed.Add(1) // keep the enqueued/completed barrier balanced
 		close(t.done)
-		r.barrierMu.Lock()
-		r.barrierC.Broadcast()
-		r.barrierMu.Unlock()
+		r.wakeBarrier()
+		r.prog.Pulse()
 	}
 }
 
 // SubmitApply schedules the async-phase replay of a committed source
-// transaction.
+// transaction. The record slice's ownership moves to the replayer, which
+// recycles it once the task completes.
 func (r *Replayer) SubmitApply(xid base.XID, globalID base.TxnID, startTS, commitTS base.Timestamp, records []wal.Record) {
 	r.enqueue(&task{kind: taskApply, xid: xid, globalID: globalID, startTS: startTS, commitTS: commitTS, records: records})
 }
@@ -236,14 +315,29 @@ func (r *Replayer) SubmitAbortShadow(xid base.XID) {
 // The mode-change phase uses it to establish that all changes up to
 // LSN_unsync are applied (§3.4).
 func (r *Replayer) Barrier() {
-	r.mu.Lock()
-	target := r.enqueued
-	r.mu.Unlock()
+	target := r.enqueued.Load()
 	r.barrierMu.Lock()
 	defer r.barrierMu.Unlock()
+	// Registered before the re-check: a worker either sees the waiter count
+	// and broadcasts, or its completion increment is already visible to the
+	// loop condition below (both sides are sequentially consistent
+	// atomics), so the wakeup cannot be lost.
+	r.barrierWaiters.Add(1)
+	defer r.barrierWaiters.Add(-1)
 	for r.completed.Load() < target {
 		r.barrierC.Wait()
 	}
+}
+
+// wakeBarrier broadcasts task completion to Barrier waiters; with none
+// registered it is one atomic load.
+func (r *Replayer) wakeBarrier() {
+	if r.barrierWaiters.Load() == 0 {
+		return
+	}
+	r.barrierMu.Lock()
+	r.barrierC.Broadcast()
+	r.barrierMu.Unlock()
 }
 
 func (r *Replayer) worker() {
@@ -258,18 +352,30 @@ func (r *Replayer) worker() {
 			// the store. A jammed validation convoy would otherwise cost a
 			// full lock-timeout per queued task, stalling Close for minutes;
 			// whoever closed the replayer resolves leftover shadows itself.
-			t.err = fmt.Errorf("replayer closed")
+			t.err = errReplayerClosed
 			if t.kind == taskValidate && r.sink != nil {
 				r.sink(t.xid, t.err)
 			}
 		default:
 			t.err = r.run(t)
 		}
+		// Apply-task record slices recycle once the task is done: the
+		// dependency index retains the task pointer (dependents wait on
+		// done, not records), but nothing reads an apply task's records
+		// again. Validation records stay — the prepared shadow state and
+		// the commit/abort shadow tasks share them.
+		var recycle []wal.Record
+		if t.kind == taskApply {
+			recycle = t.records
+			t.records = nil
+		}
 		r.completed.Add(1)
 		close(t.done)
-		r.barrierMu.Lock()
-		r.barrierC.Broadcast()
-		r.barrierMu.Unlock()
+		r.wakeBarrier()
+		r.prog.Pulse()
+		if recycle != nil {
+			putRecs(recycle)
+		}
 	}
 }
 
@@ -291,8 +397,26 @@ func (r *Replayer) run(t *task) error {
 	return fmt.Errorf("repl: unknown task kind %d", t.kind)
 }
 
-// applyRecords re-executes a source transaction's changes under shadow.
+// applyRecords re-executes a source transaction's changes under shadow. The
+// shard's store and table are resolved once per run (tasks overwhelmingly
+// touch one shard) instead of per record, and the applied counters are
+// batched per call.
 func (r *Replayer) applyRecords(shadow *txn.Txn, records []wal.Record) error {
+	var (
+		store    *mvcc.Store
+		table    base.TableID
+		curShard base.ShardID
+		resolved bool
+		n        int
+	)
+	defer func() {
+		if n > 0 {
+			r.applied.Add(uint64(n))
+			if r.rec != nil {
+				r.rec.Add(obs.CtrReplayApplied, uint64(n))
+			}
+		}
+	}()
 	for i := range records {
 		rec := &records[i]
 		var kind mvcc.WriteKind
@@ -308,13 +432,18 @@ func (r *Replayer) applyRecords(shadow *txn.Txn, records []wal.Record) error {
 		default:
 			return fmt.Errorf("repl: change record with type %v", rec.Type)
 		}
-		if err := r.dst.ApplyWrite(shadow, rec.Shard, kind, rec.Key, rec.Value); err != nil {
+		if !resolved || rec.Shard != curShard {
+			var ok bool
+			store, table, ok = r.dst.StoreAndTable(rec.Shard)
+			if !ok {
+				return fmt.Errorf("apply to %v on %v: %w", rec.Shard, r.dst.ID(), base.ErrShardMoved)
+			}
+			curShard, resolved = rec.Shard, true
+		}
+		if err := r.dst.ApplyWriteTo(shadow, store, table, rec.Shard, kind, rec.Key, rec.Value); err != nil {
 			return err
 		}
-		r.applied.Add(1)
-		if r.rec != nil {
-			r.rec.Add(obs.CtrReplayApplied, 1)
-		}
+		n++
 	}
 	return nil
 }

@@ -88,24 +88,39 @@ func (q *queue) add(rec wal.Record, spillThreshold int, spillDir string) error {
 	return nil
 }
 
-// take returns the full record list (reloading any spilled prefix) and
-// releases the queue's resources.
+// take returns the full record list (reloading any spilled prefix),
+// transfers slice ownership to the caller, and recycles the queue. The
+// in-memory fast path hands the pooled slice straight to the replay task;
+// the spill path copies the tail into the reloaded slice and recycles it.
 func (q *queue) take() ([]wal.Record, error) {
-	defer q.release()
-	if q.spill == nil {
-		return q.records, nil
+	recs := q.records
+	spill := q.spill
+	q.records, q.spill = nil, nil
+	putQueue(q)
+	if spill == nil {
+		return recs, nil
 	}
-	spilled, err := q.spill.reload()
+	defer spill.close()
+	spilled, err := spill.reload()
 	if err != nil {
+		putRecs(recs)
 		return nil, err
 	}
-	return append(spilled, q.records...), nil
+	out := append(spilled, recs...)
+	putRecs(recs)
+	return out, nil
 }
 
+// release discards the queue's records (aborted transaction, dying stream)
+// and recycles its storage.
 func (q *queue) release() {
 	if q.spill != nil {
 		q.spill.close()
 		q.spill = nil
 	}
-	q.records = nil
+	if q.records != nil {
+		putRecs(q.records)
+		q.records = nil
+	}
+	putQueue(q)
 }

@@ -213,18 +213,18 @@ func (n *Network) RoundTripBetween(from, to base.NodeID, payloadBytes int) error
 	if err := n.SendBetween(from, to, payloadBytes); err != nil {
 		return err
 	}
-	return n.SendBetween(to, from, 64)
+	return n.SendBetween(to, from, MsgOverheadBytes)
 }
 
 // StreamBetween accounts one pipelined-stream batch on the directed link
-// and returns its bandwidth cost (including fault retransmit delays) for
-// the caller's debt-based backpressure, without blocking (the WAL-shipping
-// counterpart of Account + TransferTime).
+// and returns its bandwidth cost (including the fixed per-message cost and
+// fault retransmit delays) for the caller's debt-based backpressure, without
+// blocking (the WAL-shipping counterpart of Account + TransferTime).
 func (n *Network) StreamBetween(from, to base.NodeID, payloadBytes int) (time.Duration, error) {
 	extra, err := n.admitFault(from, to)
 	if err != nil {
 		return 0, err
 	}
 	n.account(payloadBytes)
-	return n.TransferTime(payloadBytes) + extra, nil
+	return n.TransferTime(payloadBytes) + n.cfg.PerMsgCost + extra, nil
 }

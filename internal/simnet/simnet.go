@@ -16,6 +16,12 @@ import (
 	"remus/internal/obs"
 )
 
+// MsgOverheadBytes is the framing overhead charged per interconnect message:
+// envelope, headers, and the small acknowledgement. Every path that accounts
+// a discrete message — round-trip replies, WAL-shipping frames, shadow
+// commit/abort notices — charges this constant instead of a magic 64.
+const MsgOverheadBytes = 64
+
 // Config describes link characteristics. The zero value is a free, infinitely
 // fast network (useful in unit tests).
 type Config struct {
@@ -26,12 +32,22 @@ type Config struct {
 	// BandwidthMBps bounds payload transfer speed in megabytes per second;
 	// zero means unbounded.
 	BandwidthMBps float64
+	// PerMsgCost is the fixed per-message processing cost a pipelined
+	// stream pays in addition to bandwidth: syscall, interrupt, and RPC
+	// dispatch overhead that is independent of payload size. It is what
+	// group shipping amortizes; zero means free (the pre-batching model).
+	PerMsgCost time.Duration
 }
 
 // LAN returns a config resembling the paper's 10 Gbps datacenter network,
 // scaled to the repo's millisecond-resolution experiments.
 func LAN() Config {
-	return Config{Latency: 50 * time.Microsecond, Jitter: 20 * time.Microsecond, BandwidthMBps: 1200}
+	return Config{
+		Latency:       50 * time.Microsecond,
+		Jitter:        20 * time.Microsecond,
+		BandwidthMBps: 1200,
+		PerMsgCost:    2 * time.Microsecond,
+	}
 }
 
 // Network is the shared interconnect. It is safe for concurrent use.
@@ -93,7 +109,7 @@ func (n *Network) Send(payloadBytes int) {
 // RoundTrip charges a request/response pair (request payload + small reply).
 func (n *Network) RoundTrip(payloadBytes int) {
 	n.Send(payloadBytes)
-	n.Send(64)
+	n.Send(MsgOverheadBytes)
 }
 
 // Account records traffic without blocking. Pipelined streams (WAL shipping)

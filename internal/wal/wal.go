@@ -246,6 +246,26 @@ func (r *Reader) Next(stop <-chan struct{}) (Record, error) {
 	}
 }
 
+// TryNextBatch copies up to len(buf) pending records into buf without
+// blocking and advances the reader past them. It returns n == 0 with a nil
+// error at the tail of an open log; once the log is closed and drained it
+// returns ErrClosed. Batch reads take the log mutex once per batch instead
+// of once per record — the propagation hot path depends on that.
+func (r *Reader) TryNextBatch(buf []Record) (int, error) {
+	l := r.log
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if r.pos < l.first {
+		return 0, ErrTruncated
+	}
+	n := copy(buf, l.records[r.pos-l.first:l.next-l.first])
+	if n == 0 && l.closed {
+		return 0, ErrClosed
+	}
+	r.pos += LSN(n)
+	return n, nil
+}
+
 // TryNext returns the next record without blocking; ok is false when the
 // reader is at the tail.
 func (r *Reader) TryNext() (Record, bool, error) {
