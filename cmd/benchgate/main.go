@@ -1,0 +1,246 @@
+// Command benchgate compares a freshly measured benchmark JSON file against
+// the committed baseline and fails (exit 1) when any scale-invariant metric
+// regressed by more than the threshold.
+//
+// CI machines are not the machines the baselines were measured on, so raw
+// throughput numbers are useless for gating. The gate therefore only compares
+// per-transaction ratios (GTS messages/txn, WAL syncs/txn, replication
+// messages/txn) and within-run speedups (lease/epoch point vs the per-request
+// point, group shipping vs group=1) — both dimensionless and stable across
+// hardware.
+//
+//	benchgate -kind clock -baseline BENCH_clock.json -current /tmp/c1.json,/tmp/c2.json,/tmp/c3.json
+//	benchgate -kind repl  -baseline BENCH_repl.json  -current /tmp/BENCH_repl.json
+//
+// -current takes one or more comma-separated sample files (benchstat-style:
+// the CI job measures several times). Each metric is gated on its best sample
+// — noise on a shared runner only ever makes a sample worse, so a point that
+// never reaches within the threshold of baseline across all samples is a real
+// regression, while one good sample clears a noisy run.
+//
+// The verdict table is printed to stdout and, when $GITHUB_STEP_SUMMARY is
+// set, appended there as markdown so a red gate explains itself in the job
+// summary.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// metric is one gated column: extract pulls the value out of a run object
+// (ok=false when the run lacks the fields), and higherBetter sets the
+// regression direction.
+type metric struct {
+	name         string
+	higherBetter bool
+	extract      func(run map[string]any) (float64, bool)
+}
+
+// kindSpec describes one benchmark file format: how to identify a sweep point
+// (so baseline and current rows are matched even if the sweep grows) and
+// which metrics to gate.
+type kindSpec struct {
+	pointKey func(run map[string]any) string
+	metrics  []metric
+}
+
+func field(run map[string]any, key string) (float64, bool) {
+	v, ok := run[key].(float64)
+	return v, ok
+}
+
+func ratio(num, den string) func(map[string]any) (float64, bool) {
+	return func(run map[string]any) (float64, bool) {
+		n, ok1 := field(run, num)
+		d, ok2 := field(run, den)
+		if !ok1 || !ok2 || d == 0 {
+			return 0, false
+		}
+		return n / d, true
+	}
+}
+
+var kinds = map[string]kindSpec{
+	// BENCH_clock.json: the timestamp-oracle sweep. gts_msgs_per_txn is the
+	// headline metric the leased oracle exists to shrink.
+	"clock": {
+		pointKey: func(run map[string]any) string {
+			l, _ := field(run, "lease")
+			e, _ := field(run, "epoch_txns")
+			return fmt.Sprintf("lease=%.0f/epoch=%.0f", l, e)
+		},
+		metrics: []metric{
+			{name: "gts_msgs_per_txn", higherBetter: false,
+				extract: func(r map[string]any) (float64, bool) { return field(r, "gts_msgs_per_txn") }},
+			{name: "wal_syncs_per_txn", higherBetter: false,
+				extract: func(r map[string]any) (float64, bool) { return field(r, "wal_syncs_per_txn") }},
+			{name: "speedup_vs_base", higherBetter: true,
+				extract: func(r map[string]any) (float64, bool) { return field(r, "speedup_vs_base") }},
+		},
+	},
+	// BENCH_repl.json: the group-shipping sweep. messages/txns is computed
+	// here because the file stores the raw counts.
+	"repl": {
+		pointKey: func(run map[string]any) string {
+			g, _ := field(run, "group_txns")
+			return fmt.Sprintf("group=%.0f", g)
+		},
+		metrics: []metric{
+			{name: "msgs_per_txn", higherBetter: false, extract: ratio("messages", "txns")},
+			{name: "speedup_vs_group1", higherBetter: true,
+				extract: func(r map[string]any) (float64, bool) { return field(r, "speedup_vs_group1") }},
+		},
+	},
+}
+
+func loadRuns(path string) ([]map[string]any, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var runs []map[string]any
+	if err := json.Unmarshal(data, &runs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("%s: no runs", path)
+	}
+	return runs, nil
+}
+
+type row struct {
+	point, metric      string
+	baseline, current  float64
+	deltaPct           float64
+	regressed, skipped bool
+}
+
+// compare gates each baseline point against the best of the current samples
+// for every metric.
+func compare(spec kindSpec, baseline []map[string]any, samples [][]map[string]any, threshold float64) []row {
+	curByPoint := make(map[string][]map[string]any)
+	for _, sample := range samples {
+		for _, run := range sample {
+			key := spec.pointKey(run)
+			curByPoint[key] = append(curByPoint[key], run)
+		}
+	}
+	var rows []row
+	for _, base := range baseline {
+		point := spec.pointKey(base)
+		curs := curByPoint[point]
+		if len(curs) == 0 {
+			rows = append(rows, row{point: point, metric: "(point missing from current run)", regressed: true})
+			continue
+		}
+		for _, m := range spec.metrics {
+			bv, okBase := m.extract(base)
+			cv, okCur := 0.0, false
+			for _, cur := range curs {
+				v, ok := m.extract(cur)
+				if !ok {
+					continue
+				}
+				if !okCur || (m.higherBetter && v > cv) || (!m.higherBetter && v < cv) {
+					cv, okCur = v, true
+				}
+			}
+			r := row{point: point, metric: m.name, baseline: bv, current: cv}
+			switch {
+			case !okBase || !okCur:
+				r.skipped = true // metric absent on one side (older baseline); not a failure
+			case bv == 0:
+				r.skipped = true
+			default:
+				r.deltaPct = 100 * (cv - bv) / bv
+				if m.higherBetter {
+					r.regressed = cv < bv*(1-threshold)
+				} else {
+					r.regressed = cv > bv*(1+threshold)
+				}
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows
+}
+
+func renderMarkdown(kind string, rows []row, threshold float64, samples int) (string, bool) {
+	var b strings.Builder
+	failed := false
+	fmt.Fprintf(&b, "### bench gate: %s (threshold ±%.0f%%, best of %d samples)\n\n", kind, 100*threshold, samples)
+	b.WriteString("| point | metric | baseline | current | delta | verdict |\n")
+	b.WriteString("|---|---|---:|---:|---:|---|\n")
+	for _, r := range rows {
+		verdict := "ok"
+		switch {
+		case r.skipped:
+			verdict = "skipped"
+		case r.regressed:
+			verdict = "**REGRESSED**"
+			failed = true
+		}
+		fmt.Fprintf(&b, "| %s | %s | %.3f | %.3f | %+.1f%% | %s |\n",
+			r.point, r.metric, r.baseline, r.current, r.deltaPct, verdict)
+	}
+	if failed {
+		fmt.Fprintf(&b, "\nA metric moved past the ±%.0f%% gate. If the regression is intended "+
+			"(protocol change, re-tuned sweep), regenerate the baseline with "+
+			"`go run ./cmd/remus-bench -%s-bench` and commit the new BENCH_%s.json.\n",
+			100*threshold, kind, kind)
+	}
+	return b.String(), failed
+}
+
+func main() {
+	kind := flag.String("kind", "", "benchmark format: clock|repl")
+	baselinePath := flag.String("baseline", "", "committed baseline JSON")
+	currentPaths := flag.String("current", "", "freshly measured JSON sample file(s), comma-separated")
+	threshold := flag.Float64("threshold", 0.20, "relative regression tolerance")
+	flag.Parse()
+
+	spec, ok := kinds[*kind]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchgate: unknown -kind %q (want clock or repl)\n", *kind)
+		os.Exit(2)
+	}
+	baseline, err := loadRuns(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	var samples [][]map[string]any
+	for _, path := range strings.Split(*currentPaths, ",") {
+		if path = strings.TrimSpace(path); path == "" {
+			continue
+		}
+		sample, err := loadRuns(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: current: %v\n", err)
+			os.Exit(2)
+		}
+		samples = append(samples, sample)
+	}
+	if len(samples) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no -current sample files")
+		os.Exit(2)
+	}
+
+	rows := compare(spec, baseline, samples, *threshold)
+	md, failed := renderMarkdown(*kind, rows, *threshold, len(samples))
+	fmt.Print(md)
+	if summary := os.Getenv("GITHUB_STEP_SUMMARY"); summary != "" {
+		f, err := os.OpenFile(summary, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err == nil {
+			fmt.Fprintln(f, md)
+			f.Close()
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

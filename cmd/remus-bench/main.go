@@ -48,6 +48,9 @@ func realMain() error {
 	replBench := flag.Bool("repl-bench", false, "run the replication hot-path microbenchmark (group shipping sweep) instead of the paper experiments")
 	replOut := flag.String("repl-out", "BENCH_repl.json", "output file for -repl-bench results")
 	replMsgCost := flag.Duration("repl-msgcost", 10*time.Microsecond, "per-message interconnect cost charged to each shipped batch in -repl-bench")
+	clockBench := flag.Bool("clock-bench", false, "run the timestamp-oracle microbenchmark (lease/epoch sweep on a GTS cluster) instead of the paper experiments")
+	clockOut := flag.String("clock-out", "BENCH_clock.json", "output file for -clock-bench results")
+	clockDur := flag.Duration("clock-dur", 0, "measured window per -clock-bench point (0 uses the default)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -80,6 +83,9 @@ func realMain() error {
 
 	if *replBench {
 		return runReplBench(*replOut, *replMsgCost)
+	}
+	if *clockBench {
+		return runClockBench(*clockOut, *clockDur)
 	}
 
 	r := &runner{
@@ -120,6 +126,35 @@ func runReplBench(out string, msgCost time.Duration) error {
 	for _, r := range runs {
 		fmt.Printf("  group=%-3d %9.0f recs/s  %8.0f txns/s  %7d msgs  %6.1f mallocs/txn  %.2fx\n",
 			r.GroupTxns, r.RecordsPerSec, r.TxnsPerSec, r.Messages, r.MallocsPerTxn, r.SpeedupVsGroup1)
+	}
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// runClockBench sweeps the timestamp oracle over the configured
+// (lease, epoch) points and writes the measurements as JSON.
+func runClockBench(out string, dur time.Duration) error {
+	cfg := bench.DefaultClockBenchConfig()
+	if dur > 0 {
+		cfg.Duration = dur
+	}
+	fmt.Printf("timestamp oracle: %d clients, %d records, %v GTS latency, %v/point\n",
+		cfg.Clients, cfg.Records, cfg.Net.Latency, cfg.Duration)
+	runs, err := bench.RunClockBench(cfg)
+	if err != nil {
+		return err
+	}
+	for _, r := range runs {
+		fmt.Printf("  lease=%-4d epoch=%-3d %8.0f txns/s  begin %6.1fµs  commit %6.1fµs  %5.2f gts msgs/txn (%5.1fx fewer)  %4.2f syncs/txn  %.2fx\n",
+			r.Lease, r.EpochTxns, r.TxnsPerSec, r.AvgBeginUs, r.AvgCommitUs,
+			r.GTSMsgsPerTxn, r.MsgsReductionVsBase, r.WALSyncsPerTxn, r.SpeedupVsBase)
 	}
 	data, err := json.MarshalIndent(runs, "", "  ")
 	if err != nil {

@@ -1,0 +1,245 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/clock"
+	"remus/internal/cluster"
+	"remus/internal/simnet"
+	"remus/internal/txn"
+	"remus/internal/workload"
+)
+
+// ClockPoint is one configuration of the oracle sweep: the timestamp lease
+// size and the group-commit epoch size. {1, 0} is the seed protocol — one GTS
+// round trip per timestamp, one CLOG publication and one WAL sync point per
+// commit — and the sweep's baseline.
+type ClockPoint struct {
+	Lease     int
+	EpochTxns int
+}
+
+// ClockBenchConfig shapes the timestamp-oracle microbenchmark: a YCSB table
+// on a GTS cluster whose control-plane round trips pay real interconnect
+// latency, hammered by closed-loop read-modify-write clients while the sweep
+// varies lease and epoch sizes.
+type ClockBenchConfig struct {
+	// Records is the YCSB key population.
+	Records int
+	// Shards is the YCSB table's shard count.
+	Shards int
+	// Clients is the closed-loop RMW client count.
+	Clients int
+	// Duration is the measured window per point.
+	Duration time.Duration
+	// EpochDelay bounds how long a non-full epoch stays open.
+	EpochDelay time.Duration
+	// Net shapes the interconnect; Latency is what every GTS round trip
+	// pays, i.e. what leasing amortizes.
+	Net simnet.Config
+	// Points is the (lease, epoch) sweep; the first point is the
+	// normalization baseline.
+	Points []ClockPoint
+}
+
+// DefaultClockBenchConfig is sized to finish in a few seconds per point.
+func DefaultClockBenchConfig() ClockBenchConfig {
+	return ClockBenchConfig{
+		Records:    2400,
+		Shards:     12,
+		Clients:    12,
+		Duration:   1200 * time.Millisecond,
+		EpochDelay: 200 * time.Microsecond,
+		// The 25µs one-way latency matches a same-AZ hop; the §4.1 scheme
+		// ablation uses the same order of magnitude for its GTS runs.
+		Net:    simnet.Config{Latency: 25 * time.Microsecond},
+		Points: []ClockPoint{{1, 0}, {16, 4}, {64, 16}, {256, 64}},
+	}
+}
+
+// ClockBenchRun is one point's measurement, serialized to BENCH_clock.json.
+// GTSMsgsPerTxn and WALSyncsPerTxn are scale-invariant (per-transaction
+// ratios), so the CI regression gate compares them across machines;
+// SpeedupVsBase normalizes throughput to the seed point for the same reason.
+type ClockBenchRun struct {
+	Lease               int     `json:"lease"`
+	EpochTxns           int     `json:"epoch_txns"`
+	Txns                uint64  `json:"txns"`
+	Aborts              uint64  `json:"aborts"`
+	ElapsedSec          float64 `json:"elapsed_sec"`
+	TxnsPerSec          float64 `json:"txns_per_sec"`
+	AvgBeginUs          float64 `json:"avg_begin_us"`
+	AvgCommitUs         float64 `json:"avg_commit_us"`
+	GTSRequests         uint64  `json:"gts_requests"`
+	GTSMsgsPerTxn       float64 `json:"gts_msgs_per_txn"`
+	WALSyncsPerTxn      float64 `json:"wal_syncs_per_txn"`
+	SpeedupVsBase       float64 `json:"speedup_vs_base"`
+	MsgsReductionVsBase float64 `json:"msgs_reduction_vs_base"`
+}
+
+// RunClockBench sweeps the (lease, epoch) points. Each point gets a fresh
+// cluster so CLOG/WAL state never carries over.
+func RunClockBench(cfg ClockBenchConfig) ([]ClockBenchRun, error) {
+	if cfg.Records == 0 {
+		cfg = DefaultClockBenchConfig()
+	}
+	var out []ClockBenchRun
+	var baseRate, baseMsgs float64
+	for _, p := range cfg.Points {
+		run, err := runClockBenchOnce(cfg, p)
+		if err != nil {
+			return nil, err
+		}
+		if baseRate == 0 {
+			baseRate, baseMsgs = run.TxnsPerSec, run.GTSMsgsPerTxn
+		}
+		if baseRate > 0 {
+			run.SpeedupVsBase = run.TxnsPerSec / baseRate
+		}
+		if run.GTSMsgsPerTxn > 0 {
+			run.MsgsReductionVsBase = baseMsgs / run.GTSMsgsPerTxn
+		}
+		out = append(out, run)
+	}
+	return out, nil
+}
+
+// clockClientStats is one client's tally; clients never share cache lines of
+// a common struct, the aggregation happens after the window closes.
+type clockClientStats struct {
+	txns    uint64
+	aborts  uint64
+	beginNs uint64
+	commNs  uint64
+}
+
+func runClockBenchOnce(cfg ClockBenchConfig, p ClockPoint) (ClockBenchRun, error) {
+	c := cluster.New(cluster.Config{
+		Nodes:     3,
+		Scheme:    cluster.GTS,
+		Net:       cfg.Net,
+		LeaseSize: p.Lease,
+		Epoch:     txn.EpochConfig{Txns: p.EpochTxns, Delay: cfg.EpochDelay},
+	})
+	y, err := workload.LoadYCSB(c, "accounts", cfg.Shards, nil,
+		workload.YCSBConfig{Records: cfg.Records, ValueSize: 64}, base.NoNode)
+	if err != nil {
+		return ClockBenchRun{}, err
+	}
+	tbl := y.Table
+
+	// Count only the measured window: the load phase above also paid GTS
+	// round trips and sync points.
+	reqBefore := clusterGTSRequests(c)
+	syncBefore := clusterWALSyncs(c)
+
+	nodes := c.Nodes()
+	stats := make([]clockClientStats, cfg.Clients)
+	stop := workload.NewStopper()
+	var wg sync.WaitGroup
+	var firstErr error
+	var errMu sync.Mutex
+	t0 := time.Now()
+	for i := 0; i < cfg.Clients; i++ {
+		s, err := c.Connect(nodes[i%len(nodes)].ID())
+		if err != nil {
+			return ClockBenchRun{}, err
+		}
+		wg.Add(1)
+		go func(i int, s *cluster.Session) {
+			defer wg.Done()
+			st := &stats[i]
+			rng := rand.New(rand.NewSource(int64(i) + 1))
+			value := base.Value(fmt.Sprintf("clockbench-%02d", i))
+			for !stop.Stopped() {
+				key := base.EncodeUint64Key(uint64(rng.Intn(cfg.Records)))
+				b0 := time.Now()
+				tx, err := s.Begin()
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				st.beginNs += uint64(time.Since(b0))
+				if _, err := tx.Get(tbl, key); err != nil {
+					tx.Abort()
+					st.aborts++
+					continue
+				}
+				if err := tx.Update(tbl, key, value); err != nil {
+					tx.Abort()
+					st.aborts++
+					continue
+				}
+				c0 := time.Now()
+				if _, err := tx.Commit(); err != nil {
+					st.aborts++
+					continue
+				}
+				st.commNs += uint64(time.Since(c0))
+				st.txns++
+			}
+		}(i, s)
+	}
+	time.Sleep(cfg.Duration)
+	stop.Stop()
+	wg.Wait()
+	elapsed := time.Since(t0)
+	if firstErr != nil {
+		return ClockBenchRun{}, firstErr
+	}
+
+	var total clockClientStats
+	for i := range stats {
+		total.txns += stats[i].txns
+		total.aborts += stats[i].aborts
+		total.beginNs += stats[i].beginNs
+		total.commNs += stats[i].commNs
+	}
+	requests := clusterGTSRequests(c) - reqBefore
+	syncs := clusterWALSyncs(c) - syncBefore
+	run := ClockBenchRun{
+		Lease:       p.Lease,
+		EpochTxns:   p.EpochTxns,
+		Txns:        total.txns,
+		Aborts:      total.aborts,
+		ElapsedSec:  elapsed.Seconds(),
+		GTSRequests: requests,
+	}
+	if total.txns > 0 {
+		run.TxnsPerSec = float64(total.txns) / elapsed.Seconds()
+		run.AvgBeginUs = float64(total.beginNs) / float64(total.txns) / 1e3
+		run.AvgCommitUs = float64(total.commNs) / float64(total.txns) / 1e3
+		run.GTSMsgsPerTxn = float64(requests) / float64(total.txns)
+		run.WALSyncsPerTxn = float64(syncs) / float64(total.txns)
+	}
+	return run, nil
+}
+
+// clusterGTSRequests sums sequencer round trips across the cluster's oracles
+// (GTSClient and LeasedOracle both report them).
+func clusterGTSRequests(c *cluster.Cluster) uint64 {
+	var total uint64
+	for _, n := range c.Nodes() {
+		if gr, ok := n.Oracle().(clock.GTSRequester); ok {
+			total += gr.GTSRequests()
+		}
+	}
+	return total
+}
+
+// clusterWALSyncs sums WAL fsync points across nodes.
+func clusterWALSyncs(c *cluster.Cluster) uint64 {
+	var total uint64
+	for _, n := range c.Nodes() {
+		total += n.WAL().Syncs()
+	}
+	return total
+}

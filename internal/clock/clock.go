@@ -67,6 +67,18 @@ func (g *GTS) Next() base.Timestamp {
 	return base.Timestamp(g.counter.Add(1))
 }
 
+// Lease atomically reserves n consecutive timestamps and returns the first.
+// The caller owns [first, first+n-1] exclusively; Lease(1) is Next(). Leased
+// ranges from concurrent clients are disjoint, so every timestamp the
+// cluster ever sees is still globally unique.
+func (g *GTS) Lease(n uint64) base.Timestamp {
+	if n == 0 {
+		n = 1
+	}
+	end := g.counter.Add(n)
+	return base.Timestamp(end - n + 1)
+}
+
 // Current returns the latest issued timestamp without advancing the sequence.
 func (g *GTS) Current() base.Timestamp {
 	return base.Timestamp(g.counter.Load())
@@ -76,8 +88,9 @@ func (g *GTS) Current() base.Timestamp {
 // pays the round-trip hook, modelling the §2.2 observation that GTS is a
 // centralized bottleneck.
 type GTSClient struct {
-	gts   *GTS
-	delay func()
+	gts      *GTS
+	delay    func()
+	requests atomic.Uint64
 }
 
 var _ Oracle = (*GTSClient)(nil)
@@ -89,11 +102,16 @@ func NewGTSClient(gts *GTS, delay func()) *GTSClient {
 }
 
 func (c *GTSClient) rpc() base.Timestamp {
+	c.requests.Add(1)
 	if c.delay != nil {
 		c.delay()
 	}
 	return c.gts.Next()
 }
+
+// GTSRequests reports the sequencer round trips this client has paid (the
+// clock bench compares it against LeasedOracle's amortized count).
+func (c *GTSClient) GTSRequests() uint64 { return c.requests.Load() }
 
 // StartTS implements Oracle.
 func (c *GTSClient) StartTS() base.Timestamp { return c.rpc() }

@@ -1,0 +1,181 @@
+// Leased timestamp allocation: one GTS round trip reserves a contiguous
+// range of timestamps which the node then hands out locally until the range
+// is exhausted. This removes the central sequencer from the per-transaction
+// critical path — the §2.2 bottleneck the ROADMAP names as the first wall on
+// the way to millions of clients — at the cost of relaxing real-time order
+// between nodes to what snapshot isolation actually needs: per-node
+// monotonicity, global uniqueness (leases are disjoint), and causality
+// through Observe.
+//
+// Equivalence at lease size 1: every allocation refreshes, paying exactly
+// one delay hook and drawing exactly one GTS tick, so the timestamp stream
+// is byte-for-byte the per-request GTSClient protocol (pinned by
+// TestLeaseOneByteIdenticalToGTS).
+package clock
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"remus/internal/base"
+	"remus/internal/fault"
+)
+
+// LeasedOracle is a GTS client that leases timestamp ranges. It implements
+// Oracle and is safe for concurrent use by one node's sessions.
+type LeasedOracle struct {
+	gts    *GTS
+	delay  func()
+	lease  uint64
+	faults *fault.Registry
+
+	mu   sync.Mutex
+	next uint64 // next timestamp to hand out
+	end  uint64 // last timestamp of the current lease (inclusive); next > end when exhausted
+
+	requests  atomic.Uint64 // GTS round trips (lease refreshes that reached the sequencer)
+	refreshes atomic.Uint64 // successful lease refreshes
+	issued    atomic.Uint64 // timestamps handed out locally
+	skipped   atomic.Uint64 // leased timestamps discarded by Observe/CommitTS skips
+}
+
+var _ Oracle = (*LeasedOracle)(nil)
+
+// NewLeasedOracle wraps the shared sequencer for one node, leasing `lease`
+// timestamps per round trip (values < 1 behave as 1, the per-request
+// protocol). delay, if non-nil, models the round trip and is invoked once
+// per refresh. faults may be nil; when set, fault.SiteLeaseRefresh is
+// evaluated before each refresh RPC.
+func NewLeasedOracle(gts *GTS, delay func(), lease int, faults *fault.Registry) *LeasedOracle {
+	l := uint64(1)
+	if lease > 1 {
+		l = uint64(lease)
+	}
+	return &LeasedOracle{gts: gts, delay: delay, lease: l, faults: faults, next: 1, end: 0}
+}
+
+// refreshLocked acquires a fresh lease. Caller holds o.mu. A failing
+// fault-site evaluation models a lost lease RPC: the refresh retries (each
+// attempt re-pays the delay hook), exactly as a real client would retry the
+// sequencer; the armed actions of the chaos harness are Once/probabilistic,
+// so retries terminate.
+func (o *LeasedOracle) refreshLocked() {
+	for {
+		err := o.faults.Eval(fault.SiteLeaseRefresh)
+		if o.delay != nil {
+			o.delay()
+		}
+		if err != nil {
+			continue
+		}
+		break
+	}
+	o.requests.Add(1)
+	o.refreshes.Add(1)
+	start := uint64(o.gts.Lease(o.lease))
+	o.next = start
+	o.end = start + o.lease - 1
+}
+
+// allocLocked hands out the next timestamp, refreshing when the window is
+// exhausted. Caller holds o.mu.
+func (o *LeasedOracle) allocLocked() base.Timestamp {
+	if o.next > o.end {
+		o.refreshLocked()
+	}
+	ts := base.Timestamp(o.next)
+	o.next++
+	o.issued.Add(1)
+	return ts
+}
+
+// StartTS implements Oracle.
+func (o *LeasedOracle) StartTS() base.Timestamp {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.allocLocked()
+}
+
+// PrepareTS implements Oracle.
+func (o *LeasedOracle) PrepareTS() base.Timestamp {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.allocLocked()
+}
+
+// CommitTS implements Oracle. The folded maximum prepare timestamp may come
+// from another node's later lease; the window cursor skips past it so the
+// commit timestamp is strictly larger (a fresh lease, when needed, starts
+// above the sequencer's counter and therefore above every timestamp any
+// lease has ever handed out).
+func (o *LeasedOracle) CommitTS(maxPrepare base.Timestamp) base.Timestamp {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.skipPastLocked(maxPrepare)
+	ts := o.allocLocked()
+	if ts <= maxPrepare {
+		// Cannot happen when maxPrepare was drawn from this sequencer (a
+		// fresh lease starts above its counter), but mirror GTSClient's
+		// defensive clamp for artificial inputs, and discard the now-stale
+		// window so later allocations stay above the returned timestamp.
+		ts = maxPrepare + 1
+		o.skipPastLocked(ts)
+	}
+	return ts
+}
+
+// Observe implements Oracle: a witnessed remote timestamp must precede every
+// timestamp handed out afterwards, so a snapshot taken after observing a
+// commit sees it (read-your-writes across the session's Observe calls).
+func (o *LeasedOracle) Observe(ts base.Timestamp) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.skipPastLocked(ts)
+}
+
+// skipPastLocked advances the window cursor past ts. Unused leased
+// timestamps below ts are discarded — never reused, preserving monotonicity.
+// If ts reaches past the window's end the lease is simply exhausted; the
+// next allocation refreshes, and the fresh range is > ts because ts was
+// drawn from some lease the sequencer issued earlier. Caller holds o.mu.
+func (o *LeasedOracle) skipPastLocked(ts base.Timestamp) {
+	if uint64(ts) >= o.next {
+		wasted := uint64(0)
+		if uint64(ts) < o.end {
+			wasted = uint64(ts) + 1 - o.next
+		} else if o.end >= o.next {
+			wasted = o.end + 1 - o.next
+		}
+		o.skipped.Add(wasted)
+		o.next = uint64(ts) + 1
+	}
+}
+
+// Now implements Oracle: the sequencer's latest issued timestamp, read
+// without a round trip (monitoring parity with GTSClient.Now).
+func (o *LeasedOracle) Now() base.Timestamp { return o.gts.Current() }
+
+// Name implements Oracle.
+func (o *LeasedOracle) Name() string { return "gts-lease" }
+
+// Lease reports the configured lease size.
+func (o *LeasedOracle) Lease() int { return int(o.lease) }
+
+// GTSRequests reports sequencer round trips paid so far.
+func (o *LeasedOracle) GTSRequests() uint64 { return o.requests.Load() }
+
+// Refreshes reports completed lease refreshes.
+func (o *LeasedOracle) Refreshes() uint64 { return o.refreshes.Load() }
+
+// Issued reports timestamps handed out locally.
+func (o *LeasedOracle) Issued() uint64 { return o.issued.Load() }
+
+// Skipped reports leased timestamps discarded by Observe/CommitTS skips.
+func (o *LeasedOracle) Skipped() uint64 { return o.skipped.Load() }
+
+// GTSRequester is implemented by oracles that can report their sequencer
+// round-trip count (GTSClient and LeasedOracle); the clock bench sums it
+// across nodes for the messages-per-transaction metric.
+type GTSRequester interface {
+	GTSRequests() uint64
+}

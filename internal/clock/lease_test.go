@@ -1,0 +1,216 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+
+	"remus/internal/base"
+	"remus/internal/fault"
+)
+
+// TestLeaseOneByteIdenticalToGTS pins the equivalence claim: with lease size
+// 1 the LeasedOracle's timestamp stream, round-trip count and delay-hook
+// invocations are byte-for-byte those of the per-request GTSClient driven by
+// the same operation sequence.
+func TestLeaseOneByteIdenticalToGTS(t *testing.T) {
+	type op struct {
+		kind string
+		arg  base.Timestamp
+	}
+	ops := []op{
+		{"start", 0}, {"prepare", 0}, {"commit", 0},
+		{"start", 0}, {"observe", 40}, {"start", 0},
+		{"prepare", 0}, {"commit", 100}, {"start", 0},
+	}
+	drive := func(o Oracle, delays *int) []base.Timestamp {
+		var out []base.Timestamp
+		var lastPrep base.Timestamp
+		for _, op := range ops {
+			switch op.kind {
+			case "start":
+				out = append(out, o.StartTS())
+			case "prepare":
+				lastPrep = o.PrepareTS()
+				out = append(out, lastPrep)
+			case "commit":
+				max := lastPrep
+				if op.arg > max {
+					max = op.arg
+				}
+				out = append(out, o.CommitTS(max))
+			case "observe":
+				o.Observe(op.arg)
+			}
+		}
+		return out
+	}
+
+	var delaysRef, delaysLease int
+	ref := NewGTSClient(NewGTS(), func() { delaysRef++ })
+	leased := NewLeasedOracle(NewGTS(), func() { delaysLease++ }, 1, nil)
+
+	want := drive(ref, &delaysRef)
+	got := drive(leased, &delaysLease)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("op %d: leased oracle gave %v, GTSClient gave %v\nlease=1 must be byte-identical",
+				i, got[i], want[i])
+		}
+	}
+	if delaysLease != delaysRef {
+		t.Errorf("delay hook: leased paid %d round trips, GTSClient %d", delaysLease, delaysRef)
+	}
+	if leased.GTSRequests() != ref.GTSRequests() {
+		t.Errorf("GTSRequests: leased %d, GTSClient %d", leased.GTSRequests(), ref.GTSRequests())
+	}
+}
+
+// TestLeaseAmortizesRoundTrips checks the whole point of leasing: n
+// allocations at lease size L pay ~n/L round trips.
+func TestLeaseAmortizesRoundTrips(t *testing.T) {
+	delays := 0
+	o := NewLeasedOracle(NewGTS(), func() { delays++ }, 64, nil)
+	const n = 640
+	prev := base.Timestamp(0)
+	for i := 0; i < n; i++ {
+		ts := o.StartTS()
+		if ts <= prev {
+			t.Fatalf("allocation %d not monotonic: %v after %v", i, ts, prev)
+		}
+		prev = ts
+	}
+	if want := n / 64; delays != want {
+		t.Errorf("%d allocations at lease 64 paid %d round trips, want %d", n, delays, want)
+	}
+	if o.Issued() != n {
+		t.Errorf("Issued() = %d, want %d", o.Issued(), n)
+	}
+}
+
+// TestLeaseMonotonicAcrossRefreshUnderConcurrentObserve hammers one leased
+// oracle with allocations while another sequencer client commits and feeds
+// its timestamps back via Observe; every handed-out timestamp must be
+// globally unique and each goroutine's view strictly monotonic.
+func TestLeaseMonotonicAcrossRefreshUnderConcurrentObserve(t *testing.T) {
+	g := NewGTS()
+	o := NewLeasedOracle(g, nil, 8, nil)
+	remote := NewGTSClient(g, nil)
+
+	const goroutines, per = 8, 2000
+	var mu sync.Mutex
+	seen := make(map[base.Timestamp]bool, goroutines*per)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			local := make([]base.Timestamp, per)
+			for j := range local {
+				if i == 0 && j%16 == 0 {
+					// Witness a remote commit mid-stream: the skip must not
+					// break uniqueness or monotonicity for anyone.
+					o.Observe(remote.CommitTS(0))
+				}
+				local[j] = o.StartTS()
+			}
+			for j := 1; j < per; j++ {
+				if local[j] <= local[j-1] {
+					t.Errorf("goroutine %d: %v after %v", i, local[j], local[j-1])
+					return
+				}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, ts := range local {
+				if seen[ts] {
+					t.Errorf("duplicate leased timestamp %v", ts)
+				}
+				seen[ts] = true
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestLeaseCommitAbovePrepare: the folded maximum prepare timestamp may come
+// from another node's much later lease; CommitTS must still exceed it.
+func TestLeaseCommitAbovePrepare(t *testing.T) {
+	g := NewGTS()
+	o := NewLeasedOracle(g, nil, 32, nil)
+	other := NewGTSClient(g, nil)
+
+	p := o.PrepareTS()
+	if ct := o.CommitTS(p); ct <= p {
+		t.Errorf("CommitTS %v not above own prepare %v", ct, p)
+	}
+	// Remote prepare far past the current window: skip + refresh must land
+	// above it (a fresh lease starts above the sequencer counter).
+	for i := 0; i < 100; i++ {
+		other.PrepareTS()
+	}
+	remote := other.PrepareTS()
+	if ct := o.CommitTS(remote); ct <= remote {
+		t.Errorf("CommitTS %v not above remote prepare %v", ct, remote)
+	}
+	if o.Skipped() == 0 {
+		t.Error("skipping past a remote prepare discarded no leased timestamps")
+	}
+}
+
+// TestLeaseObserveSkipsWindow: after observing a remote timestamp inside the
+// current window, the next allocation must exceed it (read-your-writes for a
+// session that just saw a remote commit).
+func TestLeaseObserveSkipsWindow(t *testing.T) {
+	o := NewLeasedOracle(NewGTS(), nil, 128, nil)
+	first := o.StartTS()
+	inWindow := first + 50
+	o.Observe(inWindow)
+	if ts := o.StartTS(); ts <= inWindow {
+		t.Errorf("allocation %v not past observed %v", ts, inWindow)
+	}
+}
+
+// TestLeaseRefreshFaultRetry arms an error at the lease-refresh fault site:
+// the refresh must retry (paying the round trip again) and the stream stays
+// monotonic and unique.
+func TestLeaseRefreshFaultRetry(t *testing.T) {
+	reg := fault.NewRegistry(1)
+	reg.Arm(fault.SiteLeaseRefresh, fault.Action{Err: fault.ErrInjected, Once: true})
+	delays := 0
+	o := NewLeasedOracle(NewGTS(), func() { delays++ }, 4, reg)
+
+	prev := base.Timestamp(0)
+	for i := 0; i < 8; i++ {
+		ts := o.StartTS()
+		if ts <= prev {
+			t.Fatalf("allocation %d not monotonic after refresh fault: %v after %v", i, ts, prev)
+		}
+		prev = ts
+	}
+	// 8 allocations at lease 4 = 2 refreshes, plus 1 failed attempt.
+	if delays != 3 {
+		t.Errorf("delay hook called %d times, want 3 (2 refreshes + 1 faulted retry)", delays)
+	}
+	if o.Refreshes() != 2 {
+		t.Errorf("Refreshes() = %d, want 2", o.Refreshes())
+	}
+}
+
+// BenchmarkOraclePerRequest / BenchmarkOracleLeased are the CI smoke pair:
+// the gate job runs them at -benchtime=1x to prove the harness still works,
+// and locally they show the round trip leaving the allocation hot path.
+func BenchmarkOraclePerRequest(b *testing.B) {
+	o := NewGTSClient(NewGTS(), nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.StartTS()
+	}
+}
+
+func BenchmarkOracleLeased(b *testing.B) {
+	o := NewLeasedOracle(NewGTS(), nil, 64, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.StartTS()
+	}
+}

@@ -72,6 +72,39 @@ func (c *CLOG) SetPrepared(xid base.XID) error {
 func (c *CLOG) SetCommitted(xid base.XID, ts base.Timestamp) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.setCommittedLocked(xid, ts)
+}
+
+// BatchCommit is one entry of an epoch seal's batched publication.
+type BatchCommit struct {
+	XID      base.XID
+	CommitTS base.Timestamp
+}
+
+// SetCommittedBatch publishes every entry's commit under a single lock
+// acquisition — the CLOG half of epoch-based group commit (one status-table
+// critical section per epoch instead of one per transaction). Entries are
+// published in slice order; a failing entry (re-commit mismatch, commit of
+// an aborted xid) is reported in the returned slice, aligned by index, and
+// does not stop the remaining entries. The returned slice is nil when every
+// entry published cleanly.
+func (c *CLOG) SetCommittedBatch(batch []BatchCommit) []error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var errs []error
+	for i, b := range batch {
+		if err := c.setCommittedLocked(b.XID, b.CommitTS); err != nil {
+			if errs == nil {
+				errs = make([]error, len(batch))
+			}
+			errs[i] = err
+		}
+	}
+	return errs
+}
+
+// setCommittedLocked is SetCommitted's body; caller holds c.mu.
+func (c *CLOG) setCommittedLocked(xid base.XID, ts base.Timestamp) error {
 	r, ok := c.records[xid]
 	if !ok {
 		return fmt.Errorf("clog: commit of unknown %v", xid)

@@ -12,11 +12,13 @@ import (
 
 	"remus/internal/base"
 	"remus/internal/clock"
+	"remus/internal/fault"
 	"remus/internal/mvcc"
 	"remus/internal/node"
 	"remus/internal/obs"
 	"remus/internal/shard"
 	"remus/internal/simnet"
+	"remus/internal/txn"
 )
 
 // TimestampScheme selects the timestamp-ordering protocol (§2.2).
@@ -44,6 +46,18 @@ type Config struct {
 	// Recorder, if non-nil, is installed on the interconnect and on every
 	// node's transaction manager (including nodes added later by AddNode).
 	Recorder obs.Recorder
+	// LeaseSize, under GTS, makes every node lease contiguous timestamp
+	// ranges of this size from the sequencer (clock.LeasedOracle) instead of
+	// one round trip per timestamp. Values <= 1 keep the per-request
+	// GTSClient protocol. Ignored under DTS.
+	LeaseSize int
+	// Epoch, when Epoch.Txns >= 1, enables epoch-based group commit on every
+	// node's transaction manager (txn.SetEpoch).
+	Epoch txn.EpochConfig
+	// Faults, if non-nil, is threaded into the leased oracles (the
+	// fault.SiteLeaseRefresh site); epoch-seal faulting is configured via
+	// Epoch.Faults.
+	Faults *fault.Registry
 }
 
 // Cluster is the whole database.
@@ -105,7 +119,11 @@ func (c *Cluster) AddNode() *node.Node {
 	id := base.NodeID(len(c.nodeIDs) + 1)
 	var oracle clock.Oracle
 	if c.cfg.Scheme == GTS {
-		oracle = clock.NewGTSClient(c.gts, func() { c.net.RoundTrip(16) })
+		if c.cfg.LeaseSize > 1 {
+			oracle = clock.NewLeasedOracle(c.gts, func() { c.net.RoundTrip(16) }, c.cfg.LeaseSize, c.cfg.Faults)
+		} else {
+			oracle = clock.NewGTSClient(c.gts, func() { c.net.RoundTrip(16) })
+		}
 	} else {
 		var skew time.Duration
 		if c.cfg.Skew != nil {
@@ -116,6 +134,9 @@ func (c *Cluster) AddNode() *node.Node {
 	n := node.New(id, c.net, oracle, c.cfg.Store)
 	if c.cfg.Recorder != nil {
 		n.SetRecorder(c.cfg.Recorder)
+	}
+	if c.cfg.Epoch.Txns >= 1 {
+		n.Manager().SetEpoch(c.cfg.Epoch)
 	}
 	c.nodes[id] = n
 	c.nodeIDs = append(c.nodeIDs, id)

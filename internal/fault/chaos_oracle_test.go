@@ -1,0 +1,122 @@
+package fault_test
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/cluster"
+	"remus/internal/core"
+	"remus/internal/fault"
+	"remus/internal/mvcc"
+	"remus/internal/txn"
+)
+
+// newOracleChaosCluster is the bank fixture on a cluster that actually
+// exercises the oracle fault sites: GTS with leased timestamp allocation and
+// epoch-based group commit on every node. The registry is threaded into both
+// the leased oracles (SiteLeaseRefresh) and the epoch managers
+// (SiteEpochSeal).
+func newOracleChaosCluster(t *testing.T, reg *fault.Registry) *chaosCluster {
+	t.Helper()
+	store := mvcc.DefaultConfig()
+	store.LockTimeout = 2 * time.Second
+	store.PrepareWaitTimeout = 2 * time.Second
+	c := cluster.New(cluster.Config{
+		Nodes:     chaosNodes,
+		Scheme:    cluster.GTS,
+		Store:     store,
+		LeaseSize: 64,
+		Epoch:     txn.EpochConfig{Txns: 8, Delay: 200 * time.Microsecond, Faults: reg},
+		Faults:    reg,
+	})
+	tbl, err := c.CreateTable("bank", chaosShards, 0, func(int) base.NodeID { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Connect(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := s.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []cluster.KV
+	for i := 0; i < chaosAccounts; i++ {
+		rows = append(rows, cluster.KV{Key: accountKey(i), Value: base.Value(strconv.Itoa(chaosBalance))})
+	}
+	if err := tx.BatchInsert(tbl, rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return &chaosCluster{c: c, tbl: tbl}
+}
+
+// TestChaosCrashAtOracleSites crashes the source or the destination at the
+// lease-refresh and epoch-seal boundaries — the torn-epoch / torn-lease
+// cases — during a live migration over bank transfers, on a cluster where
+// those sites actually fire. The epoch-seal/crash-src run is the pinned
+// regression for crash-at-epoch-seal recovery: the sealer's epoch members
+// have final commit decisions, so recovery must neither lose nor duplicate
+// their money. These sites live in fault.OracleSites(), not Sites(), so the
+// plain-cluster sweeps don't run them as trivially-green subtests.
+func TestChaosCrashAtOracleSites(t *testing.T) {
+	for _, site := range fault.OracleSites() {
+		for _, victim := range []struct {
+			name string
+			id   base.NodeID
+		}{{"crash-src", 1}, {"crash-dst", 2}} {
+			t.Run(fmt.Sprintf("%s/%s", site, victim.name), func(t *testing.T) {
+				reg := fault.NewRegistry(1)
+				cc := newOracleChaosCluster(t, reg)
+				crash := cc.c.Node(victim.id).Crash
+				action := fault.Action{Do: crash, Err: fault.ErrInjected, Once: true}
+				if site == fault.SiteLeaseRefresh {
+					// The lease-refresh site can fire inside Manager.Begin,
+					// which holds the active-set mutex that Crash's
+					// ActiveTxns scan needs — crash from the side, as a real
+					// node failure would happen, instead of self-deadlocking.
+					action.Do = func() { go crash() }
+				}
+				reg.Arm(site, action)
+				ctrl := core.NewController(cc.c, chaosOpts(reg, 1))
+				stop := cc.startTransfers(t, 1, 3)
+				group := cc.c.ShardsOn(1)
+				_, err := ctrl.MigrateWithRecovery(group, 2)
+				stop()
+				if err != nil {
+					t.Fatalf("site %s, %s: migration unrecovered: %v", site, victim.name, err)
+				}
+				for _, id := range group {
+					if owner, _ := cc.c.OwnerOf(id); owner != 2 {
+						t.Fatalf("site %s, %s: shard %v owner = %v, want destination", site, victim.name, id, owner)
+					}
+				}
+				cc.verify(t, fmt.Sprintf("site %s, %s", site, victim.name))
+			})
+		}
+	}
+}
+
+// TestChaosOracleClusterCleanMigration is the no-fault control for the same
+// leased/epoch cluster: a live migration under transfer load with nothing
+// armed must preserve every invariant (separates "epochs broke migration"
+// from "crash recovery broke migration" when the sweep above fails).
+func TestChaosOracleClusterCleanMigration(t *testing.T) {
+	reg := fault.NewRegistry(1)
+	cc := newOracleChaosCluster(t, reg)
+	ctrl := core.NewController(cc.c, chaosOpts(reg, 1))
+	stop := cc.startTransfers(t, 1, 3)
+	group := cc.c.ShardsOn(1)
+	_, err := ctrl.MigrateWithRecovery(group, 2)
+	stop()
+	if err != nil {
+		t.Fatalf("clean migration on leased/epoch cluster failed: %v", err)
+	}
+	cc.verify(t, "oracle clean migration")
+}

@@ -54,6 +54,17 @@ const (
 	SiteSnapshotChunk Site = "repl/snapshot-chunk"
 	// SiteShipBatch fires before each shipped propagation batch.
 	SiteShipBatch Site = "repl/ship-batch"
+	// SiteLeaseRefresh fires before each timestamp-lease RPC to the GTS
+	// sequencer (clock.LeasedOracle). An Err models a failed lease RPC (the
+	// oracle retries); a Do typically crashes the leasing node mid-refresh.
+	SiteLeaseRefresh Site = "clock/lease-refresh"
+	// SiteEpochSeal fires at the epoch-seal boundary of group commit
+	// (txn.EpochConfig), after the epoch stopped admitting transactions and
+	// before any member's commit is published. An Err models a failed
+	// publication attempt (the sealer retries: the commit decisions are
+	// already final); a Do typically crashes the node, tearing the epoch
+	// between its members' committed-but-unpublished decisions.
+	SiteEpochSeal Site = "txn/epoch-seal"
 )
 
 var allSites = []Site{
@@ -69,9 +80,26 @@ var allSites = []Site{
 	SiteShipBatch,
 }
 
-// Sites returns every registered failpoint site (a copy; safe to reorder).
+// oracleSites are the failpoints inside the timestamp/commit machinery.
+// They only evaluate on clusters running a leased oracle or epoch-based
+// group commit, so they are enumerated separately from the migration-phase
+// sweep (arming them on a per-request-GTS, per-commit cluster would never
+// fire).
+var oracleSites = []Site{
+	SiteLeaseRefresh,
+	SiteEpochSeal,
+}
+
+// Sites returns every migration-path failpoint site (a copy; safe to
+// reorder).
 func Sites() []Site {
 	return append([]Site(nil), allSites...)
+}
+
+// OracleSites returns the lease-refresh/epoch-seal failpoint sites, hot only
+// under leased timestamp allocation and epoch-based group commit.
+func OracleSites() []Site {
+	return append([]Site(nil), oracleSites...)
 }
 
 // ErrInjected is the default error returned by an armed Action with no Err

@@ -1,0 +1,218 @@
+// Epoch-based group commit: transactions that reach their commit point
+// within one epoch are published together — one CLOG critical section and
+// one WAL fsync-point for the whole epoch instead of one per transaction —
+// and their commit acknowledgements are released only when the epoch seals.
+// This follows the epoch-commit design of "Epoch-based Optimistic
+// Concurrency Control in Geo-replicated Databases" (PAPERS.md), adapted to
+// this repo's SI machinery.
+//
+// Snapshot-isolation safety: a member's commit timestamp is assigned before
+// it parks, but its CLOG entry stays in the prepared state until the seal.
+// Any reader whose snapshot could observe the commit therefore hits the
+// standard prepare-wait (§2.2) and blocks until the epoch seals — a snapshot
+// never observes a commit from an unsealed epoch, and after the seal it
+// observes either all of the epoch's commits at or below its snapshot or
+// none of them.
+//
+// Equivalence at epoch size 1: the submitting goroutine seals its own
+// single-member epoch inline, producing exactly the legacy commit sequence
+// (CLOG publish, WAL commit record, sync point, lock release) with no
+// goroutine handoff — pinned byte-for-byte by TestEpochOneByteIdenticalToLegacy.
+package txn
+
+import (
+	"sync"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/clog"
+	"remus/internal/fault"
+	"remus/internal/obs"
+	"remus/internal/wal"
+)
+
+// DefaultEpochDelay bounds how long a non-full epoch stays open: the maximum
+// extra commit latency group commit may add to a lone transaction.
+const DefaultEpochDelay = 500 * time.Microsecond
+
+// EpochConfig shapes group commit on one node's transaction manager.
+type EpochConfig struct {
+	// Txns seals an epoch when it holds this many members. Values <= 0
+	// disable epochs entirely (the legacy per-transaction commit path); 1
+	// runs the epoch machinery but degenerates to it byte-for-byte.
+	Txns int
+	// Delay seals a non-full epoch this long after its first member parked
+	// (<= 0 uses DefaultEpochDelay). It must stay well below the MVCC
+	// prepare-wait timeout: readers of an unsealed commit wait it out.
+	Delay time.Duration
+	// Faults, if non-nil, evaluates fault.SiteEpochSeal at every seal
+	// boundary (chaos sweeps crash the node there to tear the epoch).
+	Faults *fault.Registry
+}
+
+type epochMember struct {
+	t  *Txn
+	ts base.Timestamp
+}
+
+type epoch struct {
+	opened  time.Time
+	timer   *time.Timer
+	members []epochMember
+	errs    []error       // publication errors aligned with members; nil when clean
+	sealed  chan struct{} // closed once the epoch is published
+}
+
+type epochManager struct {
+	m   *Manager
+	cfg EpochConfig
+
+	mu  sync.Mutex
+	cur *epoch
+}
+
+// SetEpoch installs (or, with Txns <= 0, removes) epoch-based group commit.
+// Safe to call on a live manager: in-flight commits finish under the
+// configuration they entered with.
+func (m *Manager) SetEpoch(cfg EpochConfig) {
+	if cfg.Txns <= 0 {
+		m.epochs.Store(nil)
+		return
+	}
+	if cfg.Delay <= 0 {
+		cfg.Delay = DefaultEpochDelay
+	}
+	m.epochs.Store(&epochManager{m: m, cfg: cfg})
+}
+
+// Epoch reports the group-commit configuration in force (zero value when
+// disabled).
+func (m *Manager) Epoch() EpochConfig {
+	if em := m.epochs.Load(); em != nil {
+		return em.cfg
+	}
+	return EpochConfig{}
+}
+
+// FlushEpochs force-seals the currently open epoch, if any. Migration's sync
+// barrier calls it after capturing TS_unsync so parked barrier-era commits
+// publish immediately instead of waiting out the epoch timer.
+func (m *Manager) FlushEpochs() {
+	if em := m.epochs.Load(); em != nil {
+		em.flush()
+	}
+}
+
+// commit parks the transaction in the current epoch and blocks until the
+// epoch seals; publication (CLOG + WAL) happens in the sealer, lock release
+// and bookkeeping in the member's own goroutine afterwards. The caller has
+// already moved the transaction to StateCommitted, so no concurrent abort
+// can revoke a parked member (AbortWith on it fails like on any committed
+// transaction) — the commit decision is final the moment it parks.
+func (em *epochManager) commit(t *Txn, ts base.Timestamp) error {
+	em.mu.Lock()
+	e := em.cur
+	if e == nil {
+		e = &epoch{opened: time.Now(), sealed: make(chan struct{})}
+		em.cur = e
+		if em.cfg.Txns > 1 {
+			e.timer = time.AfterFunc(em.cfg.Delay, func() { em.sealIfCurrent(e) })
+		}
+	}
+	e.members = append(e.members, epochMember{t: t, ts: ts})
+	idx := len(e.members) - 1
+	full := len(e.members) >= em.cfg.Txns
+	if full {
+		em.cur = nil // detached: this goroutine owns the seal
+	}
+	em.mu.Unlock()
+
+	if full {
+		if e.timer != nil {
+			e.timer.Stop()
+		}
+		em.seal(e)
+	} else {
+		<-e.sealed
+	}
+	if e.errs != nil && e.errs[idx] != nil {
+		// Publication failed for this member (cannot happen through the
+		// public API: parked members are unabortable). Mirror the legacy
+		// path's contract: surface the error, leave the txn registered.
+		return e.errs[idx]
+	}
+	t.releaseLocks()
+	em.m.finish(t)
+	if r := em.m.rec.Load(); r != nil {
+		r.Add(obs.CtrCommits, 1)
+		r.Add(obs.CtrEpochTxns, 1)
+		if !t.wallStart.IsZero() {
+			r.Observe(obs.HistCommitLatency, uint64(time.Since(t.wallStart)))
+		}
+	}
+	return nil
+}
+
+// sealIfCurrent is the timer path: detach the epoch if it is still open
+// (a count-seal may have claimed it first) and publish it.
+func (em *epochManager) sealIfCurrent(e *epoch) {
+	em.mu.Lock()
+	owned := em.cur == e
+	if owned {
+		em.cur = nil
+	}
+	em.mu.Unlock()
+	if owned {
+		em.seal(e)
+	}
+}
+
+// flush force-seals the open epoch.
+func (em *epochManager) flush() {
+	em.mu.Lock()
+	e := em.cur
+	em.cur = nil
+	em.mu.Unlock()
+	if e != nil {
+		if e.timer != nil {
+			e.timer.Stop()
+		}
+		em.seal(e)
+	}
+}
+
+// seal publishes a detached epoch: one batched CLOG publication, the
+// members' WAL commit records in epoch order, one fsync-point, then the
+// wakeup. The fault site sits after the epoch stopped admitting members and
+// before anything is published — the "torn epoch" boundary. A site error
+// models a failed publication attempt and is retried: every member's commit
+// decision is already final (state committed, coordinator may have released
+// other participants), so rolling the epoch back here would tear
+// distributed transactions; publication must simply happen. Chaos actions
+// are Once/probabilistic, so retries terminate, and a crash Do still fires
+// on the first evaluation.
+func (em *epochManager) seal(e *epoch) {
+	for em.cfg.Faults.Eval(fault.SiteEpochSeal) != nil {
+	}
+	batch := make([]clog.BatchCommit, len(e.members))
+	for i, mb := range e.members {
+		batch[i] = clog.BatchCommit{XID: mb.t.XID, CommitTS: mb.ts}
+	}
+	e.errs = em.m.clog.SetCommittedBatch(batch)
+	for i, mb := range e.members {
+		if e.errs != nil && e.errs[i] != nil {
+			continue
+		}
+		em.m.wal.Append(wal.Record{
+			Type: wal.RecCommit, XID: mb.t.XID, Txn: mb.t.GlobalID,
+			StartTS: mb.t.StartTS, CommitTS: mb.ts,
+		})
+	}
+	em.m.wal.Sync()
+	if r := em.m.rec.Load(); r != nil {
+		r.Add(obs.CtrEpochsSealed, 1)
+		r.Observe(obs.HistEpochTxns, uint64(len(e.members)))
+		r.Observe(obs.HistEpochSealDelay, uint64(time.Since(e.opened)))
+	}
+	close(e.sealed)
+}

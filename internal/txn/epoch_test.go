@@ -1,0 +1,337 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/clock"
+	"remus/internal/clog"
+	"remus/internal/fault"
+	"remus/internal/mvcc"
+	"remus/internal/wal"
+)
+
+// epochFixture is a fixture over a GTS oracle (deterministic timestamp
+// stream, unlike the HLC fixture) so two managers driven identically produce
+// identical WAL bytes.
+type epochFixture struct {
+	mgr   *Manager
+	store *mvcc.Store
+	wal   *wal.Log
+	clog  *clog.CLOG
+}
+
+func newEpochFixture(t *testing.T) *epochFixture {
+	t.Helper()
+	cl := clog.New()
+	w := wal.New()
+	oracle := clock.NewGTSClient(clock.NewGTS(), nil)
+	mgr := NewManager(1, cl, w, oracle, mvcc.DefaultConfig())
+	return &epochFixture{mgr: mgr, store: mvcc.NewStore(cl, mvcc.DefaultConfig()), wal: w, clog: cl}
+}
+
+func (f *epochFixture) walRecords(t *testing.T) []wal.Record {
+	t.Helper()
+	var out []wal.Record
+	for lsn := wal.LSN(1); lsn <= f.wal.FlushLSN(); lsn++ {
+		rec, ok := f.wal.Get(lsn)
+		if !ok {
+			t.Fatalf("WAL record %d missing", lsn)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// driveCommitSequence runs a fixed mix of commits and aborts and returns the
+// commit timestamps in order.
+func driveCommitSequence(t *testing.T, f *epochFixture) []base.Timestamp {
+	t.Helper()
+	var ctss []base.Timestamp
+	for i := 0; i < 6; i++ {
+		tx := f.mgr.Begin(0, 0)
+		key := base.Key(fmt.Sprintf("k%d", i))
+		if err := tx.Write(f.store, 1, 10, mvcc.WriteInsert, key, base.Value(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if i == 3 {
+			if err := tx.Abort(); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		cts, err := tx.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctss = append(ctss, cts)
+	}
+	return ctss
+}
+
+// TestEpochOneByteIdenticalToLegacy pins the degenerate-epoch claim: with
+// epoch size 1 the WAL record stream, CLOG entries, commit timestamps and
+// fsync-point count are byte-for-byte those of the legacy per-transaction
+// commit path.
+func TestEpochOneByteIdenticalToLegacy(t *testing.T) {
+	legacy := newEpochFixture(t)
+	epoch := newEpochFixture(t)
+	epoch.mgr.SetEpoch(EpochConfig{Txns: 1})
+
+	wantTS := driveCommitSequence(t, legacy)
+	gotTS := driveCommitSequence(t, epoch)
+	if !reflect.DeepEqual(gotTS, wantTS) {
+		t.Fatalf("commit timestamps diverged:\nepoch=1: %v\nlegacy:  %v", gotTS, wantTS)
+	}
+
+	wantWAL := legacy.walRecords(t)
+	gotWAL := epoch.walRecords(t)
+	if !reflect.DeepEqual(gotWAL, wantWAL) {
+		t.Fatalf("WAL streams diverged:\nepoch=1: %+v\nlegacy:  %+v", gotWAL, wantWAL)
+	}
+	for xid := base.XID(1); xid <= 7; xid++ {
+		if got, want := epoch.clog.Lookup(xid), legacy.clog.Lookup(xid); got != want {
+			t.Errorf("CLOG entry for %v diverged: epoch=1 %+v, legacy %+v", xid, got, want)
+		}
+	}
+	if got, want := epoch.wal.Syncs(), legacy.wal.Syncs(); got != want {
+		t.Errorf("fsync points diverged: epoch=1 %d, legacy %d", got, want)
+	}
+}
+
+// TestEpochSealByCount: an epoch seals the moment it holds Txns members, and
+// the whole epoch pays exactly one fsync point and one CLOG critical section.
+func TestEpochSealByCount(t *testing.T) {
+	f := newEpochFixture(t)
+	f.mgr.SetEpoch(EpochConfig{Txns: 4, Delay: time.Minute})
+
+	syncsBefore := f.wal.Syncs()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		tx := f.mgr.Begin(0, 0)
+		key := base.Key(fmt.Sprintf("c%d", i))
+		if err := tx.Write(f.store, 1, 10, mvcc.WriteInsert, key, base.Value("v")); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(tx *Txn) {
+			defer wg.Done()
+			if _, err := tx.Commit(); err != nil {
+				t.Errorf("commit: %v", err)
+			}
+		}(tx)
+	}
+	wg.Wait()
+	if got := f.wal.Syncs() - syncsBefore; got != 1 {
+		t.Errorf("4 commits at epoch size 4 paid %d fsync points, want 1", got)
+	}
+	reader := f.mgr.Begin(0, 0)
+	defer reader.Abort()
+	for i := 0; i < 4; i++ {
+		if _, err := reader.Read(f.store, base.Key(fmt.Sprintf("c%d", i))); err != nil {
+			t.Errorf("read after seal: %v", err)
+		}
+	}
+}
+
+// TestEpochSealByTimer: a lone transaction in a large epoch is released by
+// the epoch timer, not stuck waiting for the epoch to fill.
+func TestEpochSealByTimer(t *testing.T) {
+	f := newEpochFixture(t)
+	f.mgr.SetEpoch(EpochConfig{Txns: 100, Delay: 5 * time.Millisecond})
+
+	tx := f.mgr.Begin(0, 0)
+	if err := tx.Write(f.store, 1, 10, mvcc.WriteInsert, "k", base.Value("v")); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("timer seal took %v", d)
+	}
+	if f.clog.Lookup(tx.XID).Status != base.StatusCommitted {
+		t.Error("commit not published after timer seal")
+	}
+}
+
+// TestEpochUnsealedInvisible is the SI safety property: a snapshot never
+// observes a commit from an unsealed epoch. The reader hits the standard
+// prepare-wait (the member's CLOG entry is still prepared) and blocks until
+// the seal publishes the whole epoch.
+func TestEpochUnsealedInvisible(t *testing.T) {
+	f := newEpochFixture(t)
+	f.mgr.SetEpoch(EpochConfig{Txns: 100, Delay: time.Minute})
+
+	w := f.mgr.Begin(0, 0)
+	if err := w.Write(f.store, 1, 10, mvcc.WriteInsert, "k", base.Value("v")); err != nil {
+		t.Fatal(err)
+	}
+	commitDone := make(chan error, 1)
+	go func() { _, err := w.Commit(); commitDone <- err }()
+
+	// Wait until the writer has parked: its commit decision is recorded
+	// (state committed) but unpublished (CLOG still prepared).
+	deadline := time.Now().Add(5 * time.Second)
+	for w.State() != StateCommitted {
+		if time.Now().After(deadline) {
+			t.Fatal("writer never parked in the epoch")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := f.clog.Lookup(w.XID).Status; st != base.StatusPrepared {
+		t.Fatalf("parked member's CLOG entry is %v, want prepared until the seal", st)
+	}
+
+	reader := f.mgr.Begin(0, 0) // snapshot above the member's commit ts
+	defer reader.Abort()
+	type readResult struct {
+		v   base.Value
+		err error
+	}
+	readDone := make(chan readResult, 1)
+	go func() {
+		v, err := reader.Read(f.store, "k")
+		readDone <- readResult{v, err}
+	}()
+	select {
+	case r := <-readDone:
+		t.Fatalf("snapshot observed unsealed epoch: %q, %v", r.v, r.err)
+	case <-time.After(30 * time.Millisecond):
+	}
+
+	f.mgr.FlushEpochs()
+	if err := <-commitDone; err != nil {
+		t.Fatalf("parked commit: %v", err)
+	}
+	select {
+	case r := <-readDone:
+		if r.err != nil || string(r.v) != "v" {
+			t.Fatalf("read after seal = %q, %v; want v", r.v, r.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader still blocked after the epoch sealed")
+	}
+}
+
+// TestEpochAbortCannotRevokeParkedMember: once a member parks, its commit
+// decision is final — lock-and-abort style third-party aborts must fail.
+func TestEpochAbortCannotRevokeParkedMember(t *testing.T) {
+	f := newEpochFixture(t)
+	f.mgr.SetEpoch(EpochConfig{Txns: 100, Delay: time.Minute})
+
+	w := f.mgr.Begin(0, 0)
+	if err := w.Write(f.store, 1, 10, mvcc.WriteInsert, "k", base.Value("v")); err != nil {
+		t.Fatal(err)
+	}
+	commitDone := make(chan error, 1)
+	go func() { _, err := w.Commit(); commitDone <- err }()
+	deadline := time.Now().Add(5 * time.Second)
+	for w.State() != StateCommitted {
+		if time.Now().After(deadline) {
+			t.Fatal("writer never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := w.AbortWith(base.ErrMigrationAbort); !errors.Is(err, base.ErrTxnFinished) {
+		t.Fatalf("abort of parked member = %v, want ErrTxnFinished", err)
+	}
+	f.mgr.FlushEpochs()
+	if err := <-commitDone; err != nil {
+		t.Fatalf("parked commit after failed abort: %v", err)
+	}
+	if f.clog.Lookup(w.XID).Status != base.StatusCommitted {
+		t.Error("member not committed after seal")
+	}
+}
+
+// TestEpochSealFaultRetry arms an error at the epoch-seal fault site: the
+// seal must retry publication (the members' decisions are final) and every
+// member still commits.
+func TestEpochSealFaultRetry(t *testing.T) {
+	reg := fault.NewRegistry(1)
+	reg.Arm(fault.SiteEpochSeal, fault.Action{Err: fault.ErrInjected, Once: true})
+	f := newEpochFixture(t)
+	f.mgr.SetEpoch(EpochConfig{Txns: 1, Faults: reg})
+
+	tx := f.mgr.Begin(0, 0)
+	if err := tx.Write(f.store, 1, 10, mvcc.WriteInsert, "k", base.Value("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatalf("commit across seal fault: %v", err)
+	}
+	if f.clog.Lookup(tx.XID).Status != base.StatusCommitted {
+		t.Error("commit not published after seal retry")
+	}
+}
+
+// TestEpochFlushSealsPartial: FlushEpochs publishes a part-filled epoch
+// immediately (the migration sync barrier depends on it).
+func TestEpochFlushSealsPartial(t *testing.T) {
+	f := newEpochFixture(t)
+	f.mgr.SetEpoch(EpochConfig{Txns: 8, Delay: time.Minute})
+
+	var wg sync.WaitGroup
+	txns := make([]*Txn, 3)
+	for i := range txns {
+		tx := f.mgr.Begin(0, 0)
+		if err := tx.Write(f.store, 1, 10, mvcc.WriteInsert, base.Key(fmt.Sprintf("f%d", i)), base.Value("v")); err != nil {
+			t.Fatal(err)
+		}
+		txns[i] = tx
+		wg.Add(1)
+		go func(tx *Txn) {
+			defer wg.Done()
+			if _, err := tx.Commit(); err != nil {
+				t.Errorf("commit: %v", err)
+			}
+		}(tx)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		parked := 0
+		for _, tx := range txns {
+			if tx.State() == StateCommitted {
+				parked++
+			}
+		}
+		if parked == len(txns) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d members parked", parked, len(txns))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	syncsBefore := f.wal.Syncs()
+	f.mgr.FlushEpochs()
+	wg.Wait()
+	if got := f.wal.Syncs() - syncsBefore; got != 1 {
+		t.Errorf("flush paid %d fsync points, want 1", got)
+	}
+}
+
+// TestEpochDisable: SetEpoch with Txns <= 0 restores the legacy path.
+func TestEpochDisable(t *testing.T) {
+	f := newEpochFixture(t)
+	f.mgr.SetEpoch(EpochConfig{Txns: 4, Delay: time.Minute})
+	f.mgr.SetEpoch(EpochConfig{})
+	if f.mgr.Epoch().Txns != 0 {
+		t.Fatal("epoch config survived disable")
+	}
+	tx := f.mgr.Begin(0, 0)
+	if err := tx.Write(f.store, 1, 10, mvcc.WriteInsert, "k", base.Value("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatalf("legacy commit after disable: %v", err)
+	}
+}

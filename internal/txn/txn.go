@@ -157,6 +157,10 @@ type Manager struct {
 
 	activeMu sync.Mutex
 	active   map[base.XID]*Txn
+
+	// epochs, when non-nil, routes commit publication through epoch-based
+	// group commit (see epoch.go / SetEpoch).
+	epochs atomic.Pointer[epochManager]
 }
 
 // NewManager wires a transaction manager over the node's CLOG, WAL and
@@ -529,6 +533,12 @@ func (t *Txn) CommitAt(ts base.Timestamp) error {
 	t.mu.Unlock()
 
 	t.m.oracle.Observe(ts)
+	if em := t.m.epochs.Load(); em != nil {
+		// Epoch group commit: the decision above is final (no abort can
+		// revoke a committed txn); publication and the ack wait happen in
+		// the epoch machinery.
+		return em.commit(t, ts)
+	}
 	if err := t.m.clog.SetCommitted(t.XID, ts); err != nil {
 		return err
 	}
@@ -536,6 +546,7 @@ func (t *Txn) CommitAt(ts base.Timestamp) error {
 		Type: wal.RecCommit, XID: t.XID, Txn: t.GlobalID,
 		StartTS: t.StartTS, CommitTS: ts,
 	})
+	t.m.wal.Sync()
 	t.releaseLocks()
 	t.m.finish(t)
 	if r := t.m.rec.Load(); r != nil {

@@ -117,6 +117,8 @@ type Log struct {
 	first   LSN      // LSN of records[0]
 	next    LSN      // next LSN to assign
 	bytes   uint64   // total bytes ever appended
+	syncs   uint64   // fsync points recorded (see Sync)
+	synced  LSN      // highest LSN covered by a sync point
 	closed  bool
 }
 
@@ -156,6 +158,38 @@ func (l *Log) Bytes() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.bytes
+}
+
+// Sync records an fsync point covering every record appended so far and
+// returns the covered LSN. The log is in-memory, so Sync moves no data; it
+// models the per-commit durability barrier a disk-backed WAL pays, which is
+// exactly what epoch-based group commit amortizes: the legacy commit path
+// syncs once per transaction, an epoch seal syncs once per epoch. Syncs()
+// divided by committed transactions is the bench's fsyncs-per-txn metric.
+// Syncing an already-covered position still counts (a real fsync of a clean
+// file still pays the barrier).
+func (l *Log) Sync() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.syncs++
+	if l.next-1 > l.synced {
+		l.synced = l.next - 1
+	}
+	return l.synced
+}
+
+// Syncs reports the number of fsync points recorded.
+func (l *Log) Syncs() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncs
+}
+
+// SyncedLSN reports the highest LSN covered by a sync point.
+func (l *Log) SyncedLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.synced
 }
 
 // Get returns the record at lsn. It returns false if the LSN was truncated

@@ -347,3 +347,52 @@ func TestRecordTypeStrings(t *testing.T) {
 		t.Error("commit/prepare are not change records")
 	}
 }
+
+// TestSyncAccounting pins the fsync-point model the epoch group-commit bench
+// depends on: Sync covers the current tail, Syncs counts every barrier
+// (including barriers over an already-covered tail), and SyncedLSN tracks the
+// highest covered position.
+func TestSyncAccounting(t *testing.T) {
+	l := New()
+	if l.Syncs() != 0 || l.SyncedLSN() != 0 {
+		t.Fatalf("fresh log: syncs=%d synced=%v, want 0/0", l.Syncs(), l.SyncedLSN())
+	}
+
+	// Sync on an empty log is still a barrier.
+	if got := l.Sync(); got != 0 {
+		t.Fatalf("Sync on empty log returned %v, want 0", got)
+	}
+	if l.Syncs() != 1 {
+		t.Fatalf("Syncs() = %d after empty-log sync, want 1", l.Syncs())
+	}
+
+	a := l.Append(rec(RecInsert, 1, "a"))
+	b := l.Append(rec(RecCommit, 1, "b"))
+	if got := l.Sync(); got != b {
+		t.Fatalf("Sync returned %v, want tail %v", got, b)
+	}
+	if l.SyncedLSN() != b {
+		t.Fatalf("SyncedLSN() = %v, want %v", l.SyncedLSN(), b)
+	}
+	_ = a
+
+	// A second sync with nothing new appended still counts (clean-file fsync
+	// pays the barrier) and does not move the covered LSN.
+	if got := l.Sync(); got != b {
+		t.Fatalf("repeat Sync returned %v, want %v", got, b)
+	}
+	if l.Syncs() != 3 {
+		t.Fatalf("Syncs() = %d, want 3", l.Syncs())
+	}
+
+	c := l.Append(rec(RecUpdate, 2, "c"))
+	if l.SyncedLSN() != b {
+		t.Fatalf("Append must not advance SyncedLSN: got %v, want %v", l.SyncedLSN(), b)
+	}
+	if got := l.Sync(); got != c {
+		t.Fatalf("Sync after append returned %v, want %v", got, c)
+	}
+	if l.Syncs() != 4 || l.SyncedLSN() != c {
+		t.Fatalf("final accounting: syncs=%d synced=%v, want 4/%v", l.Syncs(), l.SyncedLSN(), c)
+	}
+}
