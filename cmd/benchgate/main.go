@@ -25,6 +25,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -37,7 +38,12 @@ import (
 type metric struct {
 	name         string
 	higherBetter bool
-	extract      func(run map[string]any) (float64, bool)
+	// absTol, when non-zero, gates on an absolute tolerance instead of the
+	// relative threshold. Needed for metrics whose baseline is legitimately
+	// zero (e.g. source scans per tuple under checkpoint shipping), where a
+	// relative gate would have nothing to compare against.
+	absTol  float64
+	extract func(run map[string]any) (float64, bool)
 }
 
 // kindSpec describes one benchmark file format: how to identify a sweep point
@@ -93,6 +99,24 @@ var kinds = map[string]kindSpec{
 			{name: "msgs_per_txn", higherBetter: false, extract: ratio("messages", "txns")},
 			{name: "speedup_vs_group1", higherBetter: true,
 				extract: func(r map[string]any) (float64, bool) { return field(r, "speedup_vs_group1") }},
+		},
+	},
+	// BENCH_storage.json: the initial-copy pair (live vs checkpoint
+	// shipping). Both gated metrics are per-tuple and deterministic on any
+	// hardware; wall-clock speedup is informational only (an in-memory scan
+	// and a file read trade places depending on the runner's disk).
+	"storage": {
+		pointKey: func(run map[string]any) string {
+			m, _ := run["mode"].(string)
+			return "mode=" + m
+		},
+		metrics: []metric{
+			// The headline: checkpoint shipping must keep the source's live
+			// version-chain scans at zero, and the live path at one per tuple.
+			{name: "src_scan_per_tuple", higherBetter: false, absTol: 0.05,
+				extract: func(r map[string]any) (float64, bool) { return field(r, "src_scan_per_tuple") }},
+			{name: "bytes_per_tuple", higherBetter: false,
+				extract: func(r map[string]any) (float64, bool) { return field(r, "bytes_per_tuple") }},
 		},
 	},
 }
@@ -153,6 +177,15 @@ func compare(spec kindSpec, baseline []map[string]any, samples [][]map[string]an
 			switch {
 			case !okBase || !okCur:
 				r.skipped = true // metric absent on one side (older baseline); not a failure
+			case m.absTol > 0:
+				if bv != 0 {
+					r.deltaPct = 100 * (cv - bv) / bv
+				}
+				if m.higherBetter {
+					r.regressed = cv < bv-m.absTol
+				} else {
+					r.regressed = cv > bv+m.absTol
+				}
 			case bv == 0:
 				r.skipped = true
 			default:
@@ -197,7 +230,7 @@ func renderMarkdown(kind string, rows []row, threshold float64, samples int) (st
 }
 
 func main() {
-	kind := flag.String("kind", "", "benchmark format: clock|repl")
+	kind := flag.String("kind", "", "benchmark format: clock|repl|storage")
 	baselinePath := flag.String("baseline", "", "committed baseline JSON")
 	currentPaths := flag.String("current", "", "freshly measured JSON sample file(s), comma-separated")
 	threshold := flag.Float64("threshold", 0.20, "relative regression tolerance")
@@ -205,10 +238,18 @@ func main() {
 
 	spec, ok := kinds[*kind]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "benchgate: unknown -kind %q (want clock or repl)\n", *kind)
+		fmt.Fprintf(os.Stderr, "benchgate: unknown -kind %q (want clock, repl or storage)\n", *kind)
 		os.Exit(2)
 	}
 	baseline, err := loadRuns(*baselinePath)
+	if errors.Is(err, os.ErrNotExist) {
+		// A missing baseline means the sweep has never been committed — there
+		// is nothing to regress against. Skipping cleanly (exit 0) lets CI
+		// add the measurement step before the first baseline lands.
+		fmt.Printf("bench gate: %s skipped — no committed baseline at %s.\n", *kind, *baselinePath)
+		fmt.Printf("Generate one with `go run ./cmd/remus-bench` and commit it to arm the gate.\n")
+		return
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: baseline: %v\n", err)
 		os.Exit(2)

@@ -51,6 +51,9 @@ func realMain() error {
 	clockBench := flag.Bool("clock-bench", false, "run the timestamp-oracle microbenchmark (lease/epoch sweep on a GTS cluster) instead of the paper experiments")
 	clockOut := flag.String("clock-out", "BENCH_clock.json", "output file for -clock-bench results")
 	clockDur := flag.Duration("clock-dur", 0, "measured window per -clock-bench point (0 uses the default)")
+	ckptBench := flag.Bool("ckpt-bench", false, "run the initial-copy microbenchmark (live version-chain copy vs checkpoint-file shipping) instead of the paper experiments")
+	storageOut := flag.String("storage-out", "BENCH_storage.json", "output file for -ckpt-bench results")
+	storageDir := flag.String("storage-dir", "", "root for -ckpt-bench WAL/checkpoint directories (\"\" uses the system temp dir; each run removes its own subdirectory)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -86,6 +89,9 @@ func realMain() error {
 	}
 	if *clockBench {
 		return runClockBench(*clockOut, *clockDur)
+	}
+	if *ckptBench {
+		return runCkptBench(*storageOut, *storageDir)
 	}
 
 	r := &runner{
@@ -155,6 +161,32 @@ func runClockBench(out string, dur time.Duration) error {
 		fmt.Printf("  lease=%-4d epoch=%-3d %8.0f txns/s  begin %6.1fµs  commit %6.1fµs  %5.2f gts msgs/txn (%5.1fx fewer)  %4.2f syncs/txn  %.2fx\n",
 			r.Lease, r.EpochTxns, r.TxnsPerSec, r.AvgBeginUs, r.AvgCommitUs,
 			r.GTSMsgsPerTxn, r.MsgsReductionVsBase, r.WALSyncsPerTxn, r.SpeedupVsBase)
+	}
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// runCkptBench measures the migration's initial copy with and without
+// checkpoint-file shipping and writes the pair as JSON.
+func runCkptBench(out, dir string) error {
+	cfg := bench.DefaultStorageBenchConfig()
+	cfg.Dir = dir
+	fmt.Printf("initial copy: %d tuples x %dB across %d shards, %.0f%% post-checkpoint churn\n",
+		cfg.Tuples, cfg.ValueBytes, cfg.Shards, 100*cfg.DeltaPct)
+	runs, err := bench.RunStorageBench(cfg)
+	if err != nil {
+		return err
+	}
+	for _, r := range runs {
+		fmt.Printf("  mode=%-4s copy %6.3fs  %7d tuples  %9d bytes  src scans/tuple %.2f  catch-up %6.3fs  %.2fx\n",
+			r.Mode, r.CopySec, r.CopyTuples, r.CopyBytes, r.SrcScanPerTup, r.CatchupSec, r.SpeedupVsLive)
 	}
 	data, err := json.MarshalIndent(runs, "", "  ")
 	if err != nil {

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/cluster"
+	"remus/internal/core"
+	"remus/internal/mvcc"
+	"remus/internal/storage"
+)
+
+// StorageBenchConfig shapes the initial-copy microbenchmark: the same
+// migration runs once with the live version-chain copy and once shipping a
+// checkpoint generation from disk, so the pair isolates how much snapshot
+// work checkpoint shipping takes off the source's MVCC store.
+type StorageBenchConfig struct {
+	// Tuples is the table size loaded onto the source before the migration.
+	Tuples int
+	// ValueBytes sizes each tuple's value.
+	ValueBytes int
+	// Shards is the number of shards in the migrated group.
+	Shards int
+	// DeltaPct is the fraction (0..1) of tuples updated after the checkpoint,
+	// so the catch-up stream has a realistic tail to cover.
+	DeltaPct float64
+	// Dir roots the checkpoint run's storage directory; "" uses the system
+	// temp directory. Each run works in (and removes) its own subdirectory.
+	Dir string
+	// SegmentBytes sizes WAL segments for the checkpoint run.
+	SegmentBytes int64
+}
+
+// DefaultStorageBenchConfig finishes in a few seconds per mode.
+func DefaultStorageBenchConfig() StorageBenchConfig {
+	return StorageBenchConfig{
+		Tuples:       20_000,
+		ValueBytes:   64,
+		Shards:       4,
+		DeltaPct:     0.05,
+		SegmentBytes: 1 << 20,
+	}
+}
+
+// StorageBenchRun is one mode's measurement, serialized to BENCH_storage.json.
+type StorageBenchRun struct {
+	Mode           string  `json:"mode"` // "live" or "ckpt"
+	Tuples         int     `json:"tuples"`
+	DeltaTuples    int     `json:"delta_tuples"`
+	CopyTuples     int     `json:"copy_tuples"`
+	CopyBytes      int     `json:"copy_bytes"`
+	CopySec        float64 `json:"copy_sec"`
+	CatchupSec     float64 `json:"catchup_sec"`
+	TotalSec       float64 `json:"total_sec"`
+	SrcScanTuples  uint64  `json:"src_scan_tuples"`
+	SrcScanPerTup  float64 `json:"src_scan_per_tuple"`
+	BytesPerTuple  float64 `json:"bytes_per_tuple"`
+	SpeedupVsLive  float64 `json:"speedup_vs_live"`
+	ShippedRecords uint64  `json:"shipped_records"`
+}
+
+// RunStorageBench measures both initial-copy modes. Each mode builds a fresh
+// two-node cluster so no MVCC or WAL state carries over.
+func RunStorageBench(cfg StorageBenchConfig) ([]StorageBenchRun, error) {
+	if cfg.Tuples == 0 {
+		cfg = DefaultStorageBenchConfig()
+	}
+	var out []StorageBenchRun
+	var liveCopySec float64
+	for _, mode := range []string{"live", "ckpt"} {
+		run, err := runStorageBenchOnce(cfg, mode)
+		if err != nil {
+			return nil, fmt.Errorf("storage bench %s: %w", mode, err)
+		}
+		if mode == "live" {
+			liveCopySec = run.CopySec
+		}
+		if liveCopySec > 0 && run.CopySec > 0 {
+			run.SpeedupVsLive = liveCopySec / run.CopySec
+		}
+		out = append(out, run)
+	}
+	return out, nil
+}
+
+func runStorageBenchOnce(cfg StorageBenchConfig, mode string) (StorageBenchRun, error) {
+	store := mvcc.DefaultConfig()
+	store.LockTimeout = 5 * time.Second
+	store.PrepareWaitTimeout = 5 * time.Second
+	ccfg := cluster.Config{Nodes: 2, Store: store}
+	if mode == "ckpt" {
+		dir, err := os.MkdirTemp(cfg.Dir, "remus-storagebench-*")
+		if err != nil {
+			return StorageBenchRun{}, err
+		}
+		defer os.RemoveAll(dir)
+		ccfg.Storage = storage.Config{Dir: dir, SegmentBytes: cfg.SegmentBytes}
+	}
+	c := cluster.New(ccfg)
+	defer c.CloseStorage()
+
+	tbl, err := c.CreateTable("bench", cfg.Shards, 0, func(int) base.NodeID { return 1 })
+	if err != nil {
+		return StorageBenchRun{}, err
+	}
+	s, err := c.Connect(1)
+	if err != nil {
+		return StorageBenchRun{}, err
+	}
+	value := make([]byte, cfg.ValueBytes)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+	const loadBatch = 1000
+	for off := 0; off < cfg.Tuples; off += loadBatch {
+		end := off + loadBatch
+		if end > cfg.Tuples {
+			end = cfg.Tuples
+		}
+		var rows []cluster.KV
+		for i := off; i < end; i++ {
+			rows = append(rows, cluster.KV{Key: base.EncodeUint64Key(uint64(i)), Value: base.Value(value)})
+		}
+		tx, err := s.Begin()
+		if err != nil {
+			return StorageBenchRun{}, err
+		}
+		if err := tx.BatchInsert(tbl, rows); err != nil {
+			return StorageBenchRun{}, err
+		}
+		if _, err := tx.Commit(); err != nil {
+			return StorageBenchRun{}, err
+		}
+	}
+
+	delta := 0
+	if mode == "ckpt" {
+		if _, err := c.CheckpointNode(1); err != nil {
+			return StorageBenchRun{}, err
+		}
+		// Post-checkpoint churn: the shipped files miss these, the catch-up
+		// stream must deliver them.
+		stride := int(1 / cfg.DeltaPct)
+		if stride < 1 {
+			stride = 1
+		}
+		for i := 0; i < cfg.Tuples; i += stride {
+			tx, err := s.Begin()
+			if err != nil {
+				return StorageBenchRun{}, err
+			}
+			if err := tx.Update(tbl, base.EncodeUint64Key(uint64(i)), base.Value("delta")); err != nil {
+				return StorageBenchRun{}, err
+			}
+			if _, err := tx.Commit(); err != nil {
+				return StorageBenchRun{}, err
+			}
+			delta++
+		}
+	}
+
+	opts := core.DefaultOptions()
+	opts.Workers = 8
+	opts.PhaseTimeout = 60 * time.Second
+	ctrl := core.NewController(c, opts)
+	srcScansBefore := c.Node(1).Counters.SnapshotOps.Load()
+	rep, err := ctrl.Migrate(c.ShardsOn(1), 2)
+	if err != nil {
+		return StorageBenchRun{}, err
+	}
+	wantMode := "live"
+	if mode == "ckpt" {
+		wantMode = "ckpt"
+	}
+	if rep.InitialCopy != wantMode {
+		return StorageBenchRun{}, fmt.Errorf("initial copy used %q, expected %q", rep.InitialCopy, wantMode)
+	}
+	srcScan := c.Node(1).Counters.SnapshotOps.Load() - srcScansBefore
+	run := StorageBenchRun{
+		Mode:           mode,
+		Tuples:         cfg.Tuples,
+		DeltaTuples:    delta,
+		CopyTuples:     rep.Snapshot.Tuples,
+		CopyBytes:      rep.Snapshot.Bytes,
+		CopySec:        rep.SnapshotDuration.Seconds(),
+		CatchupSec:     rep.CatchupDuration.Seconds(),
+		TotalSec:       rep.TotalDuration.Seconds(),
+		SrcScanTuples:  srcScan,
+		ShippedRecords: rep.ShippedRecords,
+	}
+	if run.CopyTuples > 0 {
+		run.SrcScanPerTup = float64(srcScan) / float64(run.CopyTuples)
+		run.BytesPerTuple = float64(run.CopyBytes) / float64(run.CopyTuples)
+	}
+	return run, nil
+}

@@ -84,6 +84,18 @@ func (g *GTS) Current() base.Timestamp {
 	return base.Timestamp(g.counter.Load())
 }
 
+// AdvanceTo raises the sequence so no future timestamp is issued at or below
+// ts. Restart-from-disk recovery uses it: the sequencer state is not
+// persisted, so it must be pushed past every timestamp recovered from disk.
+func (g *GTS) AdvanceTo(ts base.Timestamp) {
+	for {
+		cur := g.counter.Load()
+		if cur >= uint64(ts) || g.counter.CompareAndSwap(cur, uint64(ts)) {
+			return
+		}
+	}
+}
+
 // GTSClient is a node's handle on the central GTS. Every timestamp request
 // pays the round-trip hook, modelling the §2.2 observation that GTS is a
 // centralized bottleneck.

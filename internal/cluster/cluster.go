@@ -18,6 +18,7 @@ import (
 	"remus/internal/obs"
 	"remus/internal/shard"
 	"remus/internal/simnet"
+	"remus/internal/storage"
 	"remus/internal/txn"
 )
 
@@ -58,6 +59,12 @@ type Config struct {
 	// fault.SiteLeaseRefresh site); epoch-seal faulting is configured via
 	// Epoch.Faults.
 	Faults *fault.Registry
+	// Storage, when Storage.Dir is set, gives every node durable storage
+	// under <Dir>/node-<id>: a segmented on-disk WAL behind the in-memory
+	// log plus checkpoint files. A node whose directory already holds data
+	// is recovered from disk (latest checkpoint + WAL tail) when it is
+	// added. Empty Dir keeps the cluster purely in-memory.
+	Storage storage.Config
 }
 
 // Cluster is the whole database.
@@ -70,6 +77,7 @@ type Cluster struct {
 	mu      sync.RWMutex
 	nodes   map[base.NodeID]*node.Node
 	nodeIDs []base.NodeID
+	storage map[base.NodeID]*storage.NodeStorage
 
 	catMu     sync.RWMutex
 	tables    map[base.TableID]*shard.Table
@@ -92,6 +100,7 @@ func New(cfg Config) *Cluster {
 		gts:       clock.NewGTS(),
 		src:       clock.WallClock(),
 		nodes:     make(map[base.NodeID]*node.Node),
+		storage:   make(map[base.NodeID]*storage.NodeStorage),
 		tables:    make(map[base.TableID]*shard.Table),
 		byName:    make(map[string]*shard.Table),
 		nextTable: 1,
@@ -146,6 +155,10 @@ func (c *Cluster) AddNode() *node.Node {
 		break
 	}
 	c.mu.Unlock()
+
+	if c.cfg.Storage.Enabled() {
+		c.setupStorage(n)
+	}
 
 	// Seed the new node's shard map from an existing node's current view.
 	if donor != nil {

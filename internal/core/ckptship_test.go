@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/cluster"
+	"remus/internal/mvcc"
+	"remus/internal/storage"
+)
+
+// newStorageFixture is newFixture with durable storage enabled on every node.
+func newStorageFixture(t *testing.T, nodes, shards, rows int) *fixture {
+	t.Helper()
+	store := mvcc.DefaultConfig()
+	store.LockTimeout = 3 * time.Second
+	store.PrepareWaitTimeout = 3 * time.Second
+	c := cluster.New(cluster.Config{
+		Nodes:   nodes,
+		Store:   store,
+		Storage: storage.Config{Dir: t.TempDir(), SegmentBytes: 64 << 10},
+	})
+	t.Cleanup(func() { c.CloseStorage() })
+	tbl, err := c.CreateTable("accounts", shards, 0, func(int) base.NodeID { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Connect(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rowsKV []cluster.KV
+	for i := 0; i < rows; i++ {
+		rowsKV = append(rowsKV, cluster.KV{Key: base.EncodeUint64Key(uint64(i)), Value: base.Value(fmt.Sprintf("v%d", i))})
+	}
+	tx, err := s.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.BatchInsert(tbl, rowsKV); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Workers = 8
+	opts.PhaseTimeout = 30 * time.Second
+	return &fixture{c: c, tbl: tbl, ctrl: NewController(c, opts)}
+}
+
+// TestMigrateFromCheckpoint ships the initial copy from checkpoint files:
+// the source's live version chains are never scanned, and the catch-up
+// stream covers everything committed after the checkpoint's snapshot.
+func TestMigrateFromCheckpoint(t *testing.T) {
+	const rows = 400
+	f := newStorageFixture(t, 2, 4, rows)
+	if _, err := f.c.CheckpointNode(1); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint delta: these rows only exist in the WAL tail, so the
+	// catch-up stream must deliver them.
+	s, err := f.c.Connect(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i += 5 {
+		tx, err := s.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Update(f.tbl, base.EncodeUint64Key(uint64(i)), base.Value("delta")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srcScansBefore := f.c.Node(1).Counters.SnapshotOps.Load()
+	group := f.c.ShardsOn(1)
+	rep, err := f.ctrl.Migrate(group, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InitialCopy != "ckpt" {
+		t.Fatalf("InitialCopy = %q, want \"ckpt\"", rep.InitialCopy)
+	}
+	if rep.Snapshot.Tuples != rows {
+		t.Fatalf("shipped %d tuples, want %d", rep.Snapshot.Tuples, rows)
+	}
+	// The headline property: checkpoint shipping reads files, not the live
+	// MVCC store — the source performed zero snapshot scan operations.
+	if got := f.c.Node(1).Counters.SnapshotOps.Load(); got != srcScansBefore {
+		t.Fatalf("source performed %d live snapshot ops during checkpoint shipping", got-srcScansBefore)
+	}
+	f.verify(t, rows, 2, func(i int, v string) bool {
+		if i%5 == 0 {
+			return v == "delta"
+		}
+		return v == fmt.Sprintf("v%d", i)
+	})
+}
+
+// TestMigrateCheckpointFallsBackToLive pins the fallback: with storage
+// enabled but no checkpoint taken, phase 1 uses the live version-chain copy.
+func TestMigrateCheckpointFallsBackToLive(t *testing.T) {
+	const rows = 100
+	f := newStorageFixture(t, 2, 2, rows)
+	group := f.c.ShardsOn(1)
+	rep, err := f.ctrl.Migrate(group, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InitialCopy != "live" {
+		t.Fatalf("InitialCopy = %q, want \"live\"", rep.InitialCopy)
+	}
+	f.verify(t, rows, 2, nil)
+}
+
+// TestMigrateNoStorageIsLive pins the storage-disabled path end to end.
+func TestMigrateNoStorageIsLive(t *testing.T) {
+	const rows = 100
+	f := newFixture(t, 2, 2, rows)
+	group := f.c.ShardsOn(1)
+	rep, err := f.ctrl.Migrate(group, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InitialCopy != "live" {
+		t.Fatalf("InitialCopy = %q, want \"live\"", rep.InitialCopy)
+	}
+	f.verify(t, rows, 2, nil)
+}

@@ -14,6 +14,7 @@ import (
 	"remus/internal/obs"
 	"remus/internal/repl"
 	"remus/internal/shard"
+	"remus/internal/storage"
 	"remus/internal/txn"
 )
 
@@ -138,6 +139,9 @@ type Report struct {
 	SnapTS   base.Timestamp
 	TmCTS    base.Timestamp
 	Snapshot repl.SnapshotStats
+	// InitialCopy is how phase 1 moved the bulk data: "live" (version-chain
+	// scan) or "ckpt" (checkpoint-file shipping).
+	InitialCopy string
 
 	ShippedTxns    uint64
 	ShippedRecords uint64
@@ -311,6 +315,25 @@ func (m *Migration) Run() (*Report, error) {
 		}
 	}
 	snapTS := m.src.Oracle().StartTS()
+
+	// When the source has a durable checkpoint generation covering the whole
+	// shard group, phase 1 ships the checkpoint files instead of scanning
+	// live version chains: the copy reads sequential pages from disk and the
+	// catch-up stream replays everything after the checkpoint's horizon. The
+	// in-memory WAL must still reach back to that horizon (it does unless a
+	// later checkpoint truncated it — the generation's own retirement keeps
+	// covered+1 alive, and the hold above pins it for the propagator
+	// handoff). Otherwise — no storage, no generation, partial coverage, or
+	// a truncated log — the live path below runs byte-identically to a
+	// cluster without storage.
+	ckShip, useCkpt := m.checkpointForCopy()
+	if useCkpt {
+		snapTS = ckShip.SnapTS
+		startLSN = ckShip.Covered + 1
+		m.report.InitialCopy = "ckpt"
+	} else {
+		m.report.InitialCopy = "live"
+	}
 	m.report.SnapTS = snapTS
 
 	for _, id := range m.shards {
@@ -328,7 +351,13 @@ func (m *Migration) Run() (*Report, error) {
 		wg.Add(1)
 		go func(id base.ShardID) {
 			defer wg.Done()
-			stats, err := repl.CopySnapshot(m.src, m.dst, id, snapTS, m.opts.BatchBytes, m.opts.Faults, m.opts.Recorder)
+			var stats repl.SnapshotStats
+			var err error
+			if useCkpt {
+				stats, err = repl.CopyFromCheckpoint(m.src, m.dst, ckShip.Shards[id], m.opts.BatchBytes, m.opts.Faults, m.opts.Recorder)
+			} else {
+				stats, err = repl.CopySnapshot(m.src, m.dst, id, snapTS, m.opts.BatchBytes, m.opts.Faults, m.opts.Recorder)
+			}
 			copyMu.Lock()
 			defer copyMu.Unlock()
 			m.report.Snapshot.Tuples += stats.Tuples
@@ -458,6 +487,27 @@ func (m *Migration) Run() (*Report, error) {
 	m.cleanupAfterSuccess()
 	m.setPhase(PhaseDone)
 	return &m.report, nil
+}
+
+// checkpointForCopy decides whether phase 1 can ship checkpoint files: the
+// source must have durable storage with a valid generation that contains a
+// file for every shard in the group, and the in-memory WAL must still hold
+// the record after the generation's covered horizon so the catch-up stream
+// can start there. Called under the temporary whole-log hold, so no
+// checkpoint can truncate the log between this check and propagator start.
+func (m *Migration) checkpointForCopy() (storage.Checkpoint, bool) {
+	st := m.c.Storage(m.src.ID())
+	if st == nil {
+		return storage.Checkpoint{}, false
+	}
+	ck, ok := st.Latest()
+	if !ok || !ck.Covers(m.shards) {
+		return storage.Checkpoint{}, false
+	}
+	if m.src.WAL().FirstLSN() > ck.Covered+1 {
+		return storage.Checkpoint{}, false
+	}
+	return ck, true
 }
 
 // finishDual waits out the dual-execution phase and stops replication. Two

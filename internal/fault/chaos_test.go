@@ -48,14 +48,28 @@ type chaosCluster struct {
 func accountKey(i int) base.Key { return base.EncodeUint64Key(uint64(i)) }
 
 func newChaosCluster(t *testing.T) *chaosCluster {
+	return newChaosClusterCfg(t, nil, true)
+}
+
+// newChaosClusterCfg builds the bank cluster with an optional cluster.Config
+// modifier (e.g. to enable durable storage) and optional account seeding —
+// reboot-from-disk tests recover the accounts instead of inserting them.
+func newChaosClusterCfg(t *testing.T, mod func(*cluster.Config), seedAccounts bool) *chaosCluster {
 	t.Helper()
 	store := mvcc.DefaultConfig()
 	store.LockTimeout = 2 * time.Second
 	store.PrepareWaitTimeout = 2 * time.Second
-	c := cluster.New(cluster.Config{Nodes: chaosNodes, Store: store})
+	cfg := cluster.Config{Nodes: chaosNodes, Store: store}
+	if mod != nil {
+		mod(&cfg)
+	}
+	c := cluster.New(cfg)
 	tbl, err := c.CreateTable("bank", chaosShards, 0, func(int) base.NodeID { return 1 })
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !seedAccounts {
+		return &chaosCluster{c: c, tbl: tbl}
 	}
 	s, err := c.Connect(1)
 	if err != nil {

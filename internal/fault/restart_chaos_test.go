@@ -1,0 +1,127 @@
+package fault_test
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"remus/internal/cluster"
+	"remus/internal/storage"
+)
+
+// durableChaosCluster is the bank cluster with on-disk storage rooted at dir.
+// seedAccounts=false reboots over an existing directory: the accounts must
+// come back from the checkpoint and WAL tail, not from fresh inserts.
+func durableChaosCluster(t *testing.T, dir string, seedAccounts bool) *chaosCluster {
+	t.Helper()
+	cc := newChaosClusterCfg(t, func(cfg *cluster.Config) {
+		cfg.Storage = storage.Config{Dir: dir, SegmentBytes: 32 << 10}
+	}, seedAccounts)
+	t.Cleanup(func() { cc.c.CloseStorage() })
+	return cc
+}
+
+// runDurableLoad runs transfers for roughly d, optionally taking fuzzy
+// checkpoints of node 1 (the bank's owner) while the load is still running,
+// then quiesces so every committed transfer is on disk before the kill.
+func (cc *chaosCluster) runDurableLoad(t *testing.T, seed int64, d time.Duration, checkpoints int) {
+	t.Helper()
+	stop := cc.startTransfers(t, seed, 3)
+	if checkpoints == 0 {
+		time.Sleep(d)
+	} else {
+		slice := d / time.Duration(checkpoints+1)
+		for i := 0; i < checkpoints; i++ {
+			time.Sleep(slice)
+			if _, err := cc.c.CheckpointNode(1); err != nil {
+				stop()
+				t.Fatalf("checkpoint %d under load: %v", i, err)
+			}
+		}
+		time.Sleep(slice)
+	}
+	stop()
+	cc.quiesce(t, "pre-kill")
+}
+
+// killAndReboot abandons the cluster without any graceful close — the
+// process-kill model: write-through appends are already in the OS files —
+// and rebuilds it from the storage directory alone.
+func killAndReboot(t *testing.T, dir string) *chaosCluster {
+	t.Helper()
+	return durableChaosCluster(t, dir, false)
+}
+
+// TestChaosRestartFromDisk kills the bank cluster mid-history and restarts
+// it from disk. Recovery must reproduce a transactionally consistent state:
+// every account present exactly once, total balance unchanged (transfers are
+// atomic, so losing an un-durable suffix can only drop whole transfers).
+func TestChaosRestartFromDisk(t *testing.T) {
+	t.Run("ckpt-and-tail", func(t *testing.T) {
+		dir := t.TempDir()
+		cc := durableChaosCluster(t, dir, true)
+		// Checkpoints race with live transfers: the fuzzy checkpointer must
+		// not block writers or capture a torn transfer.
+		cc.runDurableLoad(t, 101, 300*time.Millisecond, 2)
+		st := cc.c.Storage(1)
+		if st == nil {
+			t.Fatal("node 1 has no storage")
+		}
+		if _, ok := st.Latest(); !ok {
+			t.Fatal("no checkpoint generation on disk after load")
+		}
+
+		cc2 := killAndReboot(t, dir)
+		cc2.verify(t, "restart ckpt-and-tail")
+	})
+
+	t.Run("wal-only", func(t *testing.T) {
+		dir := t.TempDir()
+		cc := durableChaosCluster(t, dir, true)
+		cc.runDurableLoad(t, 202, 150*time.Millisecond, 0)
+
+		cc2 := killAndReboot(t, dir)
+		cc2.verify(t, "restart wal-only")
+	})
+
+	// torn-tail chops bytes off the newest WAL segment before the reboot —
+	// the OS-crash model where the last appends never reached the platter.
+	// Truncation drops a suffix of the log; since a transfer's commit record
+	// always follows its change records, a dropped suffix can only roll back
+	// whole transfers, so the balance invariant must still hold.
+	t.Run("torn-tail", func(t *testing.T) {
+		dir := t.TempDir()
+		cc := durableChaosCluster(t, dir, true)
+		cc.runDurableLoad(t, 303, 150*time.Millisecond, 0)
+
+		nodeDir := filepath.Join(dir, "node-1")
+		entries, err := os.ReadDir(nodeDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var segs []string
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".seg") {
+				segs = append(segs, e.Name())
+			}
+		}
+		if len(segs) == 0 {
+			t.Fatal("no WAL segments on disk")
+		}
+		sort.Strings(segs) // names order by first LSN; tear the newest
+		tail := filepath.Join(nodeDir, segs[len(segs)-1])
+		fi, err := os.Stat(tail)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(tail, fi.Size()-3); err != nil {
+			t.Fatal(err)
+		}
+
+		cc2 := killAndReboot(t, dir)
+		cc2.verify(t, "restart torn-tail")
+	})
+}

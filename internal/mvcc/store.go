@@ -292,6 +292,21 @@ func (s *Store) InstallBootstrap(key base.Key, value base.Value) {
 	s.statMu.Unlock()
 }
 
+// InstallBootstrapBatch installs many bootstrap tuples, paying the stat lock
+// once. Used by checkpoint-file installs (migration ship path and
+// restart-from-disk recovery), which move thousands of tuples at a time.
+func (s *Store) InstallBootstrapBatch(keys []base.Key, values []base.Value) {
+	for i := range keys {
+		c := s.chain(keys[i], true)
+		c.mu.Lock()
+		c.versions = append(c.versions, &Version{XID: FrozenXID, Value: values[i].Clone()})
+		c.mu.Unlock()
+	}
+	s.statMu.Lock()
+	s.versionCount += len(keys)
+	s.statMu.Unlock()
+}
+
 // SnapshotScan streams every tuple version visible at snap, in key order,
 // into fn. It is the migration snapshot reader of §3.2: the scan runs
 // against the snapshot while concurrent transactions keep writing. fn

@@ -1,0 +1,84 @@
+package repl
+
+import (
+	"fmt"
+
+	"remus/internal/base"
+	"remus/internal/fault"
+	"remus/internal/node"
+	"remus/internal/obs"
+	"remus/internal/storage"
+)
+
+// CopyFromCheckpoint performs the migration initial copy of one shard from
+// the source's durable checkpoint file instead of its live version chains.
+// The file already holds the shard's tuples sorted and visible at the
+// checkpoint's snapshot timestamp, so the source pays sequential file reads
+// — zero SnapshotOps against the live MVCC store — while the destination
+// installs bootstrap versions exactly as in the live path. Batches ride the
+// same bandwidth-accounted src→dst link and evaluate the same
+// fault.SiteSnapshotChunk failpoint, so chaos coverage carries over. The
+// catch-up stream is expected to start at the checkpoint's covered horizon
+// + 1 and drop transactions committed at or below its snapshot, which is
+// precisely the existing Propagator contract.
+func CopyFromCheckpoint(src, dst *node.Node, ck storage.ShardCheckpoint, batchBytes int, faults *fault.Registry, rec obs.Recorder) (SnapshotStats, error) {
+	if batchBytes <= 0 {
+		batchBytes = 256 << 10
+	}
+	dstStore, ok := dst.Store(ck.Shard)
+	if !ok {
+		return SnapshotStats{}, fmt.Errorf("repl: ckpt copy of %v: no destination store on %v", ck.Shard, dst.ID())
+	}
+
+	var stats SnapshotStats
+	pending := 0
+	var keys []base.Key
+	var vals []base.Value
+	var flushErr error
+	flush := func() {
+		if pending == 0 || flushErr != nil {
+			return
+		}
+		if err := faults.Eval(fault.SiteSnapshotChunk); err != nil {
+			flushErr = fmt.Errorf("repl: ckpt chunk of %v: %w", ck.Shard, err)
+			return
+		}
+		if err := src.Net().SendBetween(src.ID(), dst.ID(), pending); err != nil {
+			flushErr = fmt.Errorf("repl: ckpt chunk of %v: %w", ck.Shard, err)
+			return
+		}
+		dstStore.InstallBootstrapBatch(keys, vals)
+		dst.Counters.SnapshotOps.Add(uint64(len(keys)))
+		stats.Bytes += pending
+		keys = keys[:0]
+		vals = vals[:0]
+		pending = 0
+	}
+	err := storage.ReadShardCheckpoint(ck.Path, func(k base.Key, v base.Value) bool {
+		keys = append(keys, k)
+		vals = append(vals, v)
+		pending += len(k) + len(v) + 16
+		stats.Tuples++
+		if pending >= batchBytes {
+			flush()
+		}
+		return flushErr == nil
+	})
+	if flushErr != nil {
+		return stats, flushErr
+	}
+	if err != nil {
+		return stats, fmt.Errorf("repl: ckpt read of %v: %w", ck.Shard, err)
+	}
+	flush()
+	if flushErr != nil {
+		return stats, flushErr
+	}
+	if rec != nil {
+		rec.Add(obs.CtrSnapshotTuples, uint64(stats.Tuples))
+		rec.Add(obs.CtrSnapshotBytes, uint64(stats.Bytes))
+		rec.Add(obs.CtrCkptShipTuples, uint64(stats.Tuples))
+		rec.Add(obs.CtrCkptShipBytes, uint64(stats.Bytes))
+	}
+	return stats, nil
+}

@@ -12,6 +12,7 @@ import (
 // Remus also allows their change records being spilled to disk").
 type spillFile struct {
 	f     *os.File
+	name  string
 	count int
 	bytes int
 }
@@ -21,9 +22,10 @@ func newSpillFile(dir string) (*spillFile, error) {
 	if err != nil {
 		return nil, fmt.Errorf("repl: spill: %w", err)
 	}
-	// Unlink immediately; the fd keeps the space alive until Close.
-	_ = os.Remove(f.Name())
-	return &spillFile{f: f}, nil
+	// The file stays visible (inspectable) while the queue is live; close()
+	// removes it, and the propagator's exit sweep closes every queue, so a
+	// finished migration leaves the spill directory empty.
+	return &spillFile{f: f, name: f.Name()}, nil
 }
 
 func (s *spillFile) append(recs []wal.Record) error {
@@ -53,6 +55,10 @@ func (s *spillFile) close() {
 	if s.f != nil {
 		_ = s.f.Close()
 		s.f = nil
+	}
+	if s.name != "" {
+		_ = os.Remove(s.name)
+		s.name = ""
 	}
 }
 

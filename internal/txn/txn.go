@@ -209,6 +209,24 @@ func (m *Manager) NewGlobalID() base.TxnID {
 	return base.MakeTxnID(m.node, m.seqSeq.Add(1))
 }
 
+// AdvanceIdentifiers raises the XID and global-id sequences past identifiers
+// recovered from disk. The counters are process-local; without this, a
+// restarted node would re-issue XIDs that still appear in the durable WAL
+// tail and a second recovery would merge unrelated transactions.
+func (m *Manager) AdvanceIdentifiers(xid base.XID, seq uint64) {
+	advanceU64(&m.xidSeq, uint64(xid))
+	advanceU64(&m.seqSeq, seq)
+}
+
+func advanceU64(c *atomic.Uint64, to uint64) {
+	for {
+		cur := c.Load()
+		if cur >= to || c.CompareAndSwap(cur, to) {
+			return
+		}
+	}
+}
+
 // Begin starts a local transaction with the given snapshot. A zero startTS
 // asks the node's oracle for a fresh snapshot. globalID may be zero for
 // purely local transactions.

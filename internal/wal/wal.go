@@ -107,6 +107,25 @@ func (r *Record) Size() int {
 	return 64 + len(r.Key) + len(r.Value)
 }
 
+// Backend is a durable sink attached behind the in-memory log. When present,
+// every Append is written through before it is acknowledged, Sync points turn
+// into real fsyncs, and Truncate offers the covered prefix for retirement.
+// The backend sees records in LSN order (calls are made under the log mutex)
+// but must not assume LSNs are dense: restart-from-disk recovery re-logs the
+// replayed tail in memory only, leaving gaps in the on-disk sequence.
+type Backend interface {
+	// Append durably buffers one record (an OS write, not yet an fsync).
+	Append(rec Record) error
+	// Sync makes everything appended so far durable (fsync).
+	Sync() error
+	// Retire tells the backend that records with LSN <= upto are no longer
+	// needed by readers. The backend is free to keep them anyway (it must,
+	// unless a checkpoint already covers them).
+	Retire(upto LSN)
+	// Close releases backend resources. Appends after Close are invalid.
+	Close() error
+}
+
 // Log is one node's write-ahead log. Appends are synchronous (the paper's
 // experiments enable synchronous WAL logging); records remain available to
 // readers until Truncate.
@@ -120,6 +139,7 @@ type Log struct {
 	syncs   uint64   // fsync points recorded (see Sync)
 	synced  LSN      // highest LSN covered by a sync point
 	closed  bool
+	backend Backend // nil: purely in-memory
 }
 
 // New returns an empty log whose first record will have LSN 1.
@@ -127,6 +147,33 @@ func New() *Log {
 	l := &Log{first: 1, next: 1}
 	l.cond = sync.NewCond(&l.mu)
 	return l
+}
+
+// AttachBackend installs a durable backend. From this point every Append is
+// written through to it and Sync points fsync. Attach before the first append
+// that must be durable; attaching replaces any previous backend.
+func (l *Log) AttachBackend(b Backend) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.backend = b
+}
+
+// ResetTo positions an empty log so its next append gets LSN next. It is used
+// by restart-from-disk recovery to resume the LSN sequence after the
+// recovered tail; calling it on a log that has already been appended to
+// panics.
+func (l *Log) ResetTo(next LSN) {
+	if next == 0 {
+		next = 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.records) > 0 || l.next != 1 {
+		panic("wal: ResetTo on a non-empty log")
+	}
+	l.first = next
+	l.next = next
+	l.synced = next - 1
 }
 
 // Append assigns the next LSN to rec, appends it, and returns the LSN.
@@ -141,8 +188,24 @@ func (l *Log) Append(rec Record) LSN {
 	l.next++
 	l.records = append(l.records, rec)
 	l.bytes += uint64(rec.Size())
+	if l.backend != nil {
+		// A failed durable append cannot be reported through this API (the
+		// commit path treats Append as infallible); it means the node lost
+		// its disk, which is fatal.
+		if err := l.backend.Append(rec); err != nil {
+			panic(fmt.Sprintf("wal: durable append failed: %v", err))
+		}
+	}
 	l.cond.Broadcast()
 	return rec.LSN
+}
+
+// FirstLSN returns the LSN of the oldest record still held (the truncation
+// horizon). It equals FlushLSN()+1 when the log holds no records.
+func (l *Log) FirstLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.first
 }
 
 // FlushLSN returns the LSN of the last appended record (the current tail
@@ -174,6 +237,11 @@ func (l *Log) Sync() LSN {
 	l.syncs++
 	if l.next-1 > l.synced {
 		l.synced = l.next - 1
+	}
+	if l.backend != nil {
+		if err := l.backend.Sync(); err != nil {
+			panic(fmt.Sprintf("wal: durable sync failed: %v", err))
+		}
 	}
 	return l.synced
 }
@@ -217,14 +285,21 @@ func (l *Log) Truncate(upto LSN) {
 	n := upto - l.first + 1
 	l.records = append([]Record(nil), l.records[n:]...)
 	l.first = upto + 1
+	if l.backend != nil {
+		l.backend.Retire(upto)
+	}
 }
 
 // Close wakes all blocked readers; subsequent reads return ErrClosed once
-// they exhaust the log.
+// they exhaust the log. A durable backend is closed as well.
 func (l *Log) Close() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.closed = true
+	if l.backend != nil {
+		_ = l.backend.Close()
+		l.backend = nil
+	}
 	l.cond.Broadcast()
 }
 
