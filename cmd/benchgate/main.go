@@ -101,6 +101,27 @@ var kinds = map[string]kindSpec{
 				extract: func(r map[string]any) (float64, bool) { return field(r, "speedup_vs_group1") }},
 		},
 	},
+	// BENCH_failover.json: the oracle failover sweep. The unavailability and
+	// stall windows are wall-clock milliseconds dominated by the configured
+	// detection budget (heartbeat × misses), not by machine speed, so they
+	// gate on absolute tolerances sized to scheduler noise; the failover
+	// count is exact.
+	"failover": {
+		pointKey: func(run map[string]any) string {
+			hb, _ := field(run, "heartbeat_ms")
+			m, _ := field(run, "misses")
+			l, _ := field(run, "lease")
+			return fmt.Sprintf("hb=%.1fms/misses=%.0f/lease=%.0f", hb, m, l)
+		},
+		metrics: []metric{
+			{name: "unavail_ms", higherBetter: false, absTol: 100,
+				extract: func(r map[string]any) (float64, bool) { return field(r, "unavail_ms") }},
+			{name: "stall_ms", higherBetter: false, absTol: 150,
+				extract: func(r map[string]any) (float64, bool) { return field(r, "stall_ms") }},
+			{name: "failovers", higherBetter: true, absTol: 0.25,
+				extract: func(r map[string]any) (float64, bool) { return field(r, "failovers") }},
+		},
+	},
 	// BENCH_storage.json: the initial-copy pair (live vs checkpoint
 	// shipping). Both gated metrics are per-tuple and deterministic on any
 	// hardware; wall-clock speedup is informational only (an in-memory scan
@@ -202,6 +223,15 @@ func compare(spec kindSpec, baseline []map[string]any, samples [][]map[string]an
 	return rows
 }
 
+// regenFlag maps each gate kind to the remus-bench flag that regenerates its
+// baseline (printed in the failure hint).
+var regenFlag = map[string]string{
+	"clock":    "-clock-bench",
+	"repl":     "-repl-bench",
+	"storage":  "-ckpt-bench",
+	"failover": "-oracle-failover",
+}
+
 func renderMarkdown(kind string, rows []row, threshold float64, samples int) (string, bool) {
 	var b strings.Builder
 	failed := false
@@ -223,14 +253,14 @@ func renderMarkdown(kind string, rows []row, threshold float64, samples int) (st
 	if failed {
 		fmt.Fprintf(&b, "\nA metric moved past the ±%.0f%% gate. If the regression is intended "+
 			"(protocol change, re-tuned sweep), regenerate the baseline with "+
-			"`go run ./cmd/remus-bench -%s-bench` and commit the new BENCH_%s.json.\n",
-			100*threshold, kind, kind)
+			"`go run ./cmd/remus-bench %s` and commit the new BENCH_%s.json.\n",
+			100*threshold, regenFlag[kind], kind)
 	}
 	return b.String(), failed
 }
 
 func main() {
-	kind := flag.String("kind", "", "benchmark format: clock|repl|storage")
+	kind := flag.String("kind", "", "benchmark format: clock|repl|storage|failover")
 	baselinePath := flag.String("baseline", "", "committed baseline JSON")
 	currentPaths := flag.String("current", "", "freshly measured JSON sample file(s), comma-separated")
 	threshold := flag.Float64("threshold", 0.20, "relative regression tolerance")
@@ -238,7 +268,7 @@ func main() {
 
 	spec, ok := kinds[*kind]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "benchgate: unknown -kind %q (want clock, repl or storage)\n", *kind)
+		fmt.Fprintf(os.Stderr, "benchgate: unknown -kind %q (want clock, repl, storage or failover)\n", *kind)
 		os.Exit(2)
 	}
 	baseline, err := loadRuns(*baselinePath)

@@ -51,6 +51,9 @@ func realMain() error {
 	clockBench := flag.Bool("clock-bench", false, "run the timestamp-oracle microbenchmark (lease/epoch sweep on a GTS cluster) instead of the paper experiments")
 	clockOut := flag.String("clock-out", "BENCH_clock.json", "output file for -clock-bench results")
 	clockDur := flag.Duration("clock-dur", 0, "measured window per -clock-bench point (0 uses the default)")
+	failoverBench := flag.Bool("oracle-failover", false, "run the oracle failover benchmark (kill the primary GTS mid-run, measure the unavailability window) instead of the paper experiments")
+	failoverOut := flag.String("failover-out", "BENCH_failover.json", "output file for -oracle-failover results")
+	failoverDur := flag.Duration("failover-dur", 0, "measured window per -oracle-failover point (0 uses the default)")
 	ckptBench := flag.Bool("ckpt-bench", false, "run the initial-copy microbenchmark (live version-chain copy vs checkpoint-file shipping) instead of the paper experiments")
 	storageOut := flag.String("storage-out", "BENCH_storage.json", "output file for -ckpt-bench results")
 	storageDir := flag.String("storage-dir", "", "root for -ckpt-bench WAL/checkpoint directories (\"\" uses the system temp dir; each run removes its own subdirectory)")
@@ -89,6 +92,9 @@ func realMain() error {
 	}
 	if *clockBench {
 		return runClockBench(*clockOut, *clockDur)
+	}
+	if *failoverBench {
+		return runFailoverBench(*failoverOut, *failoverDur)
 	}
 	if *ckptBench {
 		return runCkptBench(*storageOut, *storageDir)
@@ -161,6 +167,38 @@ func runClockBench(out string, dur time.Duration) error {
 		fmt.Printf("  lease=%-4d epoch=%-3d %8.0f txns/s  begin %6.1fµs  commit %6.1fµs  %5.2f gts msgs/txn (%5.1fx fewer)  %4.2f syncs/txn  %.2fx\n",
 			r.Lease, r.EpochTxns, r.TxnsPerSec, r.AvgBeginUs, r.AvgCommitUs,
 			r.GTSMsgsPerTxn, r.MsgsReductionVsBase, r.WALSyncsPerTxn, r.SpeedupVsBase)
+	}
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// runFailoverBench kills the oracle primary mid-run at each detection
+// configuration and writes the unavailability measurements as JSON.
+func runFailoverBench(out string, dur time.Duration) error {
+	cfg := bench.DefaultFailoverBenchConfig()
+	if dur > 0 {
+		cfg.Duration = dur
+		if cfg.CrashAfter >= dur {
+			cfg.CrashAfter = dur / 3
+		}
+	}
+	fmt.Printf("oracle failover: %d clients, %d oracle replicas, lease=%d, primary killed at %v of %v\n",
+		cfg.Clients, cfg.Replicas, cfg.Lease, cfg.CrashAfter, cfg.Duration)
+	runs, err := bench.RunFailoverBench(cfg)
+	if err != nil {
+		return err
+	}
+	for _, r := range runs {
+		fmt.Printf("  hb=%-4.1fms misses=%d %8.0f txns/s  %d failover(s)  unavail %6.1fms  stall %6.1fms  %d fence rejections  %d hwm persists\n",
+			r.HeartbeatMs, r.Misses, r.TxnsPerSec, r.Failovers, r.UnavailMs, r.StallMs,
+			r.FenceRejections, r.HWMPersists)
 	}
 	data, err := json.MarshalIndent(runs, "", "  ")
 	if err != nil {

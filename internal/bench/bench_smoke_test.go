@@ -282,3 +282,37 @@ func TestClockBenchTiny(t *testing.T) {
 			runs[1].MsgsReductionVsBase, runs[0].GTSMsgsPerTxn, runs[1].GTSMsgsPerTxn)
 	}
 }
+
+func TestFailoverBenchTiny(t *testing.T) {
+	skipIfShort(t)
+	cfg := DefaultFailoverBenchConfig()
+	cfg.Records = 240
+	cfg.Shards = 6
+	cfg.Clients = 6
+	cfg.Duration = 300 * time.Millisecond
+	cfg.CrashAfter = 100 * time.Millisecond
+	cfg.Points = []FailoverPoint{{Heartbeat: time.Millisecond, Misses: 2}}
+	runs, err := RunFailoverBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("%d points, want 1", len(runs))
+	}
+	r := runs[0]
+	if r.Txns == 0 {
+		t.Error("no committed transactions through the failover")
+	}
+	if r.Failovers < 1 {
+		t.Errorf("failovers = %d, want >= 1 (the primary was killed)", r.Failovers)
+	}
+	if r.UnavailMs <= 0 {
+		t.Errorf("unavail_ms = %v, want > 0", r.UnavailMs)
+	}
+	if r.StallMs < r.UnavailMs {
+		t.Errorf("stall_ms = %v below unavail_ms = %v: clients cannot outrun the outage", r.StallMs, r.UnavailMs)
+	}
+	if r.HWMPersists == 0 {
+		t.Error("hwm_persists = 0, want persists backing the grants")
+	}
+}

@@ -1,0 +1,130 @@
+// Fenced timestamp leases: the abstraction boundary between lease consumers
+// (LeasedOracle) and lease granters (the in-process *GTS, or the replicated
+// primary/standby oracle of replicated.go). A grant carries the fencing epoch
+// it was issued under; after a failover the new primary's epoch invalidates
+// every outstanding lease, and a refresh carrying the stale epoch is rejected
+// with a FencedError that names the current epoch so the client can re-lease
+// transparently.
+package clock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"remus/internal/base"
+)
+
+// LeaseGrant is one granted timestamp range: the caller owns
+// [Start, Start+Count-1] exclusively, under fencing epoch Epoch.
+type LeaseGrant struct {
+	Start base.Timestamp
+	Count uint64
+	Epoch uint64
+}
+
+// End returns the last timestamp of the grant (inclusive).
+func (g LeaseGrant) End() base.Timestamp {
+	return g.Start + base.Timestamp(g.Count) - 1
+}
+
+// Leaser grants fenced timestamp leases. Implementations: *GTS (in-process,
+// infallible, epoch pinned to 0) and *OracleClient (networked, replicated,
+// fenced).
+type Leaser interface {
+	// GrantLease reserves n consecutive timestamps under the caller's
+	// fencing epoch. Epoch 0 means "any" — a client bootstrapping or
+	// recovering that has no epoch yet; the grant's Epoch tells it the
+	// current one. A stale non-zero epoch fails with a FencedError carrying
+	// the current epoch; transient unavailability fails with ErrOracleDown
+	// (possibly wrapped).
+	GrantLease(epoch, n uint64) (LeaseGrant, error)
+	// Current returns the latest issued timestamp without advancing the
+	// sequence (monitoring parity with GTS.Current).
+	Current() base.Timestamp
+}
+
+// ErrOracleDown reports that no oracle replica answered a lease request
+// within the client's patience. Callers classify with errors.Is.
+var ErrOracleDown = errors.New("timestamp oracle unavailable")
+
+// ErrLeaseFenced is the sentinel matched by errors.Is against a FencedError.
+var ErrLeaseFenced = errors.New("lease fenced by newer epoch")
+
+// FencedError rejects a lease request whose epoch predates the oracle's
+// current fencing epoch (the request raced a failover). Epoch is the current
+// epoch — the client adopts it and retries, acquiring a fresh lease that
+// starts above everything the fenced lease could have granted.
+type FencedError struct {
+	Epoch uint64
+}
+
+// Error implements error.
+func (e *FencedError) Error() string {
+	return fmt.Sprintf("lease fenced: current oracle epoch is %d", e.Epoch)
+}
+
+// Is matches the ErrLeaseFenced sentinel.
+func (e *FencedError) Is(target error) bool { return target == ErrLeaseFenced }
+
+// GrantLease implements Leaser on the in-process sequencer: infallible,
+// always epoch 0 (a single shared *GTS is never fenced). Lease(1) semantics
+// keep the per-request protocol byte-identical.
+func (g *GTS) GrantLease(_, n uint64) (LeaseGrant, error) {
+	if n == 0 {
+		n = 1
+	}
+	return LeaseGrant{Start: g.Lease(n), Count: n}, nil
+}
+
+var _ Leaser = (*GTS)(nil)
+
+// HWMStore persists the oracle's (fencing epoch, timestamp high-water mark)
+// pair. The replicated oracle writes it before any grant above the stored
+// mark becomes visible ("persist before grant"), so a restart that loads the
+// pair resumes strictly above every timestamp ever granted. Save(epoch, hwm)
+// must be durable when it returns; Load on a fresh store returns (0, 0, nil).
+//
+// The interface lives here (not in internal/storage) so clock stays below
+// storage in the import graph; storage.OracleStore is the durable
+// implementation, MemHWMStore the in-memory test double.
+type HWMStore interface {
+	Load() (epoch, hwm uint64, err error)
+	Save(epoch, hwm uint64) error
+}
+
+// MemHWMStore is an in-memory HWMStore: durable across oracle crash/restart
+// within a process (the chaos tests model replica crashes as state loss in
+// the Replica, not the store), lost with the process.
+type MemHWMStore struct {
+	mu    sync.Mutex
+	epoch uint64
+	hwm   uint64
+	saves uint64
+}
+
+// NewMemHWMStore returns an empty in-memory store.
+func NewMemHWMStore() *MemHWMStore { return &MemHWMStore{} }
+
+// Load implements HWMStore.
+func (s *MemHWMStore) Load() (uint64, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch, s.hwm, nil
+}
+
+// Save implements HWMStore.
+func (s *MemHWMStore) Save(epoch, hwm uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch, s.hwm = epoch, hwm
+	s.saves++
+	return nil
+}
+
+// Saves reports completed Save calls (tests assert persist batching).
+func (s *MemHWMStore) Saves() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.saves
+}

@@ -14,6 +14,7 @@
 package clock
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -21,22 +22,25 @@ import (
 	"remus/internal/fault"
 )
 
-// LeasedOracle is a GTS client that leases timestamp ranges. It implements
-// Oracle and is safe for concurrent use by one node's sessions.
+// LeasedOracle is a lease-consuming client over any Leaser: the in-process
+// *GTS, or an OracleClient on a replicated group. It implements Oracle and
+// is safe for concurrent use by one node's sessions.
 type LeasedOracle struct {
-	gts    *GTS
+	ls     Leaser
 	delay  func()
 	lease  uint64
 	faults *fault.Registry
 
-	mu   sync.Mutex
-	next uint64 // next timestamp to hand out
-	end  uint64 // last timestamp of the current lease (inclusive); next > end when exhausted
+	mu    sync.Mutex
+	epoch uint64 // fencing epoch of the current lease (0 until the first grant)
+	next  uint64 // next timestamp to hand out
+	end   uint64 // last timestamp of the current lease (inclusive); next > end when exhausted
 
-	requests  atomic.Uint64 // GTS round trips (lease refreshes that reached the sequencer)
+	requests  atomic.Uint64 // granter round trips (lease refreshes that reached the sequencer)
 	refreshes atomic.Uint64 // successful lease refreshes
 	issued    atomic.Uint64 // timestamps handed out locally
 	skipped   atomic.Uint64 // leased timestamps discarded by Observe/CommitTS skips
+	fenced    atomic.Uint64 // fencing rejections ridden through by re-leasing
 }
 
 var _ Oracle = (*LeasedOracle)(nil)
@@ -47,18 +51,28 @@ var _ Oracle = (*LeasedOracle)(nil)
 // per refresh. faults may be nil; when set, fault.SiteLeaseRefresh is
 // evaluated before each refresh RPC.
 func NewLeasedOracle(gts *GTS, delay func(), lease int, faults *fault.Registry) *LeasedOracle {
+	return NewLeasedOracleFrom(gts, delay, lease, faults)
+}
+
+// NewLeasedOracleFrom is NewLeasedOracle over any Leaser — the replicated
+// oracle's per-node OracleClient plugs in here, and the transaction layer
+// above rides through failovers without code changes.
+func NewLeasedOracleFrom(ls Leaser, delay func(), lease int, faults *fault.Registry) *LeasedOracle {
 	l := uint64(1)
 	if lease > 1 {
 		l = uint64(lease)
 	}
-	return &LeasedOracle{gts: gts, delay: delay, lease: l, faults: faults, next: 1, end: 0}
+	return &LeasedOracle{ls: ls, delay: delay, lease: l, faults: faults, next: 1, end: 0}
 }
 
 // refreshLocked acquires a fresh lease. Caller holds o.mu. A failing
 // fault-site evaluation models a lost lease RPC: the refresh retries (each
 // attempt re-pays the delay hook), exactly as a real client would retry the
 // sequencer; the armed actions of the chaos harness are Once/probabilistic,
-// so retries terminate.
+// so retries terminate. A FencedError is the transparent re-lease path: the
+// oracle failed over and invalidated this lease, so adopt the new fencing
+// epoch and retry — the fresh grant starts above everything the fenced lease
+// could ever have handed out, so the timestamp stream stays monotonic.
 func (o *LeasedOracle) refreshLocked() {
 	for {
 		err := o.faults.Eval(fault.SiteLeaseRefresh)
@@ -68,13 +82,22 @@ func (o *LeasedOracle) refreshLocked() {
 		if err != nil {
 			continue
 		}
-		break
+		g, err := o.ls.GrantLease(o.epoch, o.lease)
+		if err != nil {
+			var fe *FencedError
+			if errors.As(err, &fe) {
+				o.epoch = fe.Epoch
+				o.fenced.Add(1)
+			}
+			continue
+		}
+		o.epoch = g.Epoch
+		o.requests.Add(1)
+		o.refreshes.Add(1)
+		o.next = uint64(g.Start)
+		o.end = uint64(g.End())
+		return
 	}
-	o.requests.Add(1)
-	o.refreshes.Add(1)
-	start := uint64(o.gts.Lease(o.lease))
-	o.next = start
-	o.end = start + o.lease - 1
 }
 
 // allocLocked hands out the next timestamp, refreshing when the window is
@@ -153,7 +176,7 @@ func (o *LeasedOracle) skipPastLocked(ts base.Timestamp) {
 
 // Now implements Oracle: the sequencer's latest issued timestamp, read
 // without a round trip (monitoring parity with GTSClient.Now).
-func (o *LeasedOracle) Now() base.Timestamp { return o.gts.Current() }
+func (o *LeasedOracle) Now() base.Timestamp { return o.ls.Current() }
 
 // Name implements Oracle.
 func (o *LeasedOracle) Name() string { return "gts-lease" }
@@ -172,6 +195,10 @@ func (o *LeasedOracle) Issued() uint64 { return o.issued.Load() }
 
 // Skipped reports leased timestamps discarded by Observe/CommitTS skips.
 func (o *LeasedOracle) Skipped() uint64 { return o.skipped.Load() }
+
+// FenceRejections reports lease refreshes rejected for a stale fencing epoch
+// and ridden through by transparent re-lease.
+func (o *LeasedOracle) FenceRejections() uint64 { return o.fenced.Load() }
 
 // GTSRequester is implemented by oracles that can report their sequencer
 // round-trip count (GTSClient and LeasedOracle); the clock bench sums it

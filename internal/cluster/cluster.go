@@ -6,6 +6,7 @@ package cluster
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -59,6 +60,15 @@ type Config struct {
 	// fault.SiteLeaseRefresh site); epoch-seal faulting is configured via
 	// Epoch.Faults.
 	Faults *fault.Registry
+	// OracleHA, when non-nil under GTS, replaces the in-process sequencer
+	// with a replicated primary/standby oracle group (clock.ReplicatedGTS):
+	// durable fenced leases, standby takeover, and per-node clients that
+	// retry through failovers. Zero fields of the config take clock's
+	// defaults; Net, Faults and Recorder are filled from the cluster's own
+	// unless already set. The group's HWM store defaults to the cluster's
+	// durable storage (<Storage.Dir>/oracle) when Storage is enabled, an
+	// in-memory register otherwise. Ignored under DTS.
+	OracleHA *clock.HAConfig
 	// Storage, when Storage.Dir is set, gives every node durable storage
 	// under <Dir>/node-<id>: a segmented on-disk WAL behind the in-memory
 	// log plus checkpoint files. A node whose directory already holds data
@@ -73,6 +83,9 @@ type Cluster struct {
 	net *simnet.Network
 	gts *clock.GTS
 	src clock.TimeSource
+
+	oracleHA    *clock.ReplicatedGTS
+	oracleStore *storage.OracleStore
 
 	mu      sync.RWMutex
 	nodes   map[base.NodeID]*node.Node
@@ -109,10 +122,59 @@ func New(cfg Config) *Cluster {
 	if cfg.Recorder != nil {
 		c.net.SetRecorder(cfg.Recorder)
 	}
+	if cfg.Scheme == GTS && cfg.OracleHA != nil {
+		c.setupOracleHA()
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		c.AddNode()
 	}
 	return c
+}
+
+// setupOracleHA opens the replicated oracle group. AddNode has no error
+// return and New follows it; an unopenable oracle store means the control
+// plane's disk is unusable, which is fatal (the setupStorage precedent).
+func (c *Cluster) setupOracleHA() {
+	ha := *c.cfg.OracleHA
+	if ha.Net == nil {
+		ha.Net = c.net
+	}
+	if ha.Faults == nil {
+		ha.Faults = c.cfg.Faults
+	}
+	if ha.Recorder == nil {
+		ha.Recorder = c.cfg.Recorder
+	}
+	if ha.Store == nil && c.cfg.Storage.Enabled() {
+		st, err := storage.OpenOracleStore(filepath.Join(c.cfg.Storage.Dir, "oracle"))
+		if err != nil {
+			panic(fmt.Sprintf("cluster: oracle store: %v", err))
+		}
+		c.oracleStore = st
+		ha.Store = st
+	}
+	g, err := clock.OpenReplicated(ha)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: replicated oracle: %v", err))
+	}
+	c.oracleHA = g
+}
+
+// OracleGroup returns the replicated oracle group, nil when the cluster runs
+// the in-process sequencer (chaos tests and the failover bench crash and
+// recover its replicas through this).
+func (c *Cluster) OracleGroup() *clock.ReplicatedGTS { return c.oracleHA }
+
+// Close releases cluster-held background resources: the replicated oracle's
+// failure monitor and its durable store. Clusters without an HA oracle need
+// no Close.
+func (c *Cluster) Close() {
+	if c.oracleHA != nil {
+		c.oracleHA.Close()
+	}
+	if c.oracleStore != nil {
+		c.oracleStore.Close()
+	}
 }
 
 // Net returns the interconnect (byte/message accounting).
@@ -128,7 +190,13 @@ func (c *Cluster) AddNode() *node.Node {
 	id := base.NodeID(len(c.nodeIDs) + 1)
 	var oracle clock.Oracle
 	if c.cfg.Scheme == GTS {
-		if c.cfg.LeaseSize > 1 {
+		if c.oracleHA != nil {
+			// The per-node client pays the simulated network itself (its
+			// endpoint round trips are partition- and crash-visible), so the
+			// leased oracle gets no extra delay hook. LeaseSize <= 1 keeps
+			// the per-request protocol, one grant per timestamp.
+			oracle = clock.NewLeasedOracleFrom(clock.NewOracleClient(c.oracleHA, id), nil, c.cfg.LeaseSize, c.cfg.Faults)
+		} else if c.cfg.LeaseSize > 1 {
 			oracle = clock.NewLeasedOracle(c.gts, func() { c.net.RoundTrip(16) }, c.cfg.LeaseSize, c.cfg.Faults)
 		} else {
 			oracle = clock.NewGTSClient(c.gts, func() { c.net.RoundTrip(16) })

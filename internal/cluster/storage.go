@@ -196,7 +196,11 @@ func (c *Cluster) recoverNode(n *node.Node, st *storage.NodeStorage) error {
 	n.Manager().AdvanceIdentifiers(maxXID, maxSeq)
 	n.Oracle().Observe(maxTS)
 	if c.cfg.Scheme == GTS {
-		c.gts.AdvanceTo(maxTS)
+		if c.oracleHA != nil {
+			c.oracleHA.AdvanceTo(maxTS)
+		} else {
+			c.gts.AdvanceTo(maxTS)
+		}
 	}
 
 	if len(commits) > 0 {

@@ -3,16 +3,18 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math/rand"
-	"time"
 
 	"remus/internal/base"
 	"remus/internal/obs"
+	"remus/internal/retry"
+	"time"
 )
 
 // RetryPolicy drives MigrateWithRecovery: how often a failed migration is
 // recovered and re-initiated, and how the pauses between attempts grow.
-// The zero value takes the defaults below.
+// The zero value takes the defaults below. The loop mechanics live in
+// internal/retry (extracted from here); this type survives as the
+// controller-facing knob set.
 type RetryPolicy struct {
 	// MaxAttempts bounds both the Run attempts and, independently, the
 	// Recover attempts per failed run (default 5).
@@ -29,37 +31,19 @@ type RetryPolicy struct {
 	Seed int64
 }
 
-func (p RetryPolicy) withDefaults() RetryPolicy {
-	if p.MaxAttempts <= 0 {
-		p.MaxAttempts = 5
+// toRetry maps onto the shared backoff helper, applying the defaults this
+// controller has always used.
+func (p RetryPolicy) toRetry() retry.Policy {
+	if p.MaxAttempts < 0 {
+		p.MaxAttempts = 0 // the controller never supported unlimited; use default
 	}
-	if p.Backoff <= 0 {
-		p.Backoff = 50 * time.Millisecond
-	}
-	if p.MaxBackoff <= 0 {
-		p.MaxBackoff = 2 * time.Second
-	}
-	if p.Jitter <= 0 {
-		p.Jitter = 0.2
-	}
-	if p.Seed == 0 {
-		p.Seed = 1
-	}
-	return p
-}
-
-// pause sleeps the current backoff plus jitter and returns the next (capped)
-// backoff.
-func (p RetryPolicy) pause(d time.Duration, rng *rand.Rand) time.Duration {
-	sleep := d
-	if p.Jitter > 0 {
-		sleep += time.Duration(p.Jitter * rng.Float64() * float64(d))
-	}
-	time.Sleep(sleep)
-	if d *= 2; d > p.MaxBackoff {
-		d = p.MaxBackoff
-	}
-	return d
+	return retry.Policy{
+		MaxAttempts: p.MaxAttempts,
+		Backoff:     p.Backoff,
+		MaxBackoff:  p.MaxBackoff,
+		Jitter:      p.Jitter,
+		Seed:        p.Seed,
+	}.WithDefaults()
 }
 
 func (ct *Controller) count(c obs.Counter, delta uint64) {
@@ -88,14 +72,12 @@ func (ct *Controller) reviveNodes() {
 func (ct *Controller) MigrateWithRecovery(shards []base.ShardID, dstID base.NodeID) (*Report, error) {
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
-	pol := ct.opts.Retry.withDefaults()
-	rng := rand.New(rand.NewSource(pol.Seed))
-	backoff := pol.Backoff
+	pol := ct.opts.Retry.toRetry()
 	var lastErr error
-	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
-		if attempt > 1 {
+	bo := retry.New(pol)
+	for bo.Next() {
+		if bo.Attempt() > 1 {
 			ct.count(obs.CtrMigrationRetries, 1)
-			backoff = pol.pause(backoff, rng)
 		}
 		m, err := ct.Plan(shards, dstID)
 		if err != nil {
@@ -106,7 +88,7 @@ func (ct *Controller) MigrateWithRecovery(shards []base.ShardID, dstID base.Node
 			return rep, nil
 		}
 		lastErr = err
-		rep, err = ct.resolveFailed(m, pol, rng)
+		rep, err = ct.resolveFailed(m, pol)
 		if err != nil {
 			return rep, fmt.Errorf("core: unrecoverable migration: %w", err)
 		}
@@ -123,14 +105,11 @@ func (ct *Controller) MigrateWithRecovery(shards []base.ShardID, dstID base.Node
 // resolveFailed drives one failed migration out of PhaseFailed: revive
 // crashed nodes, Recover, and retry under backoff when recovery itself hits
 // another fault (a node crashed again, the rebuilt stream failed, ...).
-func (ct *Controller) resolveFailed(m *Migration, pol RetryPolicy, rng *rand.Rand) (*Report, error) {
-	backoff := pol.Backoff
+func (ct *Controller) resolveFailed(m *Migration, pol retry.Policy) (*Report, error) {
 	var lastErr error
 	var lastRep *Report
-	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
-		if attempt > 1 {
-			backoff = pol.pause(backoff, rng)
-		}
+	bo := retry.New(pol)
+	for bo.Next() {
 		ct.reviveNodes()
 		rep, err := m.Recover()
 		if err == nil || errors.Is(err, base.ErrNotFailed) {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"remus/internal/base"
+	"remus/internal/clock"
 	"remus/internal/cluster"
 	"remus/internal/core"
 	"remus/internal/fault"
@@ -338,7 +339,29 @@ func runChaosSchedule(t *testing.T, seed int64) {
 			seed, fmt.Sprintf(format, args...), seed)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	cc := newChaosCluster(t)
+
+	// Odd seeds run the same schedule against a replicated-oracle cluster
+	// (leased GTS, primary/standby failover) and additionally kill the oracle
+	// primary at a random mid-lease moment, so half the sweep exercises the
+	// failover machinery under migration faults, drops and partitions at once.
+	ha := seed%2 == 1
+	var cc *chaosCluster
+	if ha {
+		cc = newChaosClusterCfg(t, func(cfg *cluster.Config) {
+			cfg.Scheme = cluster.GTS
+			cfg.LeaseSize = 64
+			cfg.OracleHA = &clock.HAConfig{
+				Replicas:  2,
+				Batch:     64,
+				Heartbeat: 2 * time.Millisecond,
+				Misses:    3,
+			}
+		}, true)
+		t.Cleanup(cc.c.Close)
+		t.Cleanup(superviseOracle(cc.c.OracleGroup(), 10*time.Millisecond, 50*time.Millisecond))
+	} else {
+		cc = newChaosCluster(t)
+	}
 
 	sites := fault.Sites()
 	site := sites[rng.Intn(len(sites))]
@@ -369,8 +392,19 @@ func runChaosSchedule(t *testing.T, seed int64) {
 			flt.HealAll()
 		}()
 	}
-	t.Logf("chaos seed %d: site=%s victim=%v after=%d drop=%.3f partition=%v",
-		seed, site, victim, after, drop, partition)
+	var oracleWG sync.WaitGroup
+	oracleKill := time.Duration(0)
+	if ha {
+		oracleKill = time.Duration(5+rng.Intn(35)) * time.Millisecond
+		oracleWG.Add(1)
+		go func() {
+			defer oracleWG.Done()
+			time.Sleep(oracleKill)
+			cc.c.OracleGroup().Primary().Crash()
+		}()
+	}
+	t.Logf("chaos seed %d: site=%s victim=%v after=%d drop=%.3f partition=%v ha=%v oracleKill=%v",
+		seed, site, victim, after, drop, partition, ha, oracleKill)
 
 	ctrl := core.NewController(cc.c, chaosOpts(reg, seed))
 	stop := cc.startTransfers(t, seed, 3)
@@ -378,6 +412,13 @@ func runChaosSchedule(t *testing.T, seed int64) {
 	_, err := ctrl.MigrateWithRecovery(group, 2)
 	stop()
 	partWG.Wait()
+	oracleWG.Wait()
+	if ha {
+		// The standby must take over from the killed primary; the supervisor
+		// then revives the old one as the next standby.
+		waitUntil(t, 5*time.Second, func() bool { return cc.c.OracleGroup().Failovers() >= 1 },
+			"oracle failover after the mid-lease kill")
+	}
 	flt.HealAll()
 	cc.c.Net().ClearFaults()
 	for _, n := range cc.c.Nodes() {
@@ -394,4 +435,7 @@ func runChaosSchedule(t *testing.T, seed int64) {
 		}
 	}
 	cc.verify(t, fmt.Sprintf("chaos seed %d", seed))
+	if ha && !cc.progress(t, 20, time.Second) {
+		fatalf("no committed transactions after the oracle failover settled")
+	}
 }

@@ -65,6 +65,25 @@ const (
 	// already final); a Do typically crashes the node, tearing the epoch
 	// between its members' committed-but-unpublished decisions.
 	SiteEpochSeal Site = "txn/epoch-seal"
+	// SiteHWMPersist fires before the replicated oracle persists its
+	// timestamp high-water mark (the persist-before-grant fsync of
+	// clock.ReplicatedGTS). An Err fails the persist — the dependent lease
+	// grant fails and the client retries; a Do typically crashes the primary
+	// mid-persist, so recovery must resume strictly above the last durable
+	// mark.
+	SiteHWMPersist Site = "clock/hwm-persist"
+	// SiteFailover fires inside a standby's takeover, after detection and
+	// before the fencing epoch is installed. An Err aborts this takeover
+	// attempt (the monitor retries on its next tick); a Pause models delayed
+	// delivery of the takeover; a Do typically crashes the standby
+	// mid-takeover.
+	SiteFailover Site = "clock/failover"
+	// SiteStaleLeaseReject fires when the oracle primary rejects a lease
+	// request carrying a stale fencing epoch — the enforcement point that
+	// keeps a partitioned old primary's clients from refreshing fenced
+	// leases. A Do typically crashes the rejecting (new) primary, stacking a
+	// second failover on the first.
+	SiteStaleLeaseReject Site = "clock/stale-lease-reject"
 )
 
 var allSites = []Site{
@@ -88,6 +107,9 @@ var allSites = []Site{
 var oracleSites = []Site{
 	SiteLeaseRefresh,
 	SiteEpochSeal,
+	SiteHWMPersist,
+	SiteFailover,
+	SiteStaleLeaseReject,
 }
 
 // Sites returns every migration-path failpoint site (a copy; safe to

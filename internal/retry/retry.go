@@ -1,0 +1,132 @@
+// Package retry is the shared capped-exponential-backoff helper. It was
+// extracted from cluster controller recovery (core.MigrateWithRecovery) so
+// the same loop shape — bounded attempts, doubling pause capped at a
+// maximum, decorrelating jitter from a seeded rng — can drive any retried
+// interaction: migration re-initiation, recovery of a failed migration, and
+// timestamp-lease refresh against a failed-over oracle.
+//
+// The package imports only the standard library, so every layer (clock,
+// core, repl) can take a Policy without import cycles.
+package retry
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Policy shapes one backoff loop. The zero value is not useful on its own;
+// call WithDefaults (or fill every field) before use.
+type Policy struct {
+	// MaxAttempts bounds the attempts Next will admit. Zero or negative
+	// means unlimited — the loop runs until the caller breaks out.
+	MaxAttempts int
+	// Backoff is the pause before the second attempt; it doubles per
+	// attempt thereafter.
+	Backoff time.Duration
+	// MaxBackoff caps the doubled pause.
+	MaxBackoff time.Duration
+	// Jitter adds a uniformly random extra fraction of the pause in
+	// [0, Jitter), decorrelating concurrent retriers.
+	Jitter float64
+	// Seed seeds the jitter rng so retry timing replays exactly.
+	Seed int64
+	// Sleep, if non-nil, replaces time.Sleep (tests inject a recorder;
+	// simulated environments can compress time).
+	Sleep func(time.Duration)
+}
+
+// WithDefaults fills unset fields with the controller's historical defaults:
+// 5 attempts, 50ms initial backoff, 2s cap, 0.2 jitter, seed 1. MaxAttempts
+// is left alone when negative (explicit "unlimited").
+func (p Policy) WithDefaults() Policy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 5
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 50 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 2 * time.Second
+	}
+	if p.Jitter <= 0 {
+		p.Jitter = 0.2
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// Backoff is one retry loop in progress. The canonical shape:
+//
+//	bo := retry.New(pol)
+//	for bo.Next() {            // sleeps (capped, jittered) before attempts ≥ 2
+//		if err := op(); err == nil {
+//			break
+//		}
+//	}
+//
+// Not safe for concurrent use; each loop owns its Backoff.
+type Backoff struct {
+	pol     Policy
+	rng     *rand.Rand
+	attempt int
+	next    time.Duration
+	slept   time.Duration
+}
+
+// New starts a loop under the policy. The policy is used as given — apply
+// WithDefaults first when zero fields should take the standard values.
+func New(pol Policy) *Backoff {
+	seed := pol.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Backoff{pol: pol, rng: rand.New(rand.NewSource(seed)), next: pol.Backoff}
+}
+
+// Next admits the next attempt, sleeping the current backoff (plus jitter)
+// first for every attempt after the first. It returns false once the attempt
+// budget is spent (never with unlimited attempts).
+func (b *Backoff) Next() bool {
+	if b.pol.MaxAttempts > 0 && b.attempt >= b.pol.MaxAttempts {
+		return false
+	}
+	b.attempt++
+	if b.attempt > 1 {
+		b.pause()
+	}
+	return true
+}
+
+// pause sleeps the current backoff plus jitter and doubles the backoff,
+// capped at MaxBackoff.
+func (b *Backoff) pause() {
+	d := b.next
+	if d <= 0 {
+		return
+	}
+	sleep := d
+	if b.pol.Jitter > 0 {
+		sleep += time.Duration(b.pol.Jitter * b.rng.Float64() * float64(d))
+	}
+	b.slept += sleep
+	if b.pol.Sleep != nil {
+		b.pol.Sleep(sleep)
+	} else {
+		time.Sleep(sleep)
+	}
+	if d *= 2; b.pol.MaxBackoff > 0 && d > b.pol.MaxBackoff {
+		d = b.pol.MaxBackoff
+	}
+	b.next = d
+}
+
+// Attempt reports the attempt number admitted by the last Next (1-based; 0
+// before the first Next).
+func (b *Backoff) Attempt() int { return b.attempt }
+
+// Slept reports the cumulative time spent pausing — the caller-visible stall
+// this loop introduced (the failover bench reads it for the unavailability
+// window).
+func (b *Backoff) Slept() time.Duration { return b.slept }

@@ -1,0 +1,134 @@
+package retry
+
+import (
+	"testing"
+	"time"
+)
+
+// record returns a policy whose sleeps are captured instead of slept.
+func record(p Policy, out *[]time.Duration) Policy {
+	p.Sleep = func(d time.Duration) { *out = append(*out, d) }
+	return p
+}
+
+// TestAttemptBudget: Next admits exactly MaxAttempts attempts and sleeps
+// once fewer times (no pause before the first attempt).
+func TestAttemptBudget(t *testing.T) {
+	var sleeps []time.Duration
+	bo := New(record(Policy{MaxAttempts: 4, Backoff: time.Millisecond, MaxBackoff: time.Second, Seed: 1}, &sleeps))
+	n := 0
+	for bo.Next() {
+		n++
+		if bo.Attempt() != n {
+			t.Fatalf("Attempt() = %d after %d Next calls", bo.Attempt(), n)
+		}
+	}
+	if n != 4 {
+		t.Fatalf("admitted %d attempts, want 4", n)
+	}
+	if len(sleeps) != 3 {
+		t.Fatalf("slept %d times, want 3 (no pause before the first attempt)", len(sleeps))
+	}
+	if bo.Next() {
+		t.Fatal("Next() admitted an attempt past the budget")
+	}
+}
+
+// TestCapAndJitterBounds: every pause lies in [d, d*(1+Jitter)) for the
+// doubling base d, and the base never exceeds MaxBackoff.
+func TestCapAndJitterBounds(t *testing.T) {
+	const jitter = 0.25
+	base := 10 * time.Millisecond
+	cap := 40 * time.Millisecond
+	var sleeps []time.Duration
+	bo := New(record(Policy{MaxAttempts: 8, Backoff: base, MaxBackoff: cap, Jitter: jitter, Seed: 7}, &sleeps))
+	for bo.Next() {
+	}
+	if len(sleeps) != 7 {
+		t.Fatalf("slept %d times, want 7", len(sleeps))
+	}
+	want := base
+	for i, s := range sleeps {
+		lo, hi := want, time.Duration(float64(want)*(1+jitter))
+		if s < lo || s >= hi {
+			t.Errorf("pause %d = %v outside [%v, %v)", i, s, lo, hi)
+		}
+		if want *= 2; want > cap {
+			want = cap
+		}
+	}
+	// The doubled base must have hit the cap well before the loop ended.
+	last := sleeps[len(sleeps)-1]
+	if hi := time.Duration(float64(cap) * (1 + jitter)); last >= hi {
+		t.Errorf("capped pause %v reached %v, cap*(1+jitter) = %v", last, last, hi)
+	}
+}
+
+// TestUnlimitedAttempts: MaxAttempts <= 0 never exhausts the loop.
+func TestUnlimitedAttempts(t *testing.T) {
+	var sleeps []time.Duration
+	bo := New(record(Policy{MaxAttempts: -1, Backoff: time.Microsecond, MaxBackoff: time.Microsecond, Seed: 1}, &sleeps))
+	for i := 0; i < 1000; i++ {
+		if !bo.Next() {
+			t.Fatalf("unlimited loop refused attempt %d", i+1)
+		}
+	}
+	if bo.Attempt() != 1000 {
+		t.Fatalf("Attempt() = %d, want 1000", bo.Attempt())
+	}
+}
+
+// TestSeedDeterminism: the same seed replays the same jittered pauses; a
+// different seed diverges.
+func TestSeedDeterminism(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		var sleeps []time.Duration
+		bo := New(record(Policy{MaxAttempts: 6, Backoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond, Jitter: 0.5, Seed: seed}, &sleeps))
+		for bo.Next() {
+		}
+		return sleeps
+	}
+	a, b := run(3), run(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pause %d differs across identical seeds: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(4)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jitter sequences")
+	}
+}
+
+// TestSleptAccumulates: Slept reports exactly the sum of the pauses.
+func TestSleptAccumulates(t *testing.T) {
+	var sleeps []time.Duration
+	bo := New(record(Policy{MaxAttempts: 5, Backoff: time.Millisecond, MaxBackoff: time.Second, Jitter: 0.2, Seed: 2}, &sleeps))
+	for bo.Next() {
+	}
+	var sum time.Duration
+	for _, s := range sleeps {
+		sum += s
+	}
+	if bo.Slept() != sum {
+		t.Errorf("Slept() = %v, want %v", bo.Slept(), sum)
+	}
+}
+
+// TestWithDefaults pins the controller's historical defaults.
+func TestWithDefaults(t *testing.T) {
+	p := Policy{}.WithDefaults()
+	if p.MaxAttempts != 5 || p.Backoff != 50*time.Millisecond || p.MaxBackoff != 2*time.Second || p.Jitter != 0.2 || p.Seed != 1 {
+		t.Errorf("WithDefaults() = %+v, want the documented defaults", p)
+	}
+	unlimited := Policy{MaxAttempts: -1}.WithDefaults()
+	if unlimited.MaxAttempts != -1 {
+		t.Errorf("WithDefaults overrode explicit unlimited attempts: %d", unlimited.MaxAttempts)
+	}
+}
