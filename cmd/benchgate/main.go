@@ -122,6 +122,25 @@ var kinds = map[string]kindSpec{
 				extract: func(r map[string]any) (float64, bool) { return field(r, "failovers") }},
 		},
 	},
+	// BENCH_txn.json: the foreground hot-path multi-core sweep. Throughput
+	// and speedup-vs-1-worker depend on the runner's core count (CI boxes
+	// are often single-core), so only the machine-invariant metrics gate:
+	// allocations per statement and the lock-free resolve fraction. The
+	// fraction's baseline is ~1.0 and legitimately cannot exceed it, so it
+	// gates on a small absolute tolerance.
+	"txn": {
+		pointKey: func(run map[string]any) string {
+			m, _ := run["mix"].(string)
+			w, _ := field(run, "workers")
+			return fmt.Sprintf("mix=%s/w=%.0f", m, w)
+		},
+		metrics: []metric{
+			{name: "mallocs_per_op", higherBetter: false,
+				extract: func(r map[string]any) (float64, bool) { return field(r, "mallocs_per_op") }},
+			{name: "lockfree_resolve_fraction", higherBetter: true, absTol: 0.05,
+				extract: func(r map[string]any) (float64, bool) { return field(r, "lockfree_resolve_fraction") }},
+		},
+	},
 	// BENCH_storage.json: the initial-copy pair (live vs checkpoint
 	// shipping). Both gated metrics are per-tuple and deterministic on any
 	// hardware; wall-clock speedup is informational only (an in-memory scan
@@ -230,6 +249,7 @@ var regenFlag = map[string]string{
 	"repl":     "-repl-bench",
 	"storage":  "-ckpt-bench",
 	"failover": "-oracle-failover",
+	"txn":      "-txn-bench",
 }
 
 func renderMarkdown(kind string, rows []row, threshold float64, samples int) (string, bool) {
@@ -260,7 +280,7 @@ func renderMarkdown(kind string, rows []row, threshold float64, samples int) (st
 }
 
 func main() {
-	kind := flag.String("kind", "", "benchmark format: clock|repl|storage|failover")
+	kind := flag.String("kind", "", "benchmark format: clock|repl|storage|failover|txn")
 	baselinePath := flag.String("baseline", "", "committed baseline JSON")
 	currentPaths := flag.String("current", "", "freshly measured JSON sample file(s), comma-separated")
 	threshold := flag.Float64("threshold", 0.20, "relative regression tolerance")
@@ -268,7 +288,7 @@ func main() {
 
 	spec, ok := kinds[*kind]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "benchgate: unknown -kind %q (want clock, repl, storage or failover)\n", *kind)
+		fmt.Fprintf(os.Stderr, "benchgate: unknown -kind %q (want clock, repl, storage, failover or txn)\n", *kind)
 		os.Exit(2)
 	}
 	baseline, err := loadRuns(*baselinePath)

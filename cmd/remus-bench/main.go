@@ -54,6 +54,9 @@ func realMain() error {
 	failoverBench := flag.Bool("oracle-failover", false, "run the oracle failover benchmark (kill the primary GTS mid-run, measure the unavailability window) instead of the paper experiments")
 	failoverOut := flag.String("failover-out", "BENCH_failover.json", "output file for -oracle-failover results")
 	failoverDur := flag.Duration("failover-dur", 0, "measured window per -oracle-failover point (0 uses the default)")
+	txnBench := flag.Bool("txn-bench", false, "run the foreground hot-path multi-core scaling sweep (1..max(8,GOMAXPROCS) workers, read-mostly and write-heavy mixes on one node) instead of the paper experiments")
+	txnOut := flag.String("txn-out", "BENCH_txn.json", "output file for -txn-bench results")
+	txnDur := flag.Duration("txn-dur", 0, "measured window per -txn-bench point (0 uses the default)")
 	ckptBench := flag.Bool("ckpt-bench", false, "run the initial-copy microbenchmark (live version-chain copy vs checkpoint-file shipping) instead of the paper experiments")
 	storageOut := flag.String("storage-out", "BENCH_storage.json", "output file for -ckpt-bench results")
 	storageDir := flag.String("storage-dir", "", "root for -ckpt-bench WAL/checkpoint directories (\"\" uses the system temp dir; each run removes its own subdirectory)")
@@ -98,6 +101,9 @@ func realMain() error {
 	}
 	if *ckptBench {
 		return runCkptBench(*storageOut, *storageDir)
+	}
+	if *txnBench {
+		return runTxnBench(*txnOut, *txnDur)
 	}
 
 	r := &runner{
@@ -200,6 +206,31 @@ func runFailoverBench(out string, dur time.Duration) error {
 			r.HeartbeatMs, r.Misses, r.TxnsPerSec, r.Failovers, r.UnavailMs, r.StallMs,
 			r.FenceRejections, r.HWMPersists)
 	}
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// runTxnBench sweeps the foreground hot path over worker counts and
+// operation mixes and writes the measurements as JSON.
+func runTxnBench(out string, dur time.Duration) error {
+	cfg := bench.DefaultTxnBenchConfig()
+	if dur > 0 {
+		cfg.Duration = dur
+	}
+	fmt.Printf("foreground hot path: %d keys x %dB, %d ops/txn, %v/point, GOMAXPROCS=%d\n",
+		cfg.Keys, cfg.ValueBytes, cfg.OpsPerTxn, cfg.Duration, runtime.GOMAXPROCS(0))
+	runs, err := bench.RunTxnBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatTxnBench(runs))
 	data, err := json.MarshalIndent(runs, "", "  ")
 	if err != nil {
 		return err

@@ -1,0 +1,280 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"remus/internal/base"
+	"remus/internal/clock"
+	"remus/internal/clog"
+	"remus/internal/mvcc"
+	"remus/internal/txn"
+	"remus/internal/wal"
+)
+
+// TxnMix is one operation mix of the foreground hot-path sweep.
+type TxnMix struct {
+	Name    string
+	ReadPct int // percentage of statements that are reads (rest are updates)
+}
+
+// TxnBenchConfig tunes the multi-core foreground transaction sweep: W worker
+// goroutines hammer a single node's txn.Manager + mvcc.Store (local HLC
+// oracle, in-memory WAL) so the measurement isolates exactly the structures
+// on the Get/Scan/Write visibility path — CLOG lookups, row locks, version
+// chains, the active set — and none of the interconnect.
+type TxnBenchConfig struct {
+	Keys       int           // distinct preloaded keys
+	ValueBytes int           // payload size per tuple
+	OpsPerTxn  int           // statements per transaction
+	Workers    []int         // sweep points (worker goroutines)
+	Mixes      []TxnMix      // operation mixes
+	Warmup     time.Duration // unmeasured ramp before each point
+	Duration   time.Duration // measured window per point
+}
+
+// DefaultTxnBenchConfig returns the committed sweep: powers of two up to
+// max(8, GOMAXPROCS) workers so the same point set exists on any machine
+// (oversubscribed points still measure contention behavior), read-mostly and
+// write-heavy mixes.
+func DefaultTxnBenchConfig() TxnBenchConfig {
+	return TxnBenchConfig{
+		Keys:       8192,
+		ValueBytes: 64,
+		OpsPerTxn:  8,
+		Workers:    txnWorkerSweep(),
+		Mixes:      []TxnMix{{Name: "readmostly", ReadPct: 95}, {Name: "writeheavy", ReadPct: 50}},
+		Warmup:     50 * time.Millisecond,
+		Duration:   300 * time.Millisecond,
+	}
+}
+
+// txnWorkerSweep returns 1,2,4,... up to max(8, GOMAXPROCS) so baselines and
+// CI runs always share the 1..8 points regardless of the runner's core count.
+func txnWorkerSweep() []int {
+	top := runtime.GOMAXPROCS(0)
+	if top < 8 {
+		top = 8
+	}
+	var ws []int
+	for w := 1; w <= top; w *= 2 {
+		ws = append(ws, w)
+	}
+	if last := ws[len(ws)-1]; last != top {
+		ws = append(ws, top)
+	}
+	return ws
+}
+
+// TxnBenchRun is one measured sweep point.
+type TxnBenchRun struct {
+	Mix     string `json:"mix"`
+	ReadPct int    `json:"read_pct"`
+	Workers int    `json:"workers"`
+
+	Txns       uint64  `json:"txns"`
+	Ops        uint64  `json:"ops"`
+	Aborts     uint64  `json:"aborts"`
+	TxnsPerSec float64 `json:"txns_per_sec"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	// SpeedupVs1W is this point's ops/s over the same mix's 1-worker point:
+	// the multi-core scaling headline (within-run, so hardware-independent
+	// in direction even if not in magnitude).
+	SpeedupVs1W float64 `json:"speedup_vs_1w"`
+
+	// MallocsPerOp counts heap allocations per statement over the measured
+	// window — the allocation-free read path drives this toward the
+	// write-side floor. Machine-invariant, gated in CI.
+	MallocsPerOp float64 `json:"mallocs_per_op"`
+
+	// LockFreeResolveFraction is the share of CLOG visibility resolutions
+	// answered by the lock-free packed-word fast path (1.0 when no resolve
+	// ever fell back to a blocking lookup). Machine-invariant, gated in CI.
+	LockFreeResolveFraction float64 `json:"lockfree_resolve_fraction"`
+	// StripeCollisionsPerTxn counts lock-table stripe mutex collisions per
+	// transaction (contended TryLock on the fast path) — a direct read on
+	// how well key hashing spreads the lock traffic.
+	StripeCollisionsPerTxn float64 `json:"lock_stripe_collisions_per_txn"`
+	// VersionArraySwapsPerTxn counts copy-on-write version-array
+	// publications per transaction (one per write statement plus vacuum).
+	VersionArraySwapsPerTxn float64 `json:"version_array_swaps_per_txn"`
+}
+
+// txnWorkerState is one worker's counters, padded so neighbors on the slice
+// never share a cache line.
+type txnWorkerState struct {
+	txns   uint64
+	ops    uint64
+	aborts uint64
+	_      [40]byte
+}
+
+// RunTxnBench measures every (mix, workers) point of the sweep.
+func RunTxnBench(cfg TxnBenchConfig) ([]TxnBenchRun, error) {
+	if len(cfg.Workers) == 0 || len(cfg.Mixes) == 0 {
+		return nil, fmt.Errorf("txnbench: empty sweep")
+	}
+	var runs []TxnBenchRun
+	for _, mix := range cfg.Mixes {
+		var base1 float64
+		for _, w := range cfg.Workers {
+			run, err := runTxnPoint(cfg, mix, w)
+			if err != nil {
+				return nil, err
+			}
+			if w == cfg.Workers[0] {
+				base1 = run.OpsPerSec
+			}
+			if base1 > 0 {
+				run.SpeedupVs1W = run.OpsPerSec / base1
+			}
+			runs = append(runs, run)
+		}
+	}
+	return runs, nil
+}
+
+func runTxnPoint(cfg TxnBenchConfig, mix TxnMix, workers int) (TxnBenchRun, error) {
+	cl := clog.New()
+	oracle := clock.NewHLC(clock.WallClock(), 0)
+	mgr := txn.NewManager(1, cl, wal.New(), oracle, mvcc.DefaultConfig())
+	store := mvcc.NewStore(cl, mvcc.DefaultConfig())
+
+	keys := make([]base.Key, cfg.Keys)
+	vals := make([]base.Value, cfg.Keys)
+	payload := make([]byte, cfg.ValueBytes)
+	for i := range keys {
+		keys[i] = base.Key(fmt.Sprintf("k%06d", i))
+		vals[i] = payload
+	}
+	store.InstallBootstrapBatch(keys, vals)
+
+	var (
+		stop     atomic.Bool
+		measure  atomic.Bool
+		states   = make([]txnWorkerState, workers)
+		wg       sync.WaitGroup
+		startgun = make(chan struct{})
+	)
+	worker := func(id int) {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(int64(1e6*id + 1)))
+		val := base.Value(make([]byte, cfg.ValueBytes))
+		<-startgun
+		for !stop.Load() {
+			t := mgr.Begin(0, 0)
+			ok := true
+			ops := 0
+			for i := 0; i < cfg.OpsPerTxn; i++ {
+				key := keys[rng.Intn(len(keys))]
+				var err error
+				if rng.Intn(100) < mix.ReadPct {
+					_, err = t.Read(store, key)
+					// A read miss cannot happen on preloaded keys; any
+					// error is a prepare-wait timeout and aborts.
+				} else {
+					err = t.Write(store, 1, 1, mvcc.WriteUpdate, key, val)
+				}
+				if err != nil {
+					ok = false
+					break
+				}
+				ops++
+			}
+			if ok {
+				if _, err := t.Commit(); err != nil {
+					ok = false
+				}
+			} else {
+				_ = t.Abort()
+			}
+			if measure.Load() {
+				st := &states[id]
+				atomic.AddUint64(&st.ops, uint64(ops))
+				if ok {
+					atomic.AddUint64(&st.txns, 1)
+				} else {
+					atomic.AddUint64(&st.aborts, 1)
+				}
+			}
+		}
+	}
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go worker(i)
+	}
+	close(startgun)
+	time.Sleep(cfg.Warmup)
+
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	hotBefore := readHotPathStats(store)
+	measure.Store(true)
+	start := time.Now()
+	time.Sleep(cfg.Duration)
+	measure.Store(false)
+	elapsed := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+	hotAfter := readHotPathStats(store)
+
+	run := TxnBenchRun{Mix: mix.Name, ReadPct: mix.ReadPct, Workers: workers}
+	for i := range states {
+		run.Txns += states[i].txns
+		run.Ops += states[i].ops
+		run.Aborts += states[i].aborts
+	}
+	if run.Ops == 0 {
+		return run, fmt.Errorf("txnbench: %s/%d workers made no progress", mix.Name, workers)
+	}
+	sec := elapsed.Seconds()
+	run.TxnsPerSec = float64(run.Txns) / sec
+	run.OpsPerSec = float64(run.Ops) / sec
+	// The mallocs window includes the warmup tail and post-measure drains of
+	// in-flight txns; both are a few txns against millions of ops.
+	run.MallocsPerOp = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(run.Ops)
+	if d := hotAfter.resolves - hotBefore.resolves; d > 0 {
+		run.LockFreeResolveFraction = float64(hotAfter.lockFree-hotBefore.lockFree) / float64(d)
+	}
+	if run.Txns > 0 {
+		run.StripeCollisionsPerTxn = float64(hotAfter.collisions-hotBefore.collisions) / float64(run.Txns)
+		run.VersionArraySwapsPerTxn = float64(hotAfter.swaps-hotBefore.swaps) / float64(run.Txns)
+	}
+	return run, nil
+}
+
+// hotPathStats snapshots the de-serialization counters exported by the CLOG,
+// the lock table and the store.
+type hotPathStats struct {
+	resolves   uint64
+	lockFree   uint64
+	collisions uint64
+	swaps      uint64
+}
+
+func readHotPathStats(store *mvcc.Store) hotPathStats {
+	return hotPathStats{
+		resolves:   store.Resolves(),
+		lockFree:   store.LockFreeResolves(),
+		collisions: store.LockStripeCollisions(),
+		swaps:      store.VersionArraySwaps(),
+	}
+}
+
+// FormatTxnBench renders the sweep as an aligned text table.
+func FormatTxnBench(runs []TxnBenchRun) string {
+	out := ""
+	for _, r := range runs {
+		out += fmt.Sprintf("  %-10s w=%-3d %9.0f ops/s  %8.0f txns/s  %5.2fx vs 1w  %5.2f mallocs/op  lockfree %4.2f  collisions/txn %5.3f  swaps/txn %5.2f  aborts %d\n",
+			r.Mix, r.Workers, r.OpsPerSec, r.TxnsPerSec, r.SpeedupVs1W,
+			r.MallocsPerOp, r.LockFreeResolveFraction, r.StripeCollisionsPerTxn,
+			r.VersionArraySwapsPerTxn, r.Aborts)
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// tinyTxnBench shrinks the sweep to CI-smoke size: two worker points, both
+// mixes, a few dozen milliseconds per point.
+func tinyTxnBench() TxnBenchConfig {
+	cfg := DefaultTxnBenchConfig()
+	cfg.Keys = 512
+	cfg.Workers = []int{1, 4}
+	cfg.Warmup = 10 * time.Millisecond
+	cfg.Duration = 60 * time.Millisecond
+	return cfg
+}
+
+func TestTxnBenchSmoke(t *testing.T) {
+	skipIfShort(t)
+	runs, err := RunTxnBench(tinyTxnBench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 4 {
+		t.Fatalf("got %d sweep points, want 4", len(runs))
+	}
+	for _, r := range runs {
+		if r.Ops == 0 || r.OpsPerSec <= 0 {
+			t.Fatalf("%s/w=%d made no progress: %+v", r.Mix, r.Workers, r)
+		}
+		if r.LockFreeResolveFraction < 0.99 {
+			t.Errorf("%s/w=%d lock-free resolve fraction %.3f, want ~1.0 (all versions carry Refs)",
+				r.Mix, r.Workers, r.LockFreeResolveFraction)
+		}
+		if r.Mix == "writeheavy" && r.VersionArraySwapsPerTxn == 0 {
+			t.Errorf("writeheavy/w=%d recorded no version-array swaps", r.Workers)
+		}
+	}
+}

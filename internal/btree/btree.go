@@ -125,6 +125,45 @@ func (n *node) set(k base.Key, value any) (any, bool) {
 	return n.children[i].set(k, value)
 }
 
+// GetOrSet returns the value stored under k, inserting value first when the
+// key is absent. One descent serves both outcomes, so a caller that probed
+// read-only, missed, and upgraded to a write lock does not pay a second
+// probe before inserting.
+func (t *Tree) GetOrSet(k base.Key, value any) (v any, loaded bool) {
+	if len(t.root.items) == maxItems {
+		old := t.root
+		t.root = &node{children: []*node{old}}
+		t.root.splitChild(0)
+	}
+	v, loaded = t.root.getOrSet(k, value)
+	if !loaded {
+		t.size++
+	}
+	return v, loaded
+}
+
+func (n *node) getOrSet(k base.Key, value any) (any, bool) {
+	i, ok := n.find(k)
+	if ok {
+		return n.items[i].value, true
+	}
+	if n.leaf() {
+		n.items = append(n.items, item{})
+		copy(n.items[i+1:], n.items[i:])
+		n.items[i] = item{key: k, value: value}
+		return value, false
+	}
+	if len(n.children[i].items) == maxItems {
+		n.splitChild(i)
+		if k > n.items[i].key {
+			i++
+		} else if k == n.items[i].key {
+			return n.items[i].value, true
+		}
+	}
+	return n.children[i].getOrSet(k, value)
+}
+
 // Delete removes k, returning its value and whether it was present.
 func (t *Tree) Delete(k base.Key) (any, bool) {
 	v, ok := t.root.remove(k)

@@ -3,10 +3,21 @@ package mvcc
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"remus/internal/base"
 )
+
+// lockStripes shards the key → lockState map. Power of two; keys hash with
+// FNV-1a, so two concurrent writers on different keys almost never share a
+// stripe mutex and the common uncontended Acquire/Release touches exactly
+// one stripe lock and one held-shard lock — never a table-global one.
+const lockStripes = 64
+
+// heldShards shards the per-transaction held-key index by xid. Sequential
+// xid allocation spreads neighbors round-robin.
+const heldShards = 64
 
 // LockTable implements row-level exclusive locks with FIFO waiters,
 // reentrancy and wait-for-graph deadlock detection. Writers acquire the lock
@@ -15,19 +26,56 @@ import (
 // snapshot isolation; like PostgreSQL, a lock request that would close a
 // wait-for cycle fails immediately with base.ErrDeadlock (the requester is
 // the victim) instead of hanging until the timeout.
+//
+// The table is split three ways (see DESIGN §10):
+//
+//   - key stripes carry the lock states — the fast path;
+//   - held shards carry each transaction's held-key set for ReleaseAll;
+//   - the wait graph is a single slow-path structure touched only when a
+//     request actually blocks, so deadlock checks never slow an uncontended
+//     acquire.
+//
+// Lock ordering: a key stripe may take a held shard (grant bookkeeping); the
+// wait graph may take key stripes (owner reads during a cycle walk); nothing
+// takes the wait graph while holding a key stripe or a held shard.
 type LockTable struct {
+	stripes [lockStripes]lockStripe
+	held    [heldShards]heldShard
+	wg      waitGraph
+
+	// collisions counts fast-path TryLock failures on key stripes — how
+	// often two transactions actually contended for a stripe mutex.
+	collisions atomic.Uint64
+}
+
+type lockStripe struct {
 	mu    sync.Mutex
 	locks map[base.Key]*lockState
-	held  map[base.XID]map[base.Key]struct{}
+	_     [40]byte // pad to a cache line so stripes don't false-share
+}
+
+type heldShard struct {
+	mu   sync.Mutex
+	keys map[base.XID]map[base.Key]struct{}
+	_    [40]byte
+}
+
+// waitGraph is the deadlock-detection slow path: the wait-for edges of every
+// currently blocked transaction, plus a reusable epoch-stamped visited
+// scratch so a cycle walk allocates nothing.
+type waitGraph struct {
+	mu sync.Mutex
 	// waitingOn records, for every blocked transaction, the key it waits
 	// for — the edges of the wait-for graph.
 	waitingOn map[base.XID]base.Key
+	visited   map[base.XID]uint64
+	epoch     uint64
 }
 
 type lockWaiter struct {
 	xid     base.XID
 	granted chan struct{}
-	done    bool // set under LockTable.mu when granted or abandoned
+	done    bool // set under the stripe mutex when granted or abandoned
 }
 
 type lockState struct {
@@ -38,63 +86,110 @@ type lockState struct {
 
 // NewLockTable returns an empty lock table.
 func NewLockTable() *LockTable {
-	return &LockTable{
-		locks:     make(map[base.Key]*lockState),
-		held:      make(map[base.XID]map[base.Key]struct{}),
-		waitingOn: make(map[base.XID]base.Key),
+	lt := &LockTable{}
+	for i := range lt.stripes {
+		lt.stripes[i].locks = make(map[base.Key]*lockState)
+	}
+	for i := range lt.held {
+		lt.held[i].keys = make(map[base.XID]map[base.Key]struct{})
+	}
+	lt.wg.waitingOn = make(map[base.XID]base.Key)
+	lt.wg.visited = make(map[base.XID]uint64)
+	return lt
+}
+
+// stripeOf hashes a key onto its stripe (FNV-1a, as the replayer's
+// dependency index does).
+func (lt *LockTable) stripeOf(key base.Key) *lockStripe {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &lt.stripes[h&(lockStripes-1)]
+}
+
+func (lt *LockTable) heldShardOf(xid base.XID) *heldShard {
+	return &lt.held[uint64(xid)&(heldShards-1)]
+}
+
+// lockContended acquires the stripe mutex, counting the acquisition as a
+// collision when another transaction held it.
+func (lt *LockTable) lockStripe(s *lockStripe) {
+	if !s.mu.TryLock() {
+		lt.collisions.Add(1)
+		s.mu.Lock()
 	}
 }
 
-// wouldDeadlock walks the wait-for graph from the lock xid requests: if the
-// chain of "owner waits for key whose owner waits for ..." leads back to
-// xid, granting the wait would close a cycle. Caller holds lt.mu.
-func (lt *LockTable) wouldDeadlock(xid base.XID, key base.Key) bool {
-	seen := make(map[base.XID]bool)
-	cur := key
-	for {
-		st := lt.locks[cur]
-		if st == nil || st.owner == base.InvalidXID {
-			return false
-		}
-		if st.owner == xid {
-			return true
-		}
-		if seen[st.owner] {
-			return false // cycle not involving xid
-		}
-		seen[st.owner] = true
-		next, waiting := lt.waitingOn[st.owner]
-		if !waiting {
-			return false
-		}
-		cur = next
+// StripeCollisions reports how many fast-path stripe acquisitions found the
+// stripe mutex already held.
+func (lt *LockTable) StripeCollisions() uint64 { return lt.collisions.Load() }
+
+// noteHeld records ownership for ReleaseAll. Caller holds the key's stripe
+// mutex (held shards are leaf locks under stripes).
+func (lt *LockTable) noteHeld(xid base.XID, key base.Key) {
+	hs := lt.heldShardOf(xid)
+	hs.mu.Lock()
+	m := hs.keys[xid]
+	if m == nil {
+		m = make(map[base.Key]struct{})
+		hs.keys[xid] = m
 	}
+	m[key] = struct{}{}
+	hs.mu.Unlock()
+}
+
+func (lt *LockTable) dropHeld(xid base.XID, key base.Key) {
+	hs := lt.heldShardOf(xid)
+	hs.mu.Lock()
+	if m := hs.keys[xid]; m != nil {
+		delete(m, key)
+		if len(m) == 0 {
+			delete(hs.keys, xid)
+		}
+	}
+	hs.mu.Unlock()
 }
 
 // Acquire blocks until xid owns the lock for key, or until timeout (zero
 // means wait forever). Reentrant acquisition succeeds immediately.
 func (lt *LockTable) Acquire(key base.Key, xid base.XID, timeout time.Duration) error {
-	lt.mu.Lock()
-	st := lt.locks[key]
+	s := lt.stripeOf(key)
+	lt.lockStripe(s)
+	st := s.locks[key]
 	if st == nil {
 		st = &lockState{}
-		lt.locks[key] = st
+		s.locks[key] = st
 	}
 	if st.owner == base.InvalidXID || st.owner == xid {
 		st.owner = xid
 		st.depth++
 		lt.noteHeld(xid, key)
-		lt.mu.Unlock()
+		s.mu.Unlock()
 		return nil
-	}
-	if lt.wouldDeadlock(xid, key) {
-		lt.mu.Unlock()
-		return fmt.Errorf("lock on %q by %v: %w", string(key), xid, base.ErrDeadlock)
 	}
 	w := &lockWaiter{xid: xid, granted: make(chan struct{})}
 	st.waiters = append(st.waiters, w)
-	lt.waitingOn[xid] = key
-	lt.mu.Unlock()
+	s.mu.Unlock()
+
+	// Blocked: this is the slow path. Record the wait-for edge and walk the
+	// graph. Unlike the old single-lock table, the edge is published before
+	// the check runs, so a concurrent grant can race the verdict — the
+	// withdraw path below re-checks w.done and keeps a racing grant.
+	if lt.wg.addEdgeAndCheck(lt, xid, key) {
+		lt.wg.clearEdge(xid)
+		lt.lockStripe(s)
+		if w.done {
+			// Granted concurrently with the detection walk; keep the lock.
+			s.mu.Unlock()
+			return nil
+		}
+		w.done = true
+		removeWaiter(st, w)
+		s.mu.Unlock()
+		return fmt.Errorf("lock on %q by %v: %w", string(key), xid, base.ErrDeadlock)
+	}
 
 	var timer <-chan time.Time
 	if timeout > 0 {
@@ -104,60 +199,118 @@ func (lt *LockTable) Acquire(key base.Key, xid base.XID, timeout time.Duration) 
 	}
 	select {
 	case <-w.granted:
-		lt.mu.Lock()
-		delete(lt.waitingOn, xid)
-		lt.mu.Unlock()
+		lt.wg.clearEdge(xid)
 		return nil
 	case <-timer:
 	}
 	// Timed out: withdraw, unless the grant raced the timer.
-	lt.mu.Lock()
-	defer lt.mu.Unlock()
-	delete(lt.waitingOn, xid)
+	lt.wg.clearEdge(xid)
+	lt.lockStripe(s)
+	defer s.mu.Unlock()
 	if w.done {
 		// Granted concurrently with the timeout; keep the lock.
 		return nil
 	}
 	w.done = true
-	for i, cand := range st.waiters {
-		if cand == w {
-			st.waiters = append(st.waiters[:i], st.waiters[i+1:]...)
-			break
-		}
-	}
+	removeWaiter(st, w)
 	return fmt.Errorf("lock wait on %q: %w", string(key), base.ErrTimeout)
 }
 
-// noteHeld records ownership for ReleaseAll. Caller holds lt.mu.
-func (lt *LockTable) noteHeld(xid base.XID, key base.Key) {
-	m := lt.held[xid]
-	if m == nil {
-		m = make(map[base.Key]struct{})
-		lt.held[xid] = m
+func removeWaiter(st *lockState, w *lockWaiter) {
+	for i, cand := range st.waiters {
+		if cand == w {
+			st.waiters = append(st.waiters[:i], st.waiters[i+1:]...)
+			return
+		}
 	}
-	m[key] = struct{}{}
+}
+
+// addEdgeAndCheck records xid → key in the wait graph and reports whether
+// the new edge closes a cycle: the chain of "owner waits for key whose owner
+// waits for ..." leading back to xid. Owner reads take the target key's
+// stripe briefly (wait graph → stripe is the sanctioned order). The visited
+// scratch is epoch-stamped and reused, so a walk allocates nothing.
+//
+// Edges cleared by their owners after a grant may lag the grant itself, so
+// the walk can traverse a stale edge; the result stays conservative — at
+// worst a request is declared a victim that would have been granted shortly,
+// which surfaces as an ordinary serialization failure.
+func (g *waitGraph) addEdgeAndCheck(lt *LockTable, xid base.XID, key base.Key) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.waitingOn[xid] = key
+	g.epoch++
+	if len(g.visited) > 1<<14 {
+		g.visited = make(map[base.XID]uint64)
+	}
+	cur := key
+	for {
+		owner := lt.ownerOf(cur)
+		if owner == base.InvalidXID {
+			return false
+		}
+		if owner == xid {
+			return true
+		}
+		if g.visited[owner] == g.epoch {
+			return false // cycle not involving xid
+		}
+		g.visited[owner] = g.epoch
+		next, waiting := g.waitingOn[owner]
+		if !waiting {
+			return false
+		}
+		cur = next
+	}
+}
+
+func (g *waitGraph) clearEdge(xid base.XID) {
+	g.mu.Lock()
+	delete(g.waitingOn, xid)
+	g.mu.Unlock()
+}
+
+// ownerOf reads a key's current lock owner under its stripe mutex.
+func (lt *LockTable) ownerOf(key base.Key) base.XID {
+	s := lt.stripeOf(key)
+	s.mu.Lock()
+	owner := base.InvalidXID
+	if st := s.locks[key]; st != nil {
+		owner = st.owner
+	}
+	s.mu.Unlock()
+	return owner
 }
 
 // Release drops one reentrancy level of xid's lock on key, handing the lock
 // to the next waiter when the depth reaches zero.
 func (lt *LockTable) Release(key base.Key, xid base.XID) {
-	lt.mu.Lock()
-	defer lt.mu.Unlock()
-	lt.releaseLocked(key, xid, false)
+	s := lt.stripeOf(key)
+	lt.lockStripe(s)
+	lt.releaseLocked(s, key, xid, false)
+	s.mu.Unlock()
 }
 
 // ReleaseAll drops every lock held by xid (transaction end).
 func (lt *LockTable) ReleaseAll(xid base.XID) {
-	lt.mu.Lock()
-	defer lt.mu.Unlock()
-	for key := range lt.held[xid] {
-		lt.releaseLocked(key, xid, true)
+	hs := lt.heldShardOf(xid)
+	hs.mu.Lock()
+	m := hs.keys[xid]
+	delete(hs.keys, xid)
+	hs.mu.Unlock()
+	for key := range m {
+		s := lt.stripeOf(key)
+		lt.lockStripe(s)
+		lt.releaseLocked(s, key, xid, true)
+		s.mu.Unlock()
 	}
-	delete(lt.held, xid)
 }
 
-func (lt *LockTable) releaseLocked(key base.Key, xid base.XID, all bool) {
-	st := lt.locks[key]
+// releaseLocked is the release body; caller holds the key's stripe mutex.
+// With all set the whole reentrancy depth drops and held-set bookkeeping is
+// the caller's (ReleaseAll already detached the set).
+func (lt *LockTable) releaseLocked(s *lockStripe, key base.Key, xid base.XID, all bool) {
+	st := s.locks[key]
 	if st == nil || st.owner != xid {
 		return
 	}
@@ -169,10 +322,12 @@ func (lt *LockTable) releaseLocked(key base.Key, xid base.XID, all bool) {
 	if st.depth > 0 {
 		return
 	}
-	if m := lt.held[xid]; m != nil && !all {
-		delete(m, key)
+	if !all {
+		lt.dropHeld(xid, key)
 	}
-	// Hand to the next live waiter.
+	// Hand to the next live waiter. The granted transaction's wait-for edge
+	// is cleared by the waiter itself when it wakes (stripe mutexes never
+	// take the wait graph — see the lock ordering above).
 	for len(st.waiters) > 0 {
 		w := st.waiters[0]
 		st.waiters = st.waiters[1:]
@@ -182,28 +337,23 @@ func (lt *LockTable) releaseLocked(key base.Key, xid base.XID, all bool) {
 		st.owner = w.xid
 		st.depth = 1
 		w.done = true
-		delete(lt.waitingOn, w.xid) // the edge dies at grant time
 		lt.noteHeld(w.xid, key)
 		close(w.granted)
 		return
 	}
 	st.owner = base.InvalidXID
-	delete(lt.locks, key)
+	delete(s.locks, key)
 }
 
 // Owner reports the current lock owner for key (for tests and debugging).
 func (lt *LockTable) Owner(key base.Key) base.XID {
-	lt.mu.Lock()
-	defer lt.mu.Unlock()
-	if st := lt.locks[key]; st != nil {
-		return st.owner
-	}
-	return base.InvalidXID
+	return lt.ownerOf(key)
 }
 
 // HeldBy reports how many keys xid currently has locked.
 func (lt *LockTable) HeldBy(xid base.XID) int {
-	lt.mu.Lock()
-	defer lt.mu.Unlock()
-	return len(lt.held[xid])
+	hs := lt.heldShardOf(xid)
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	return len(hs.keys[xid])
 }

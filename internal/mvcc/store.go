@@ -7,6 +7,7 @@ package mvcc
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"remus/internal/base"
@@ -20,27 +21,34 @@ import (
 // base.TsBootstrap.
 const FrozenXID base.XID = 1
 
-// Version is one entry in a tuple's version chain.
+// Version is one entry in a tuple's version chain. Ref is the creator's CLOG
+// handle, cached at version-creation time, so a visibility check resolves the
+// creator's (status, commitTS) with a single atomic load — no table probe, no
+// lock. Ref may be nil (recovered chains whose creators were truncated); the
+// resolve path then falls back to the CLOG table.
 type Version struct {
 	XID     base.XID
 	Value   base.Value
 	Deleted bool // tombstone
+	Ref     *clog.Ref
 }
 
-// versionChain holds a tuple's versions, newest first.
+// versionChain holds a tuple's versions, newest first, as a copy-on-write
+// immutable array: writers build a fresh slice under mu and publish it with
+// one atomic store; readers load the current array with one atomic load and
+// never take the mutex — a steady-state Get allocates nothing.
 type versionChain struct {
-	mu       sync.Mutex
-	versions []*Version
+	mu  sync.Mutex // serializes writers; readers never take it
+	arr atomic.Pointer[[]*Version]
 }
 
-// snapshot copies the version list so visibility can be resolved (including
-// prepare-waits) without holding the chain lock.
-func (c *versionChain) snapshot() []*Version {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]*Version, len(c.versions))
-	copy(out, c.versions)
-	return out
+// load returns the current immutable version array. The returned slice must
+// not be mutated.
+func (c *versionChain) load() []*Version {
+	if p := c.arr.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // WriteKind enumerates tuple mutations.
@@ -88,6 +96,15 @@ func DefaultConfig() Config {
 	return Config{LockTimeout: 10 * time.Second, PrepareWaitTimeout: 10 * time.Second}
 }
 
+// padCounter is a cache-line padded counter so the resolve stripes of
+// concurrent readers never false-share.
+type padCounter struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+const resolveStripes = 8
+
 // Store is the MVCC tuple store of one shard.
 type Store struct {
 	clog *clog.CLOG
@@ -98,18 +115,44 @@ type Store struct {
 
 	locks *LockTable
 
-	// stats
-	statMu       sync.Mutex
-	versionCount int
+	// frozenRef caches the FrozenXID CLOG handle for bootstrap installs.
+	frozenRef atomic.Pointer[clog.Ref]
+
+	versionCount atomic.Int64
+
+	// Hot-path stats. Resolve counters are striped by xid so concurrent
+	// readers on different cores don't fight over one word.
+	resolves  [resolveStripes]padCounter
+	lockFree  [resolveStripes]padCounter
+	arrSwaps  atomic.Uint64
+	scratches sync.Pool // scan entry slices, recycled across scans
 }
 
 // NewStore returns an empty store resolving visibility through cl.
 func NewStore(cl *clog.CLOG, cfg Config) *Store {
-	return &Store{clog: cl, cfg: cfg, index: btree.New(), locks: NewLockTable()}
+	s := &Store{clog: cl, cfg: cfg, index: btree.New(), locks: NewLockTable()}
+	s.scratches.New = func() any {
+		sl := make([]scanEntry, 0, 64)
+		return &sl
+	}
+	return s
 }
 
 // CLOG exposes the commit log the store resolves against.
 func (s *Store) CLOG() *clog.CLOG { return s.clog }
+
+// frozen returns the cached FrozenXID handle, fetching it lazily (the CLOG
+// registers FrozenXID during node bootstrap, possibly after NewStore).
+func (s *Store) frozen() *clog.Ref {
+	if r := s.frozenRef.Load(); r != nil {
+		return r
+	}
+	r := s.clog.Handle(FrozenXID)
+	if r != nil {
+		s.frozenRef.Store(r)
+	}
+	return r
+}
 
 func (s *Store) chain(key base.Key, create bool) *versionChain {
 	s.mu.RLock()
@@ -121,31 +164,55 @@ func (s *Store) chain(key base.Key, create bool) *versionChain {
 	if !create {
 		return nil
 	}
+	// Single descent for the upgrade: GetOrSet finds a chain raced in by
+	// another writer or inserts ours, without probing the tree twice.
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if v, ok := s.index.Get(key); ok {
-		return v.(*versionChain)
+	c, _ := s.index.GetOrSet(key, &versionChain{})
+	return c.(*versionChain)
+}
+
+// entryOf resolves a version creator's CLOG state. With a cached Ref this is
+// one atomic load — the lock-free fast path the read hot path lives on; the
+// table fallback covers Ref-less versions only.
+func (s *Store) entryOf(v *Version) clog.Entry {
+	i := uint64(v.XID) & (resolveStripes - 1)
+	s.resolves[i].n.Add(1)
+	if v.Ref != nil {
+		s.lockFree[i].n.Add(1)
+		return v.Ref.Entry()
 	}
-	c := &versionChain{}
-	s.index.Set(key, c)
-	return c
+	return s.clog.Lookup(v.XID)
+}
+
+// waitDone prepare-waits on a version's creator, preferring the cached Ref.
+func (s *Store) waitDone(v *Version) (clog.Entry, error) {
+	if v.Ref != nil {
+		e, err := v.Ref.WaitDone(s.cfg.PrepareWaitTimeout)
+		if err != nil {
+			return e, fmt.Errorf("clog: wait for %v: %w", v.XID, base.ErrTimeout)
+		}
+		return e, nil
+	}
+	return s.clog.WaitDone(v.XID, s.cfg.PrepareWaitTimeout)
 }
 
 // resolve determines the visibility of one version for a snapshot, waiting
-// out prepared writers (prepare-wait, §2.2). It returns:
+// out prepared writers (prepare-wait, §2.2). It returns the creator's final
+// entry alongside:
 //
 //	visible  — the version is committed with commitTS <= snap
 //	skip     — aborted, in-progress, or committed after snap
 //	err      — prepare-wait timed out
-func (s *Store) resolve(v *Version, snap base.Timestamp) (visible bool, err error) {
-	e := s.clog.Lookup(v.XID)
+func (s *Store) resolve(v *Version, snap base.Timestamp) (e clog.Entry, visible bool, err error) {
+	e = s.entryOf(v)
 	if e.Status == base.StatusPrepared {
-		e, err = s.clog.WaitDone(v.XID, s.cfg.PrepareWaitTimeout)
+		e, err = s.waitDone(v)
 		if err != nil {
-			return false, err
+			return e, false, err
 		}
 	}
-	return e.Status == base.StatusCommitted && e.CommitTS <= snap, nil
+	return e, e.Status == base.StatusCommitted && e.CommitTS <= snap, nil
 }
 
 // Read returns the tuple value visible to the snapshot. A transaction sees
@@ -164,14 +231,14 @@ func (s *Store) ReadVersion(key base.Key, snap base.Timestamp, selfXID base.XID)
 	if c == nil {
 		return nil, 0, base.ErrKeyNotFound
 	}
-	for _, v := range c.snapshot() {
+	for _, v := range c.load() {
 		if v.XID == selfXID && selfXID != base.InvalidXID {
 			if v.Deleted {
 				return nil, 0, base.ErrKeyNotFound
 			}
 			return v.Value, 0, nil
 		}
-		vis, err := s.resolve(v, snap)
+		e, vis, err := s.resolve(v, snap)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -179,19 +246,22 @@ func (s *Store) ReadVersion(key base.Key, snap base.Timestamp, selfXID base.XID)
 			if v.Deleted {
 				return nil, 0, base.ErrKeyNotFound
 			}
-			return v.Value, s.clog.Lookup(v.XID).CommitTS, nil
+			return v.Value, e.CommitTS, nil
 		}
 	}
 	return nil, 0, base.ErrKeyNotFound
 }
 
-// WriteReq describes one tuple mutation.
+// WriteReq describes one tuple mutation. Ref, when set, is the writing
+// transaction's CLOG handle and is cached on the created version so later
+// visibility checks resolve it lock-free; a nil Ref is looked up once here.
 type WriteReq struct {
 	Kind    WriteKind
 	Key     base.Key
 	Value   base.Value
 	XID     base.XID
 	StartTS base.Timestamp
+	Ref     *clog.Ref
 }
 
 // Write performs a mutation with first-updater-wins conflict detection:
@@ -200,7 +270,7 @@ type WriteReq struct {
 //  2. find the latest non-aborted version; if it committed after the
 //     writer's snapshot, fail with ErrWWConflict (§3.5.2 uses exactly this
 //     check to validate propagated changes on the destination);
-//  3. append the new version.
+//  3. append the new version by publishing a fresh immutable array.
 //
 // The row lock stays held until ReleaseLocks(xid).
 func (s *Store) Write(req WriteReq) (err error) {
@@ -222,12 +292,13 @@ func (s *Store) Write(req WriteReq) (err error) {
 	c := s.chain(req.Key, true)
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	versions := c.load()
 
 	// Latest non-aborted version decides conflicts and constraints.
 	var top *Version
 	var topEntry clog.Entry
-	for _, v := range c.versions {
-		e := s.clog.Lookup(v.XID)
+	for _, v := range versions {
+		e := s.entryOf(v)
 		if e.Status == base.StatusAborted {
 			continue
 		}
@@ -267,44 +338,54 @@ func (s *Store) Write(req WriteReq) (err error) {
 	if req.Kind == WriteLock {
 		return nil
 	}
-	nv := &Version{XID: req.XID, Value: req.Value.Clone(), Deleted: req.Kind == WriteDelete}
-	c.versions = append([]*Version{nv}, c.versions...)
-	s.statMu.Lock()
-	s.versionCount++
-	s.statMu.Unlock()
+	ref := req.Ref
+	if ref == nil {
+		ref = s.clog.Handle(req.XID)
+	}
+	nv := &Version{XID: req.XID, Value: req.Value.Clone(), Deleted: req.Kind == WriteDelete, Ref: ref}
+	next := make([]*Version, 0, len(versions)+1)
+	next = append(next, nv)
+	next = append(next, versions...)
+	c.arr.Store(&next)
+	s.arrSwaps.Add(1)
+	s.versionCount.Add(1)
 	return nil
 }
 
 // ReleaseLocks releases every row lock held by xid (called at txn end).
 func (s *Store) ReleaseLocks(xid base.XID) { s.locks.ReleaseAll(xid) }
 
+// appendBootstrap publishes a bootstrap version at the tail (oldest slot) of
+// a chain. Caller sequence matters only for the installer; see
+// InstallBootstrap.
+func (s *Store) appendBootstrap(c *versionChain, value base.Value) {
+	c.mu.Lock()
+	versions := c.load()
+	next := make([]*Version, 0, len(versions)+1)
+	next = append(next, versions...)
+	next = append(next, &Version{XID: FrozenXID, Value: value.Clone(), Ref: s.frozen()})
+	c.arr.Store(&next)
+	c.mu.Unlock()
+	s.arrSwaps.Add(1)
+}
+
 // InstallBootstrap installs a migrated snapshot tuple owned by FrozenXID
 // (committed at base.TsBootstrap), bypassing conflict checks. The migration
 // snapshot installer is the only writer of the destination shard at that
 // point, so this is safe (§3.2).
 func (s *Store) InstallBootstrap(key base.Key, value base.Value) {
-	c := s.chain(key, true)
-	c.mu.Lock()
-	c.versions = append(c.versions, &Version{XID: FrozenXID, Value: value.Clone()})
-	c.mu.Unlock()
-	s.statMu.Lock()
-	s.versionCount++
-	s.statMu.Unlock()
+	s.appendBootstrap(s.chain(key, true), value)
+	s.versionCount.Add(1)
 }
 
-// InstallBootstrapBatch installs many bootstrap tuples, paying the stat lock
-// once. Used by checkpoint-file installs (migration ship path and
+// InstallBootstrapBatch installs many bootstrap tuples, paying the version
+// counter once. Used by checkpoint-file installs (migration ship path and
 // restart-from-disk recovery), which move thousands of tuples at a time.
 func (s *Store) InstallBootstrapBatch(keys []base.Key, values []base.Value) {
 	for i := range keys {
-		c := s.chain(keys[i], true)
-		c.mu.Lock()
-		c.versions = append(c.versions, &Version{XID: FrozenXID, Value: values[i].Clone()})
-		c.mu.Unlock()
+		s.appendBootstrap(s.chain(keys[i], true), values[i])
 	}
-	s.statMu.Lock()
-	s.versionCount += len(keys)
-	s.statMu.Unlock()
+	s.versionCount.Add(int64(len(keys)))
 }
 
 // SnapshotScan streams every tuple version visible at snap, in key order,
@@ -321,17 +402,25 @@ func (s *Store) ScanRange(lo, hi base.Key, snap base.Timestamp, selfXID base.XID
 	return s.scanRange(lo, hi, false, snap, selfXID, fn)
 }
 
+type scanEntry struct {
+	key base.Key
+	c   *versionChain
+}
+
 func (s *Store) scanRange(lo, hi base.Key, all bool, snap base.Timestamp, selfXID base.XID, fn func(key base.Key, value base.Value) bool) error {
 	// Collect the chains under the index lock, resolve visibility outside it
-	// so prepare-waits don't block the index.
-	type entry struct {
-		key base.Key
-		c   *versionChain
-	}
-	var entries []entry
+	// so prepare-waits don't block the index. The entry slice is pooled so a
+	// steady-state short scan reuses a previous scan's backing array.
+	ep := s.scratches.Get().(*[]scanEntry)
+	entries := (*ep)[:0]
+	defer func() {
+		clear(entries)
+		*ep = entries[:0]
+		s.scratches.Put(ep)
+	}()
 	s.mu.RLock()
 	collect := func(k base.Key, v any) bool {
-		entries = append(entries, entry{k, v.(*versionChain)})
+		entries = append(entries, scanEntry{k, v.(*versionChain)})
 		return true
 	}
 	switch {
@@ -347,14 +436,14 @@ func (s *Store) scanRange(lo, hi base.Key, all bool, snap base.Timestamp, selfXI
 	for _, e := range entries {
 		var val base.Value
 		found := false
-		for _, v := range e.c.snapshot() {
+		for _, v := range e.c.load() {
 			if v.XID == selfXID && selfXID != base.InvalidXID {
 				if !v.Deleted {
 					val, found = v.Value, true
 				}
 				break
 			}
-			vis, err := s.resolve(v, snap)
+			_, vis, err := s.resolve(v, snap)
 			if err != nil {
 				return err
 			}
@@ -376,6 +465,9 @@ func (s *Store) scanRange(lo, hi base.Key, all bool, snap base.Timestamp, selfXI
 // version visible at oldestActive is unreachable and dropped, as are aborted
 // versions. Returns the number of versions reclaimed. Long-running snapshots
 // (Fig 10) hold oldestActive back and make chains grow.
+//
+// Pruning publishes a filtered copy of the array, so concurrent readers keep
+// iterating whichever array they loaded — no torn chains.
 func (s *Store) Vacuum(oldestActive base.Timestamp) int {
 	var chains []*versionChain
 	s.mu.RLock()
@@ -388,15 +480,17 @@ func (s *Store) Vacuum(oldestActive base.Timestamp) int {
 	reclaimed := 0
 	for _, c := range chains {
 		c.mu.Lock()
-		kept := c.versions[:0]
+		versions := c.load()
+		kept := make([]*Version, 0, len(versions))
+		dropped := 0
 		seenVisible := false
-		for _, v := range c.versions {
-			e := s.clog.Lookup(v.XID)
+		for _, v := range versions {
+			e := s.entryOf(v)
 			switch {
 			case e.Status == base.StatusAborted:
-				reclaimed++
+				dropped++
 			case seenVisible && e.Status == base.StatusCommitted:
-				reclaimed++ // shadowed by a newer version already visible to all
+				dropped++ // shadowed by a newer version already visible to all
 			default:
 				kept = append(kept, v)
 				if e.Status == base.StatusCommitted && e.CommitTS <= oldestActive {
@@ -404,16 +498,14 @@ func (s *Store) Vacuum(oldestActive base.Timestamp) int {
 				}
 			}
 		}
-		// Zero the tail so dropped versions are collectable.
-		for i := len(kept); i < len(c.versions); i++ {
-			c.versions[i] = nil
+		if dropped > 0 {
+			c.arr.Store(&kept)
+			s.arrSwaps.Add(1)
+			reclaimed += dropped
 		}
-		c.versions = kept
 		c.mu.Unlock()
 	}
-	s.statMu.Lock()
-	s.versionCount -= reclaimed
-	s.statMu.Unlock()
+	s.versionCount.Add(-int64(reclaimed))
 	return reclaimed
 }
 
@@ -424,9 +516,7 @@ func (s *Store) DropAll() {
 	s.mu.Lock()
 	s.index = btree.New()
 	s.mu.Unlock()
-	s.statMu.Lock()
-	s.versionCount = 0
-	s.statMu.Unlock()
+	s.versionCount.Store(0)
 }
 
 // Keys reports the number of distinct keys (including tombstoned tuples).
@@ -438,9 +528,7 @@ func (s *Store) Keys() int {
 
 // Versions reports the total number of live version objects.
 func (s *Store) Versions() int {
-	s.statMu.Lock()
-	defer s.statMu.Unlock()
-	return s.versionCount
+	return int(s.versionCount.Load())
 }
 
 // ChainLength reports the version-chain length for key (Fig 10 diagnostics).
@@ -449,10 +537,36 @@ func (s *Store) ChainLength(key base.Key) int {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.versions)
+	return len(c.load())
 }
 
 // LockOwner exposes the current row-lock owner (tests).
 func (s *Store) LockOwner(key base.Key) base.XID { return s.locks.Owner(key) }
+
+// Resolves reports the total number of CLOG visibility resolutions performed
+// by this store's read and write paths.
+func (s *Store) Resolves() uint64 {
+	var n uint64
+	for i := range s.resolves {
+		n += s.resolves[i].n.Load()
+	}
+	return n
+}
+
+// LockFreeResolves reports how many resolutions were answered by a cached
+// Ref's packed word (one atomic load, no table probe).
+func (s *Store) LockFreeResolves() uint64 {
+	var n uint64
+	for i := range s.lockFree {
+		n += s.lockFree[i].n.Load()
+	}
+	return n
+}
+
+// LockStripeCollisions reports contended fast-path acquisitions of lock-table
+// stripe mutexes.
+func (s *Store) LockStripeCollisions() uint64 { return s.locks.StripeCollisions() }
+
+// VersionArraySwaps reports copy-on-write version-array publications (one per
+// installed version, plus one per vacuumed chain).
+func (s *Store) VersionArraySwaps() uint64 { return s.arrSwaps.Load() }

@@ -125,7 +125,20 @@ type Node struct {
 	// holds pins WAL positions against checkpoints (see checkpoint.go).
 	holds walHolds
 
+	// hotStats remembers the last published hot-path stat totals so
+	// PublishHotPathStats can emit deltas into the additive recorder.
+	hotStatsMu   sync.Mutex
+	hotStatsPrev hotPathTotals
+
 	Counters Counters
+}
+
+// hotPathTotals aggregates the monotonic de-serialization counters of every
+// local store (see DESIGN §10).
+type hotPathTotals struct {
+	lockFreeResolves uint64
+	stripeCollisions uint64
+	arraySwaps       uint64
 }
 
 // SetOpsLimit bounds the node's foreground statement rate (0 = unlimited).
@@ -603,5 +616,56 @@ func (n *Node) Vacuum() int {
 	for _, s := range stores {
 		total += s.Vacuum(horizon)
 	}
+	n.PublishHotPathStats()
 	return total
+}
+
+// PublishHotPathStats flushes the delta of the stores' hot-path counters
+// (lock-free CLOG resolves, lock-table stripe collisions, version-array
+// swaps) into the installed recorder. The stores keep cheap monotonic totals
+// off the hot path; this method bridges them into the additive obs counters.
+// Called from Vacuum, so any maintenance cadence also publishes stats; safe
+// to call directly (no-op without a recorder).
+func (n *Node) PublishHotPathStats() {
+	r := n.mgr.Recorder()
+	if r == nil {
+		return
+	}
+	var cur hotPathTotals
+	n.mu.RLock()
+	for _, st := range n.shards {
+		cur.lockFreeResolves += st.store.LockFreeResolves()
+		cur.stripeCollisions += st.store.LockStripeCollisions()
+		cur.arraySwaps += st.store.VersionArraySwaps()
+	}
+	n.mu.RUnlock()
+	cur.lockFreeResolves += n.mapStore.LockFreeResolves()
+	cur.stripeCollisions += n.mapStore.LockStripeCollisions()
+	cur.arraySwaps += n.mapStore.VersionArraySwaps()
+
+	n.hotStatsMu.Lock()
+	prev := n.hotStatsPrev
+	// Shard drops (migration retire) can shrink the totals; clamp deltas at
+	// zero rather than publish wrapped uints.
+	if cur.lockFreeResolves < prev.lockFreeResolves {
+		prev.lockFreeResolves = cur.lockFreeResolves
+	}
+	if cur.stripeCollisions < prev.stripeCollisions {
+		prev.stripeCollisions = cur.stripeCollisions
+	}
+	if cur.arraySwaps < prev.arraySwaps {
+		prev.arraySwaps = cur.arraySwaps
+	}
+	n.hotStatsPrev = cur
+	n.hotStatsMu.Unlock()
+
+	if d := cur.lockFreeResolves - prev.lockFreeResolves; d > 0 {
+		r.Add(obs.CtrClogLockFreeResolves, d)
+	}
+	if d := cur.stripeCollisions - prev.stripeCollisions; d > 0 {
+		r.Add(obs.CtrLockStripeCollisions, d)
+	}
+	if d := cur.arraySwaps - prev.arraySwaps; d > 0 {
+		r.Add(obs.CtrVersionArraySwaps, d)
+	}
 }

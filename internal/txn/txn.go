@@ -85,6 +85,10 @@ type Txn struct {
 	GlobalID base.TxnID
 	StartTS  base.Timestamp
 
+	// ref is the transaction's CLOG handle; every version this txn creates
+	// caches it so visibility checks resolve the outcome with one atomic load.
+	ref *clog.Ref
+
 	wallStart time.Time // set only while a recorder is installed
 
 	mu         sync.Mutex
@@ -155,12 +159,30 @@ type Manager struct {
 	gate       CommitGate
 	committing map[base.XID]*Txn
 
-	activeMu sync.Mutex
-	active   map[base.XID]*Txn
+	// active is striped by xid: Begin/finish on different transactions touch
+	// different stripe locks, so registration never serializes the foreground
+	// path behind a node-global mutex. Horizon scans visit every stripe; see
+	// OldestActiveStartTS for why the per-stripe critical sections keep the
+	// vacuum-horizon guarantee intact.
+	active [activeStripes]activeStripe
 
 	// epochs, when non-nil, routes commit publication through epoch-based
 	// group commit (see epoch.go / SetEpoch).
 	epochs atomic.Pointer[epochManager]
+}
+
+// activeStripes shards the active set. Power of two; xids are sequential, so
+// consecutive Begins land on different stripes.
+const activeStripes = 64
+
+type activeStripe struct {
+	mu   sync.Mutex
+	txns map[base.XID]*Txn
+	_    [40]byte // pad to a cache line so stripes don't false-share
+}
+
+func (m *Manager) activeStripe(xid base.XID) *activeStripe {
+	return &m.active[uint64(xid)&(activeStripes-1)]
 }
 
 // NewManager wires a transaction manager over the node's CLOG, WAL and
@@ -173,7 +195,9 @@ func NewManager(node base.NodeID, cl *clog.CLOG, w *wal.Log, oracle clock.Oracle
 		oracle:     oracle,
 		cfg:        cfg,
 		committing: make(map[base.XID]*Txn),
-		active:     make(map[base.XID]*Txn),
+	}
+	for i := range m.active {
+		m.active[i].txns = make(map[base.XID]*Txn)
 	}
 	m.xidSeq.Store(uint64(mvcc.FrozenXID))
 	cl.Begin(mvcc.FrozenXID)
@@ -231,57 +255,66 @@ func advanceU64(c *atomic.Uint64, to uint64) {
 // asks the node's oracle for a fresh snapshot. globalID may be zero for
 // purely local transactions.
 //
-// Snapshot acquisition and registration are one critical section: a fresh
-// timestamp must never exist outside the active set, or a horizon scan
-// (OldestActiveStartTS) running in the gap would overlook the transaction
-// and let a migration retire the source copy it is about to read.
+// Snapshot acquisition and registration are one critical section (now per
+// stripe): a fresh timestamp must never exist outside the active set, or a
+// horizon scan (OldestActiveStartTS) running in the gap would overlook the
+// transaction and let a migration retire the source copy it is about to read.
 func (m *Manager) Begin(globalID base.TxnID, startTS base.Timestamp) *Txn {
 	t := &Txn{
 		m:        m,
 		XID:      base.XID(m.xidSeq.Add(1)),
 		GlobalID: globalID,
-		shards:   make(map[base.ShardID]struct{}),
 		done:     make(chan struct{}),
 	}
 	if m.rec.Load() != nil {
 		t.wallStart = time.Now()
 	}
-	m.clog.Begin(t.XID)
-	m.activeMu.Lock()
+	t.ref = m.clog.Begin(t.XID)
+	s := m.activeStripe(t.XID)
+	s.mu.Lock()
 	if startTS == base.TsZero {
 		startTS = m.oracle.StartTS()
 	} else {
 		m.oracle.Observe(startTS)
 	}
 	t.StartTS = startTS
-	m.active[t.XID] = t
-	m.activeMu.Unlock()
+	s.txns[t.XID] = t
+	s.mu.Unlock()
 	return t
 }
 
 // Lookup finds an active (or committing/prepared) transaction by xid.
 func (m *Manager) Lookup(xid base.XID) (*Txn, bool) {
-	m.activeMu.Lock()
-	defer m.activeMu.Unlock()
-	t, ok := m.active[xid]
+	s := m.activeStripe(xid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.txns[xid]
 	return t, ok
 }
 
 // ActiveCount reports the number of unfinished transactions.
 func (m *Manager) ActiveCount() int {
-	m.activeMu.Lock()
-	defer m.activeMu.Unlock()
-	return len(m.active)
+	n := 0
+	for i := range m.active {
+		s := &m.active[i]
+		s.mu.Lock()
+		n += len(s.txns)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // ActiveTxns snapshots the unfinished transactions (wait-and-remaster and
 // recovery use it).
 func (m *Manager) ActiveTxns() []*Txn {
-	m.activeMu.Lock()
-	defer m.activeMu.Unlock()
-	out := make([]*Txn, 0, len(m.active))
-	for _, t := range m.active {
-		out = append(out, t)
+	var out []*Txn
+	for i := range m.active {
+		s := &m.active[i]
+		s.mu.Lock()
+		for _, t := range s.txns {
+			out = append(out, t)
+		}
+		s.mu.Unlock()
 	}
 	return out
 }
@@ -290,27 +323,40 @@ func (m *Manager) ActiveTxns() []*Txn {
 // Dual execution waits for this set to drain before retiring the source
 // shard; wait-and-remaster waits for it (with ts = TsMax) before remastering.
 func (m *Manager) TxnsBelow(ts base.Timestamp) []*Txn {
-	m.activeMu.Lock()
-	defer m.activeMu.Unlock()
 	var out []*Txn
-	for _, t := range m.active {
-		if t.StartTS < ts {
-			out = append(out, t)
+	for i := range m.active {
+		s := &m.active[i]
+		s.mu.Lock()
+		for _, t := range s.txns {
+			if t.StartTS < ts {
+				out = append(out, t)
+			}
 		}
+		s.mu.Unlock()
 	}
 	return out
 }
 
 // OldestActiveStartTS returns the oldest snapshot still in use (vacuum
 // horizon), or base.TsMax when the node is idle.
+//
+// The scan visits one stripe at a time, so a transaction registering in an
+// already-visited stripe is missed — but such a transaction acquired its
+// timestamp after this scan began (acquisition happens inside the stripe
+// critical section), exactly like a Begin that blocked on the old global
+// mutex until the scan finished. The returned horizon therefore bounds the
+// same set of snapshots the single-lock scan bounded.
 func (m *Manager) OldestActiveStartTS() base.Timestamp {
-	m.activeMu.Lock()
-	defer m.activeMu.Unlock()
 	oldest := base.TsMax
-	for _, t := range m.active {
-		if t.StartTS < oldest {
-			oldest = t.StartTS
+	for i := range m.active {
+		s := &m.active[i]
+		s.mu.Lock()
+		for _, t := range s.txns {
+			if t.StartTS < oldest {
+				oldest = t.StartTS
+			}
 		}
+		s.mu.Unlock()
 	}
 	return oldest
 }
@@ -347,9 +393,10 @@ func (m *Manager) exitCommit(t *Txn) {
 
 func (m *Manager) finish(t *Txn) {
 	m.exitCommit(t)
-	m.activeMu.Lock()
-	delete(m.active, t.XID)
-	m.activeMu.Unlock()
+	s := m.activeStripe(t.XID)
+	s.mu.Lock()
+	delete(s.txns, t.XID)
+	s.mu.Unlock()
 	t.mu.Lock()
 	cleanups := t.cleanups
 	t.cleanups = nil
@@ -442,7 +489,7 @@ func (t *Txn) Write(store *mvcc.Store, table base.TableID, shardID base.ShardID,
 	if err := t.ensureActive(); err != nil {
 		return err
 	}
-	err := store.Write(mvcc.WriteReq{Kind: kind, Key: key, Value: value, XID: t.XID, StartTS: t.StartTS})
+	err := store.Write(mvcc.WriteReq{Kind: kind, Key: key, Value: value, XID: t.XID, StartTS: t.StartTS, Ref: t.ref})
 	if err != nil {
 		return err
 	}
@@ -467,22 +514,35 @@ func (t *Txn) Write(store *mvcc.Store, table base.TableID, shardID base.ShardID,
 		t.firstLSN = lsn
 	}
 	t.writes = append(t.writes, WriteRef{Store: store, Table: table, Shard: shardID, Key: key, Kind: kind})
+	if t.shards == nil {
+		t.shards = make(map[base.ShardID]struct{})
+	}
 	t.shards[shardID] = struct{}{}
 	t.mu.Unlock()
 	return nil
 }
 
 func (t *Txn) releaseLocks() {
-	seen := make(map[*mvcc.Store]struct{})
 	t.mu.Lock()
 	writes := t.writes
 	t.mu.Unlock()
+	// Dedup stores with a bounded scratch instead of an allocated set; a txn
+	// touching more than a handful of stores just calls ReleaseAll again,
+	// which is a no-op once the held set is detached.
+	var released [4]*mvcc.Store
+	n := 0
+outer:
 	for _, w := range writes {
-		if _, ok := seen[w.Store]; ok {
-			continue
+		for i := 0; i < n; i++ {
+			if released[i] == w.Store {
+				continue outer
+			}
 		}
-		seen[w.Store] = struct{}{}
 		w.Store.ReleaseLocks(t.XID)
+		if n < len(released) {
+			released[n] = w.Store
+			n++
+		}
 	}
 }
 
